@@ -1,0 +1,36 @@
+//! Figure 1: breakdown of dynamic instructions into computation and
+//! communication in baseline MTCG code, for GREMIO and DSWP.
+//!
+//! Prints the figure's rows, then times the pipeline that produces one
+//! row (PDG → partition → MTCG → functional MT run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gmt_bench::print_once;
+use gmt_harness::{evaluate, Scale, SchedulerKind};
+use std::hint::black_box;
+
+fn fig1(c: &mut Criterion) {
+    print_once("Figure 1 (quick scale)", || {
+        format!(
+            "{}\n{}",
+            gmt_harness::figures::figure1(SchedulerKind::Gremio, Scale::Quick),
+            gmt_harness::figures::figure1(SchedulerKind::Dswp, Scale::Quick)
+        )
+    });
+
+    let mut group = c.benchmark_group("fig1_row");
+    group.sample_size(10);
+    for bench in ["ks", "adpcmdec"] {
+        let w = gmt_workloads::by_benchmark(bench).unwrap();
+        group.bench_function(format!("{bench}_gremio"), |b| {
+            b.iter(|| black_box(evaluate(&w, SchedulerKind::Gremio, false, Scale::Quick)));
+        });
+        group.bench_function(format!("{bench}_dswp"), |b| {
+            b.iter(|| black_box(evaluate(&w, SchedulerKind::Dswp, false, Scale::Quick)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 7: relative dynamic communication after COCO.
+//!
+//! Prints the figure's rows for both schedulers, then times the COCO
+//! optimizer itself (the compile-time cost the paper discusses in §4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gmt_bench::print_once;
+use gmt_core::CocoConfig;
+use gmt_harness::{Scale, SchedulerKind};
+use gmt_pdg::Pdg;
+use std::hint::black_box;
+
+fn fig7(c: &mut Criterion) {
+    print_once("Figure 7 (quick scale)", || {
+        format!(
+            "{}\n{}",
+            gmt_harness::figures::figure7(SchedulerKind::Gremio, Scale::Quick),
+            gmt_harness::figures::figure7(SchedulerKind::Dswp, Scale::Quick)
+        )
+    });
+
+    let mut group = c.benchmark_group("coco_optimize");
+    group.sample_size(20);
+    for bench in ["ks", "183.equake", "458.sjeng"] {
+        let w = gmt_workloads::by_benchmark(bench).unwrap();
+        let train = w.run_train().unwrap();
+        let pdg = Pdg::build(&w.function);
+        let partition = gmt_sched::dswp::partition(
+            &w.function,
+            &pdg,
+            &train.profile,
+            &gmt_sched::dswp::DswpConfig::default(),
+        );
+        group.bench_function(bench, |b| {
+            b.iter(|| {
+                black_box(gmt_core::optimize(
+                    &w.function,
+                    &pdg,
+                    &partition,
+                    &train.profile,
+                    &CocoConfig::default(),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! The §4 compile-time claim: "Our current implementation of COCO uses
+//! Edmonds–Karp's min-cut algorithm... this algorithm performed well
+//! enough not to significantly increase VELOCITY's compilation time.
+//! For production compilers, faster min-cut algorithms can be employed."
+//!
+//! Times COCO end-to-end with Edmonds–Karp vs Dinic across the whole
+//! catalog, plus the raw max-flow solvers on synthetic CFG-shaped
+//! networks of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmt_core::CocoConfig;
+use gmt_graph::{Capacity, FlowNetwork, MaxFlowAlgo, NodeId};
+use gmt_pdg::Pdg;
+use std::hint::black_box;
+
+/// A ladder-shaped network mimicking a CFG at instruction granularity:
+/// a long spine with periodic diamond detours.
+fn ladder(n: usize) -> (FlowNetwork, NodeId, NodeId) {
+    let mut net = FlowNetwork::new();
+    let nodes: Vec<NodeId> = (0..n).map(|_| net.add_node()).collect();
+    for w in nodes.windows(2) {
+        net.add_arc(w[0], w[1], Capacity::finite(10));
+    }
+    for k in (0..n.saturating_sub(4)).step_by(4) {
+        let d = net.add_node();
+        net.add_arc(nodes[k], d, Capacity::finite(3));
+        net.add_arc(d, nodes[k + 3], Capacity::finite(3));
+    }
+    (net, nodes[0], nodes[n - 1])
+}
+
+fn solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxflow_ladder");
+    for size in [64usize, 256, 1024] {
+        let (net, s, t) = ladder(size);
+        for (name, algo) in [
+            ("edmonds_karp", MaxFlowAlgo::EdmondsKarp),
+            ("dinic", MaxFlowAlgo::Dinic),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, size), &size, |b, _| {
+                b.iter(|| black_box(net.min_cut_with(s, t, algo)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn coco_compile_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coco_compile_time");
+    group.sample_size(10);
+    for (name, algo) in [
+        ("edmonds_karp", MaxFlowAlgo::EdmondsKarp),
+        ("dinic", MaxFlowAlgo::Dinic),
+    ] {
+        group.bench_function(name, |b| {
+            // Pre-compute inputs for all workloads once.
+            let inputs: Vec<_> = gmt_workloads::catalog()
+                .into_iter()
+                .map(|w| {
+                    let train = w.run_train().unwrap();
+                    let pdg = Pdg::build(&w.function);
+                    let partition = gmt_sched::dswp::partition(
+                        &w.function,
+                        &pdg,
+                        &train.profile,
+                        &gmt_sched::dswp::DswpConfig::default(),
+                    );
+                    (w, train.profile, pdg, partition)
+                })
+                .collect();
+            let config = CocoConfig { algo, ..CocoConfig::default() };
+            b.iter(|| {
+                for (w, profile, pdg, partition) in &inputs {
+                    black_box(gmt_core::optimize(&w.function, pdg, partition, profile, &config));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, solvers, coco_compile_time);
+criterion_main!(benches);

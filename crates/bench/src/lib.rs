@@ -1,0 +1,24 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! Each bench target regenerates one of the paper's evaluation
+//! artifacts: it *prints* the figure's rows once (so `cargo bench`
+//! reproduces the evaluation tables) and then times the pipeline
+//! stages behind the figure. Quick (train-sized) inputs keep the suite
+//! fast; the `repro` binary produces the full-scale numbers.
+
+use gmt_harness::{run_all, Scale, SchedulerKind};
+
+/// Prints one figure's rows once per process (guard against Criterion
+/// re-running the setup).
+pub fn print_once(tag: &str, body: impl FnOnce() -> String) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static PRINTED: AtomicBool = AtomicBool::new(false);
+    if !PRINTED.swap(true, Ordering::SeqCst) {
+        println!("\n==== {tag} ====\n{}", body());
+    }
+}
+
+/// Quick-scale functional results for both schedulers.
+pub fn quick_results(kind: SchedulerKind) -> Vec<gmt_harness::BenchResult> {
+    run_all(kind, false, Scale::Quick)
+}

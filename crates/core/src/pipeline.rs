@@ -1,0 +1,138 @@
+//! The end-to-end parallelization pipeline: PDG → partitioner → (COCO)
+//! → MTCG. This is the API a library user drives (Figure 2 of the
+//! paper).
+
+use crate::coco::{optimize, CocoConfig, CocoStats};
+use gmt_ir::{Function, Profile};
+use gmt_mtcg::{CommPlan, MtcgError, MtcgOutput, QueueBudget};
+use gmt_pdg::{Partition, Pdg};
+use gmt_sched::{dswp, gremio};
+
+/// Which partitioner to run.
+#[derive(Clone, Debug)]
+pub enum Scheduler {
+    /// Decoupled Software Pipelining \[16\].
+    Dswp(dswp::DswpConfig),
+    /// GREMIO (MICRO 2007).
+    Gremio(gremio::GremioConfig),
+}
+
+impl Scheduler {
+    /// DSWP with `n` pipeline stages.
+    pub fn dswp(n: u32) -> Scheduler {
+        Scheduler::Dswp(dswp::DswpConfig { num_threads: n, comm_latency: 1 })
+    }
+
+    /// GREMIO with `n` threads.
+    pub fn gremio(n: u32) -> Scheduler {
+        Scheduler::Gremio(gremio::GremioConfig { num_threads: n, comm_latency: 1 })
+    }
+}
+
+/// The full GMT parallelization pipeline.
+#[derive(Clone, Debug)]
+pub struct Parallelizer {
+    /// The partitioner.
+    pub scheduler: Scheduler,
+    /// Run COCO after partitioning (`None` = baseline MTCG).
+    pub coco: Option<CocoConfig>,
+    /// Hardware queue budget (default: the paper's 256-queue
+    /// synchronization array, with queue allocation folding plans that
+    /// need more).
+    pub queue_budget: QueueBudget,
+}
+
+impl Parallelizer {
+    /// A pipeline with the given scheduler and no COCO.
+    pub fn new(scheduler: Scheduler) -> Parallelizer {
+        Parallelizer { scheduler, coco: None, queue_budget: QueueBudget::SYNC_ARRAY }
+    }
+
+    /// Enables COCO with the given configuration.
+    #[must_use]
+    pub fn with_coco(mut self, config: CocoConfig) -> Parallelizer {
+        self.coco = Some(config);
+        self
+    }
+
+    /// Overrides the queue budget.
+    #[must_use]
+    pub fn with_queue_budget(mut self, budget: QueueBudget) -> Parallelizer {
+        self.queue_budget = budget;
+        self
+    }
+
+    /// Parallelizes `f` under `profile`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MtcgError`] from code generation.
+    pub fn parallelize(&self, f: &Function, profile: &Profile) -> Result<Parallelized, MtcgError> {
+        let pdg = Pdg::build(f);
+        let partition = match &self.scheduler {
+            Scheduler::Dswp(cfg) => dswp::partition(f, &pdg, profile, cfg),
+            Scheduler::Gremio(cfg) => gremio::partition(f, &pdg, profile, cfg),
+        };
+        self.parallelize_with_partition(f, profile, &pdg, partition)
+    }
+
+    /// Parallelizes `f` with a caller-supplied partition (for custom
+    /// partitioners — the "plugging different partitioners" framework
+    /// property of Figure 2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MtcgError`] from code generation.
+    pub fn parallelize_with_partition(
+        &self,
+        f: &Function,
+        profile: &Profile,
+        pdg: &Pdg,
+        partition: Partition,
+    ) -> Result<Parallelized, MtcgError> {
+        if let Err(i) = partition.validate(f) {
+            return Err(MtcgError::Unassigned(i));
+        }
+        let (output, coco_stats, baseline_plan) = match &self.coco {
+            None => {
+                let plan = gmt_mtcg::baseline_plan(f, pdg, &partition);
+                let out =
+                    gmt_mtcg::generate_with_plan_budgeted(f, &partition, plan, self.queue_budget)?;
+                (out, None, None)
+            }
+            Some(cfg) => {
+                let baseline = gmt_mtcg::baseline_plan(f, pdg, &partition);
+                let (plan, stats) = optimize(f, pdg, &partition, profile, cfg);
+                let out =
+                    gmt_mtcg::generate_with_plan_budgeted(f, &partition, plan, self.queue_budget)?;
+                (out, Some(stats), Some(baseline))
+            }
+        };
+        Ok(Parallelized { output, partition, coco_stats, baseline_plan })
+    }
+}
+
+/// The result of a parallelization run.
+#[derive(Clone, Debug)]
+pub struct Parallelized {
+    /// The generated threads, queue count, and realized plan.
+    pub output: MtcgOutput,
+    /// The partition that was used.
+    pub partition: Partition,
+    /// COCO statistics, if COCO ran.
+    pub coco_stats: Option<CocoStats>,
+    /// The baseline plan (for comparison), if COCO ran.
+    pub baseline_plan: Option<CommPlan>,
+}
+
+impl Parallelized {
+    /// The generated per-thread functions.
+    pub fn threads(&self) -> &[Function] {
+        &self.output.threads
+    }
+
+    /// Number of queues required.
+    pub fn num_queues(&self) -> u32 {
+        self.output.num_queues
+    }
+}

@@ -1,0 +1,177 @@
+//! Unit-level tests of COCO's building blocks: thread-aware liveness
+//! maps, `G_f` construction, safety-driven infinite arcs, and the
+//! §3.1.2 penalties, on hand-built CFGs where the expected graphs are
+//! known exactly.
+
+use gmt_core::{GfBuilder, LiveMap, PosGraph, Safety};
+use gmt_graph::MaxFlowAlgo;
+use gmt_ir::{BinOp, ControlDeps, Function, FunctionBuilder, InstrId, PostDominators, Profile};
+use gmt_mtcg::CommPoint;
+use gmt_pdg::{Partition, ThreadId};
+use std::collections::BTreeSet;
+
+/// entry: r1 = x+1 (T0) ; use: output r1 (T1) ; ret (T0).
+fn straight() -> (Function, Partition, gmt_ir::Reg, InstrId, InstrId) {
+    let mut b = FunctionBuilder::new("s");
+    let x = b.param();
+    let r1 = b.bin(BinOp::Add, x, 1i64);
+    b.output(r1);
+    b.ret(None);
+    let f = b.finish().unwrap();
+    let instrs: Vec<_> = f.all_instrs().collect();
+    let mut p = Partition::new(2);
+    p.assign(instrs[0], ThreadId(0));
+    p.assign(instrs[1], ThreadId(1));
+    p.assign(instrs[2], ThreadId(0));
+    (f, p, r1, instrs[0], instrs[1])
+}
+
+#[test]
+fn livemap_tracks_def_to_use() {
+    let (f, p, r1, def, usei) = straight();
+    let live = LiveMap::compute(&f, r1, |i| p.thread_of(i) == ThreadId(1));
+    assert!(!live.live_before(def), "not live before its def");
+    assert!(live.live_after(def));
+    assert!(live.live_before(usei));
+    assert!(!live.live_after(usei), "dead after the last use");
+}
+
+#[test]
+fn livemap_ignores_filtered_uses() {
+    let (f, _p, r1, def, _usei) = straight();
+    // No instruction counts as a use: r1 never live.
+    let live = LiveMap::compute(&f, r1, |_| false);
+    assert!(!live.live_after(def));
+}
+
+fn builder_parts(
+    f: &Function,
+    p: &Partition,
+    penalties: bool,
+) -> (PosGraph, ControlDeps, Vec<u64>, Vec<BTreeSet<InstrId>>) {
+    let profile = Profile::uniform(f, 10);
+    let pos_graph = PosGraph::build(f, &profile);
+    let pdom = PostDominators::compute(f);
+    let cdeps = ControlDeps::compute(f, &pdom);
+    let block_weights = profile.block_weights(f);
+    let relevant = gmt_mtcg::relevant_branches(f, &cdeps, p, &gmt_mtcg::CommPlan::new(2));
+    let _ = penalties;
+    (pos_graph, cdeps, block_weights, relevant)
+}
+
+#[test]
+fn register_gf_min_cut_is_the_single_link() {
+    let (f, p, r1, def, usei) = straight();
+    let (pos_graph, cdeps, block_weights, relevant) = builder_parts(&f, &p, true);
+    let builder = GfBuilder {
+        f: &f,
+        pos_graph: &pos_graph,
+        cdeps: &cdeps,
+        partition: &p,
+        relevant: &relevant,
+        block_weights: &block_weights,
+        control_penalties: true,
+        s: ThreadId(0),
+        t: ThreadId(1),
+    };
+    let safety = Safety::compute(&f, &p, ThreadId(0));
+    let live = LiveMap::compute(&f, r1, |i| p.thread_of(i) == ThreadId(1));
+    let points = builder
+        .optimize_register(r1, &safety, &live, &[def], &[usei], MaxFlowAlgo::EdmondsKarp)
+        .expect("feasible");
+    assert_eq!(points.len(), 1);
+    assert_eq!(points.into_iter().next(), Some(CommPoint::After(def)));
+}
+
+#[test]
+fn register_gf_respects_safety_kill() {
+    // r1 def (T0), then T1 redefines r1, then a T1 use: communication
+    // after T1's redefinition is unsafe, so the only cut is before it.
+    let mut b = FunctionBuilder::new("k");
+    let x = b.param();
+    let r1 = b.fresh_reg();
+    b.bin_into(BinOp::Add, r1, x, 1i64); // i0: T0 def
+    b.bin_into(BinOp::Mul, r1, r1, 2i64); // i1: T1 redefines (consumes)
+    b.output(r1); // i2: T1 use
+    b.ret(None); // i3
+    let f = b.finish().unwrap();
+    let instrs: Vec<_> = f.all_instrs().collect();
+    let mut p = Partition::new(2);
+    p.assign(instrs[0], ThreadId(0));
+    p.assign(instrs[1], ThreadId(1));
+    p.assign(instrs[2], ThreadId(1));
+    p.assign(instrs[3], ThreadId(0));
+    let (pos_graph, cdeps, block_weights, relevant) = builder_parts(&f, &p, true);
+    let builder = GfBuilder {
+        f: &f,
+        pos_graph: &pos_graph,
+        cdeps: &cdeps,
+        partition: &p,
+        relevant: &relevant,
+        block_weights: &block_weights,
+        control_penalties: true,
+        s: ThreadId(0),
+        t: ThreadId(1),
+    };
+    let safety = Safety::compute(&f, &p, ThreadId(0));
+    assert!(safety.safe_after(instrs[0], r1));
+    assert!(!safety.safe_after(instrs[1], r1), "stale after T1's redef");
+    let live = LiveMap::compute(&f, r1, |i| p.thread_of(i) == ThreadId(1));
+    let points = builder
+        .optimize_register(
+            r1,
+            &safety,
+            &live,
+            &[instrs[0]],
+            &[instrs[1]],
+            MaxFlowAlgo::EdmondsKarp,
+        )
+        .expect("feasible");
+    assert_eq!(points.into_iter().next(), Some(CommPoint::After(instrs[0])));
+}
+
+#[test]
+fn register_gf_none_when_no_defs_in_source() {
+    let (f, p, r1, _def, usei) = straight();
+    let (pos_graph, cdeps, block_weights, relevant) = builder_parts(&f, &p, true);
+    let builder = GfBuilder {
+        f: &f,
+        pos_graph: &pos_graph,
+        cdeps: &cdeps,
+        partition: &p,
+        relevant: &relevant,
+        block_weights: &block_weights,
+        control_penalties: true,
+        s: ThreadId(1), // wrong direction: T1 has no defs of r1
+        t: ThreadId(0),
+    };
+    let safety = Safety::compute(&f, &p, ThreadId(1));
+    let live = LiveMap::compute(&f, r1, |i| p.thread_of(i) == ThreadId(0));
+    assert!(builder
+        .optimize_register(r1, &safety, &live, &[], &[usei], MaxFlowAlgo::EdmondsKarp)
+        .is_none());
+}
+
+#[test]
+fn memory_gf_covers_whole_function() {
+    let (f, p, _r1, def, usei) = straight();
+    let (pos_graph, cdeps, block_weights, relevant) = builder_parts(&f, &p, true);
+    let builder = GfBuilder {
+        f: &f,
+        pos_graph: &pos_graph,
+        cdeps: &cdeps,
+        partition: &p,
+        relevant: &relevant,
+        block_weights: &block_weights,
+        control_penalties: true,
+        s: ThreadId(0),
+        t: ThreadId(1),
+    };
+    let (gf, commodities) = builder.build_memory(&[(def, usei)]);
+    assert_eq!(commodities.len(), 1);
+    // Every position of the function is a node: entry + 3 instrs.
+    assert_eq!(gf.node_of.len(), 4);
+    let cut = gf.net.min_cut(commodities[0].source, commodities[0].sink);
+    assert!(cut.is_feasible());
+    assert_eq!(gf.cut_points(&cut).len(), 1);
+}

@@ -1,0 +1,186 @@
+//! Saturating arc capacities with a distinguished infinity.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An arc capacity (or cut cost): a non-negative integer or infinity.
+///
+/// COCO sets the cost of arcs that must never participate in a cut —
+/// special source/sink arcs and arcs violating Properties 1–3 — to
+/// infinity. `Capacity` makes that sentinel explicit and keeps all
+/// arithmetic saturating so a sum involving infinity stays infinite.
+///
+/// ```
+/// use gmt_graph::Capacity;
+/// assert!(Capacity::INFINITE > Capacity::finite(u64::MAX / 2));
+/// assert_eq!(Capacity::INFINITE + Capacity::finite(7), Capacity::INFINITE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Capacity(u64);
+
+impl Capacity {
+    /// The infinite capacity: never exhausted by augmentation, never cut.
+    pub const INFINITE: Capacity = Capacity(u64::MAX);
+
+    /// The zero capacity.
+    pub const ZERO: Capacity = Capacity(0);
+
+    /// A finite capacity of `value` units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == u64::MAX`, which is reserved for
+    /// [`Capacity::INFINITE`].
+    pub fn finite(value: u64) -> Capacity {
+        assert!(value != u64::MAX, "u64::MAX is reserved for Capacity::INFINITE");
+        Capacity(value)
+    }
+
+    /// Whether this capacity is the infinite sentinel.
+    pub fn is_infinite(self) -> bool {
+        self == Capacity::INFINITE
+    }
+
+    /// Whether this capacity is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The numeric value of a finite capacity.
+    ///
+    /// Returns `None` for [`Capacity::INFINITE`].
+    pub fn value(self) -> Option<u64> {
+        if self.is_infinite() {
+            None
+        } else {
+            Some(self.0)
+        }
+    }
+
+    /// The smaller of two capacities.
+    pub fn min(self, other: Capacity) -> Capacity {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Capacity {
+    type Output = Capacity;
+
+    fn add(self, rhs: Capacity) -> Capacity {
+        if self.is_infinite() || rhs.is_infinite() {
+            Capacity::INFINITE
+        } else {
+            Capacity(self.0.saturating_add(rhs.0).min(u64::MAX - 1))
+        }
+    }
+}
+
+impl AddAssign for Capacity {
+    fn add_assign(&mut self, rhs: Capacity) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Capacity {
+    type Output = Capacity;
+
+    /// Saturating subtraction; subtracting anything from infinity leaves
+    /// infinity (an infinite-capacity arc is never exhausted).
+    fn sub(self, rhs: Capacity) -> Capacity {
+        if self.is_infinite() {
+            Capacity::INFINITE
+        } else {
+            Capacity(self.0.saturating_sub(rhs.0))
+        }
+    }
+}
+
+impl Sum for Capacity {
+    fn sum<I: Iterator<Item = Capacity>>(iter: I) -> Capacity {
+        iter.fold(Capacity::ZERO, |a, b| a + b)
+    }
+}
+
+impl Default for Capacity {
+    fn default() -> Capacity {
+        Capacity::ZERO
+    }
+}
+
+impl From<u64> for Capacity {
+    fn from(value: u64) -> Capacity {
+        Capacity::finite(value)
+    }
+}
+
+impl fmt::Debug for Capacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "inf")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Capacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_arithmetic() {
+        assert_eq!(Capacity::finite(2) + Capacity::finite(3), Capacity::finite(5));
+        assert_eq!(Capacity::finite(5) - Capacity::finite(3), Capacity::finite(2));
+        assert_eq!(Capacity::finite(1) - Capacity::finite(3), Capacity::ZERO);
+    }
+
+    #[test]
+    fn infinity_absorbs() {
+        assert_eq!(Capacity::INFINITE + Capacity::finite(1), Capacity::INFINITE);
+        assert_eq!(Capacity::INFINITE - Capacity::finite(1_000_000), Capacity::INFINITE);
+        assert!(Capacity::INFINITE.is_infinite());
+        assert!(!Capacity::finite(0).is_infinite());
+    }
+
+    #[test]
+    fn saturating_add_does_not_reach_infinity() {
+        let big = Capacity::finite(u64::MAX - 1);
+        assert!(!(big + big).is_infinite());
+    }
+
+    #[test]
+    fn ordering_places_infinity_last() {
+        let mut v = vec![Capacity::INFINITE, Capacity::finite(3), Capacity::ZERO];
+        v.sort();
+        assert_eq!(v, vec![Capacity::ZERO, Capacity::finite(3), Capacity::INFINITE]);
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        assert_eq!(Capacity::finite(42).value(), Some(42));
+        assert_eq!(Capacity::INFINITE.value(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn finite_rejects_sentinel() {
+        let _ = Capacity::finite(u64::MAX);
+    }
+
+    #[test]
+    fn sum_of_capacities() {
+        let total: Capacity = [1u64, 2, 3].iter().map(|&v| Capacity::finite(v)).sum();
+        assert_eq!(total, Capacity::finite(6));
+    }
+}

@@ -1,0 +1,456 @@
+//! s–t flow networks and minimum cuts.
+
+use crate::capacity::Capacity;
+use crate::digraph::NodeId;
+use crate::maxflow::{self, MaxFlowAlgo};
+use std::fmt;
+
+/// Index of a *forward* arc in a [`FlowNetwork`], stable across solves.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArcId(pub u32);
+
+impl ArcId {
+    /// The arc index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ArcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// A node of a flow network. Alias of the [`DiGraph`](crate::DiGraph)
+/// node id so ids can be shared with companion graphs.
+pub type FlowNode = NodeId;
+
+/// A forward arc of a flow network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowArc {
+    /// Tail node.
+    pub from: FlowNode,
+    /// Head node.
+    pub to: FlowNode,
+    /// Capacity (cut cost).
+    pub capacity: Capacity,
+}
+
+/// A directed flow network on which max-flow / min-cut is solved.
+///
+/// This is the `G_f` of the COCO paper: nodes are program points of a
+/// register live-range (or of the whole region, for memory), arcs are
+/// control-flow arcs weighted by profile frequency, and a minimum s–t cut
+/// is the cheapest set of program points at which to communicate.
+///
+/// Arcs are stored in pairs (forward, residual-reverse) as in standard
+/// max-flow implementations. Only forward arcs are exposed through
+/// [`ArcId`]s.
+#[derive(Clone, Default)]
+pub struct FlowNetwork {
+    /// head node of each half-arc (even = forward, odd = reverse).
+    head: Vec<FlowNode>,
+    /// residual capacity of each half-arc.
+    residual: Vec<Capacity>,
+    /// original capacity of each *forward* arc.
+    original: Vec<Capacity>,
+    /// tail node of each forward arc.
+    tail: Vec<FlowNode>,
+    /// per-node list of half-arc indices leaving the node.
+    adjacency: Vec<Vec<u32>>,
+}
+
+impl FlowNetwork {
+    /// Creates an empty network.
+    pub fn new() -> FlowNetwork {
+        FlowNetwork::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> FlowNode {
+        let id = NodeId(self.adjacency.len() as u32);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds `n` nodes at once, returning the id of the first.
+    pub fn add_nodes(&mut self, n: usize) -> FlowNode {
+        let first = NodeId(self.adjacency.len() as u32);
+        for _ in 0..n {
+            self.add_node();
+        }
+        first
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of forward arcs.
+    pub fn arc_count(&self) -> usize {
+        self.original.len()
+    }
+
+    /// Adds a directed arc with the given capacity; returns its id.
+    ///
+    /// Parallel arcs are allowed (their capacities act additively).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_arc(&mut self, from: FlowNode, to: FlowNode, capacity: Capacity) -> ArcId {
+        assert!(from.index() < self.node_count() && to.index() < self.node_count());
+        let arc = ArcId(self.original.len() as u32);
+        let fwd = self.head.len() as u32;
+        self.head.push(to);
+        self.residual.push(capacity);
+        self.head.push(from);
+        self.residual.push(Capacity::ZERO);
+        self.adjacency[from.index()].push(fwd);
+        self.adjacency[to.index()].push(fwd + 1);
+        self.original.push(capacity);
+        self.tail.push(from);
+        arc
+    }
+
+    /// The forward arc `id` as stored (original capacity, not residual).
+    pub fn arc(&self, id: ArcId) -> FlowArc {
+        FlowArc {
+            from: self.tail[id.index()],
+            to: self.head[id.index() * 2],
+            capacity: self.original[id.index()],
+        }
+    }
+
+    /// All forward arcs in insertion order.
+    pub fn arcs(&self) -> impl Iterator<Item = (ArcId, FlowArc)> + '_ {
+        (0..self.arc_count() as u32).map(move |i| (ArcId(i), self.arc(ArcId(i))))
+    }
+
+    /// Computes a maximum s–t flow with the requested algorithm and
+    /// returns its value. The network's residual state is updated; call
+    /// [`FlowNetwork::reset`] to solve again from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == sink`.
+    pub fn max_flow(&mut self, source: FlowNode, sink: FlowNode, algo: MaxFlowAlgo) -> Capacity {
+        assert_ne!(source, sink, "source and sink must differ");
+        match algo {
+            MaxFlowAlgo::EdmondsKarp => maxflow::edmonds_karp(self, source, sink),
+            MaxFlowAlgo::Dinic => maxflow::dinic(self, source, sink),
+        }
+    }
+
+    /// Computes a minimum s–t cut using Edmonds–Karp (the paper's
+    /// algorithm). Equivalent to
+    /// [`min_cut_with`](FlowNetwork::min_cut_with) with
+    /// [`MaxFlowAlgo::EdmondsKarp`].
+    pub fn min_cut(&self, source: FlowNode, sink: FlowNode) -> MinCut {
+        self.min_cut_with(source, sink, MaxFlowAlgo::EdmondsKarp)
+    }
+
+    /// Computes a minimum s–t cut: the cheapest set of forward arcs whose
+    /// removal disconnects `sink` from `source`.
+    ///
+    /// The receiver is not mutated; the solve runs on a clone, so a
+    /// network can be cut repeatedly (the multicut heuristic relies on
+    /// this).
+    ///
+    /// If every s–t path crosses an infinite-capacity arc the returned
+    /// cut has `value == Capacity::INFINITE` and lists no arcs; callers
+    /// treat that as "no feasible placement" (COCO then falls back to the
+    /// MTCG placement, which the paper proves always yields a finite
+    /// cut).
+    pub fn min_cut_with(
+        &self,
+        source: FlowNode,
+        sink: FlowNode,
+        algo: MaxFlowAlgo,
+    ) -> MinCut {
+        let mut solved = self.clone();
+        let value = solved.max_flow(source, sink, algo);
+        if value.is_infinite() {
+            return MinCut {
+                value,
+                arcs: Vec::new(),
+                source_side: Vec::new(),
+            };
+        }
+        // Nodes reachable from the source in the residual graph form the
+        // source side of the cut.
+        let reachable = solved.residual_reachable(source);
+        let mut arcs = Vec::new();
+        for (id, arc) in self.arcs() {
+            if reachable[arc.from.index()] && !reachable[arc.to.index()] {
+                // Saturated forward arc crossing the cut.
+                if !arc.capacity.is_zero() {
+                    arcs.push(id);
+                }
+            }
+        }
+        let source_side = (0..self.node_count())
+            .map(|i| NodeId(i as u32))
+            .filter(|n| reachable[n.index()])
+            .collect();
+        MinCut {
+            value,
+            arcs,
+            source_side,
+        }
+    }
+
+    /// Restores all residual capacities to the original arc capacities.
+    pub fn reset(&mut self) {
+        for i in 0..self.original.len() {
+            self.residual[i * 2] = self.original[i];
+            self.residual[i * 2 + 1] = Capacity::ZERO;
+        }
+    }
+
+    /// Nodes reachable from `start` through arcs with positive residual
+    /// capacity.
+    fn residual_reachable(&self, start: FlowNode) -> Vec<bool> {
+        let mut seen = vec![false; self.node_count()];
+        let mut stack = vec![start];
+        seen[start.index()] = true;
+        while let Some(n) = stack.pop() {
+            for &half in &self.adjacency[n.index()] {
+                if self.residual[half as usize].is_zero() {
+                    continue;
+                }
+                let to = self.head[half as usize];
+                if !seen[to.index()] {
+                    seen[to.index()] = true;
+                    stack.push(to);
+                }
+            }
+        }
+        seen
+    }
+
+    // ---- internals shared with the max-flow algorithms ----
+
+    pub(crate) fn half_arcs_from(&self, n: FlowNode) -> &[u32] {
+        &self.adjacency[n.index()]
+    }
+
+    pub(crate) fn half_head(&self, half: u32) -> FlowNode {
+        self.head[half as usize]
+    }
+
+    pub(crate) fn half_residual(&self, half: u32) -> Capacity {
+        self.residual[half as usize]
+    }
+
+    pub(crate) fn push_flow(&mut self, half: u32, amount: Capacity) {
+        let h = half as usize;
+        self.residual[h] = self.residual[h] - amount;
+        let mate = h ^ 1;
+        // Reverse residual of an infinite arc saturates harmlessly.
+        self.residual[mate] += amount;
+    }
+}
+
+impl fmt::Debug for FlowNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "FlowNetwork({} nodes, {} arcs)",
+            self.node_count(),
+            self.arc_count()
+        )?;
+        for (id, arc) in self.arcs() {
+            writeln!(f, "  {:?}: {:?} -> {:?} cap {:?}", id, arc.from, arc.to, arc.capacity)?;
+        }
+        Ok(())
+    }
+}
+
+/// A minimum s–t cut.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinCut {
+    /// Total capacity of the cut (equals the max-flow value).
+    pub value: Capacity,
+    /// The forward arcs crossing the cut, source side → sink side.
+    /// Empty if `value` is infinite (no finite cut exists).
+    pub arcs: Vec<ArcId>,
+    /// Nodes on the source side of the cut.
+    pub source_side: Vec<FlowNode>,
+}
+
+impl MinCut {
+    /// Whether a finite cut was found.
+    pub fn is_feasible(&self) -> bool {
+        !self.value.is_infinite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_both_algos(build: impl Fn() -> (FlowNetwork, FlowNode, FlowNode), expect: Capacity) {
+        for algo in [MaxFlowAlgo::EdmondsKarp, MaxFlowAlgo::Dinic] {
+            let (net, s, t) = build();
+            let cut = net.min_cut_with(s, t, algo);
+            assert_eq!(cut.value, expect, "algo {:?}", algo);
+            if cut.is_feasible() {
+                let total: Capacity = cut.arcs.iter().map(|&a| net.arc(a).capacity).sum();
+                assert_eq!(total, expect, "cut arcs must sum to cut value ({:?})", algo);
+            }
+        }
+    }
+
+    #[test]
+    fn single_path() {
+        check_both_algos(
+            || {
+                let mut net = FlowNetwork::new();
+                let s = net.add_node();
+                let a = net.add_node();
+                let t = net.add_node();
+                net.add_arc(s, a, Capacity::finite(5));
+                net.add_arc(a, t, Capacity::finite(3));
+                (net, s, t)
+            },
+            Capacity::finite(3),
+        );
+    }
+
+    #[test]
+    fn classic_clrs_network() {
+        // CLRS figure 26.6-style network, max flow 23.
+        check_both_algos(
+            || {
+                let mut net = FlowNetwork::new();
+                let s = net.add_node();
+                let v1 = net.add_node();
+                let v2 = net.add_node();
+                let v3 = net.add_node();
+                let v4 = net.add_node();
+                let t = net.add_node();
+                net.add_arc(s, v1, Capacity::finite(16));
+                net.add_arc(s, v2, Capacity::finite(13));
+                net.add_arc(v1, v3, Capacity::finite(12));
+                net.add_arc(v2, v1, Capacity::finite(4));
+                net.add_arc(v2, v4, Capacity::finite(14));
+                net.add_arc(v3, v2, Capacity::finite(9));
+                net.add_arc(v3, t, Capacity::finite(20));
+                net.add_arc(v4, v3, Capacity::finite(7));
+                net.add_arc(v4, t, Capacity::finite(4));
+                (net, s, t)
+            },
+            Capacity::finite(23),
+        );
+    }
+
+    #[test]
+    fn infinite_arcs_never_cut() {
+        // s -inf-> a -2-> b -inf-> t : only the middle arc can be cut.
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let b = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, a, Capacity::INFINITE);
+        let middle = net.add_arc(a, b, Capacity::finite(2));
+        net.add_arc(b, t, Capacity::INFINITE);
+        let cut = net.min_cut(s, t);
+        assert_eq!(cut.value, Capacity::finite(2));
+        assert_eq!(cut.arcs, vec![middle]);
+    }
+
+    #[test]
+    fn no_finite_cut_reports_infeasible() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, t, Capacity::INFINITE);
+        let cut = net.min_cut(s, t);
+        assert!(!cut.is_feasible());
+        assert!(cut.arcs.is_empty());
+    }
+
+    #[test]
+    fn disconnected_sink_has_empty_cut() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let a = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, a, Capacity::finite(4));
+        let cut = net.min_cut(s, t);
+        assert_eq!(cut.value, Capacity::ZERO);
+        assert!(cut.arcs.is_empty());
+    }
+
+    #[test]
+    fn parallel_arcs_add() {
+        check_both_algos(
+            || {
+                let mut net = FlowNetwork::new();
+                let s = net.add_node();
+                let t = net.add_node();
+                net.add_arc(s, t, Capacity::finite(2));
+                net.add_arc(s, t, Capacity::finite(3));
+                (net, s, t)
+            },
+            Capacity::finite(5),
+        );
+    }
+
+    #[test]
+    fn min_cut_does_not_mutate_network() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, t, Capacity::finite(2));
+        let c1 = net.min_cut(s, t);
+        let c2 = net.min_cut(s, t);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn source_side_contains_source() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, t, Capacity::finite(1));
+        let cut = net.min_cut(s, t);
+        assert!(cut.source_side.contains(&s));
+        assert!(!cut.source_side.contains(&t));
+    }
+
+    #[test]
+    fn zero_capacity_arcs_excluded_from_cut() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, t, Capacity::ZERO);
+        let cut = net.min_cut(s, t);
+        assert_eq!(cut.value, Capacity::ZERO);
+        assert!(cut.arcs.is_empty());
+    }
+
+    #[test]
+    fn reset_allows_resolving() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let t = net.add_node();
+        net.add_arc(s, t, Capacity::finite(7));
+        assert_eq!(net.max_flow(s, t, MaxFlowAlgo::EdmondsKarp), Capacity::finite(7));
+        assert_eq!(net.max_flow(s, t, MaxFlowAlgo::EdmondsKarp), Capacity::ZERO);
+        net.reset();
+        assert_eq!(net.max_flow(s, t, MaxFlowAlgo::Dinic), Capacity::finite(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "differ")]
+    fn max_flow_rejects_equal_endpoints() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        net.max_flow(s, s, MaxFlowAlgo::EdmondsKarp);
+    }
+}

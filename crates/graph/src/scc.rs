@@ -1,0 +1,178 @@
+//! Tarjan's strongly-connected-components algorithm (iterative).
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// One strongly connected component.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scc {
+    /// The member nodes, in discovery order.
+    pub nodes: Vec<NodeId>,
+}
+
+impl Scc {
+    /// Whether this SCC contains a cycle: more than one node, or a single
+    /// node with a self-loop (callers must check self-loops themselves;
+    /// this method only looks at cardinality).
+    pub fn is_nontrivial(&self) -> bool {
+        self.nodes.len() > 1
+    }
+}
+
+/// Computes the strongly connected components of `g` with Tarjan's
+/// algorithm, implemented iteratively so deep graphs cannot overflow the
+/// call stack.
+///
+/// Components are returned in *reverse topological order* of the
+/// condensation: if there is an arc from component `A` to component `B`
+/// in the condensed DAG, then `B` appears before `A` in the result. DSWP
+/// relies on this to lay pipeline stages out front-to-back by reversing
+/// the returned list.
+pub fn strongly_connected_components(g: &DiGraph) -> Vec<Scc> {
+    const UNVISITED: u32 = u32::MAX;
+    let n = g.len();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs = Vec::new();
+
+    // Explicit DFS frames: (node, next-successor position).
+    let mut frames: Vec<(NodeId, usize)> = Vec::new();
+
+    for root in g.nodes() {
+        if index[root.index()] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root.index()] = next_index;
+        lowlink[root.index()] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root.index()] = true;
+
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child < g.succs(v).len() {
+                let w = g.succs(v)[*child];
+                *child += 1;
+                if index[w.index()] == UNVISITED {
+                    index[w.index()] = next_index;
+                    lowlink[w.index()] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w.index()] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w.index()] {
+                    lowlink[v.index()] = lowlink[v.index()].min(index[w.index()]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent.index()] =
+                        lowlink[parent.index()].min(lowlink[v.index()]);
+                }
+                if lowlink[v.index()] == index[v.index()] {
+                    let mut nodes = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w.index()] = false;
+                        nodes.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    nodes.reverse();
+                    sccs.push(Scc { nodes });
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_nodes() {
+        let mut g = DiGraph::new();
+        g.add_node();
+        g.add_node();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 2);
+        assert!(sccs.iter().all(|s| s.nodes.len() == 1));
+    }
+
+    #[test]
+    fn two_node_cycle_is_one_component() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_arc(a, b);
+        g.add_arc(b, a);
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].nodes.len(), 2);
+        assert!(sccs[0].is_nontrivial());
+    }
+
+    #[test]
+    fn reverse_topological_output_order() {
+        // a -> b -> c, all separate components: c must come first.
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_arc(a, b);
+        g.add_arc(b, c);
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 3);
+        assert_eq!(sccs[0].nodes, vec![c]);
+        assert_eq!(sccs[1].nodes, vec![b]);
+        assert_eq!(sccs[2].nodes, vec![a]);
+    }
+
+    #[test]
+    fn pipeline_with_recurrence() {
+        // Classic DSWP shape: {a,b} cycle feeding {c}.
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_arc(a, b);
+        g.add_arc(b, a);
+        g.add_arc(b, c);
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 2);
+        assert_eq!(sccs[0].nodes, vec![c]);
+        assert_eq!(sccs[1].nodes.len(), 2);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        let mut g = DiGraph::new();
+        let nodes: Vec<_> = (0..200_000).map(|_| g.add_node()).collect();
+        for w in nodes.windows(2) {
+            g.add_arc(w[0], w[1]);
+        }
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 200_000);
+    }
+
+    #[test]
+    fn complete_graph_is_one_scc() {
+        let mut g = DiGraph::new();
+        let nodes: Vec<_> = (0..10).map(|_| g.add_node()).collect();
+        for &x in &nodes {
+            for &y in &nodes {
+                if x != y {
+                    g.add_arc(x, y);
+                }
+            }
+        }
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].nodes.len(), 10);
+    }
+}

@@ -1,0 +1,77 @@
+//! `inspect` — dump the partition and plan for one benchmark
+//! (debugging aid; not part of the reproduction surface).
+
+use gmt_core::{CocoConfig, Parallelizer};
+use gmt_harness::SchedulerKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = args.first().map(String::as_str).unwrap_or("ks");
+    let kind = match args.get(1).map(String::as_str) {
+        Some("dswp") => SchedulerKind::Dswp,
+        _ => SchedulerKind::Gremio,
+    };
+    let w = gmt_workloads::by_benchmark(bench).expect("known benchmark");
+    let train = w.run_train().unwrap();
+    let f = &w.function;
+
+    let result = Parallelizer::new(kind.scheduler())
+        .with_coco(CocoConfig::default())
+        .parallelize(f, &train.profile)
+        .unwrap();
+    let base = Parallelizer::new(kind.scheduler())
+        .parallelize(f, &train.profile)
+        .unwrap();
+
+    println!("== {} under {} ==", bench, kind.name());
+    println!("blocks:");
+    for b in f.blocks() {
+        let threads: Vec<String> = f
+            .block(b)
+            .all_instrs()
+            .map(|i| format!("{}", result.partition.thread_of(i).0))
+            .collect();
+        println!(
+            "  {:?} ({:<14}) weight {:>8}: threads {}",
+            b,
+            f.block(b).name,
+            train.profile.block_weight(f, b),
+            threads.join("")
+        );
+    }
+    println!("\nbaseline plan items:");
+    for item in base.output.plan.items() {
+        println!(
+            "  {:?} {:?}->{:?}: {} points {:?}",
+            item.kind,
+            item.from,
+            item.to,
+            item.points.len(),
+            item.points.iter().take(6).collect::<Vec<_>>()
+        );
+    }
+    println!("\ncoco plan items:");
+    for item in result.output.plan.items() {
+        println!(
+            "  {:?} {:?}->{:?}: {} points {:?}",
+            item.kind,
+            item.from,
+            item.to,
+            item.points.len(),
+            item.points.iter().take(6).collect::<Vec<_>>()
+        );
+    }
+    println!(
+        "\nbaseline dyn cost {} vs coco {}",
+        base.output.plan.dynamic_cost(f, &train.profile),
+        result.output.plan.dynamic_cost(f, &train.profile)
+    );
+    for t in result.partition.threads() {
+        println!(
+            "relevant branches T{}: baseline {:?} coco {:?}",
+            t.0,
+            base.output.plan.relevant_branches(t),
+            result.output.plan.relevant_branches(t)
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! `repro` — regenerate the paper's figures from the command line.
+//!
+//! ```text
+//! repro --fig 1|6a|6b|7|8|all [--quick] [--scheduler gremio|dswp|both]
+//! ```
+
+use gmt_harness::figures;
+use gmt_harness::{Scale, SchedulerKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fig = String::from("all");
+    let mut scale = Scale::Full;
+    let mut scheds = vec![SchedulerKind::Gremio, SchedulerKind::Dswp];
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fig" => fig = it.next().cloned().unwrap_or_else(|| usage("missing figure id")),
+            "--quick" => scale = Scale::Quick,
+            "--scheduler" => {
+                scheds = match it.next().map(String::as_str) {
+                    Some("gremio") => vec![SchedulerKind::Gremio],
+                    Some("dswp") => vec![SchedulerKind::Dswp],
+                    Some("both") => vec![SchedulerKind::Gremio, SchedulerKind::Dswp],
+                    other => usage(&format!("bad scheduler {other:?}")),
+                }
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    let want = |id: &str| fig == "all" || fig == id;
+    if want("6a") {
+        print!("{}", figures::figure6a());
+        println!();
+    }
+    if want("6b") {
+        print!("{}", figures::figure6b());
+        println!();
+    }
+    if want("1") {
+        for &k in &scheds {
+            print!("{}", figures::figure1(k, scale));
+            println!();
+        }
+    }
+    if want("7") {
+        for &k in &scheds {
+            print!("{}", figures::figure7(k, scale));
+            println!();
+        }
+    }
+    if want("8") {
+        for &k in &scheds {
+            print!("{}", figures::figure8(k, scale));
+            println!();
+        }
+    }
+    if fig == "scaling" {
+        for &k in &scheds {
+            print!("{}", figures::thread_scaling_table(k));
+            println!();
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: repro [--fig 1|6a|6b|7|8|scaling|all] [--quick] [--scheduler gremio|dswp|both]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

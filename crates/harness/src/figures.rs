@@ -1,0 +1,183 @@
+//! Formatted reproductions of the paper's figures.
+
+use crate::{mean, run_all, BenchResult, Scale, SchedulerKind};
+use gmt_sim::MachineConfig;
+use gmt_workloads::catalog;
+use std::fmt::Write as _;
+
+/// Figure 1: breakdown of dynamic instructions into computation and
+/// communication under baseline MTCG, for one scheduler.
+pub fn figure1(kind: SchedulerKind, scale: Scale) -> String {
+    let results = run_all(kind, false, scale);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 1{}: dynamic instruction breakdown, {} + MTCG",
+        match kind {
+            SchedulerKind::Gremio => "(a)",
+            SchedulerKind::Dswp => "(b)",
+        },
+        kind.name()
+    );
+    let _ = writeln!(out, "{:<14} {:>12} {:>14} {:>8}", "benchmark", "computation", "communication", "comm%");
+    for r in &results {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>12} {:>14} {:>7.1}%",
+            r.benchmark,
+            r.mtcg.counts.computation,
+            r.mtcg.counts.comm_total(),
+            r.comm_fraction_pct()
+        );
+    }
+    let avg = mean(results.iter().map(BenchResult::comm_fraction_pct));
+    let _ = writeln!(out, "{:<14} {:>12} {:>14} {:>7.1}%", "average", "", "", avg);
+    out
+}
+
+/// Figure 6(a): the machine-details table.
+pub fn figure6a() -> String {
+    format!("Figure 6(a): machine details\n{}\n", MachineConfig::default().describe())
+}
+
+/// Figure 6(b): the selected benchmark functions.
+pub fn figure6b() -> String {
+    let mut out = String::from("Figure 6(b): selected benchmark functions\n");
+    let _ = writeln!(out, "{:<14} {:<28} {:>7}", "benchmark", "function", "exec %");
+    for w in catalog() {
+        let _ = writeln!(out, "{:<14} {:<28} {:>6}%", w.benchmark, w.name, w.exec_pct);
+    }
+    out
+}
+
+/// Figure 7: relative dynamic communication / synchronization after
+/// applying COCO, for one scheduler (100% = no reduction).
+pub fn figure7(kind: SchedulerKind, scale: Scale) -> String {
+    let results = run_all(kind, false, scale);
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 7: relative dynamic communication after COCO, {}", kind.name());
+    let _ = writeln!(
+        out,
+        "{:<14} {:>12} {:>12} {:>10} {:>11}   {:>9} {:>9}",
+        "benchmark", "MTCG comm", "COCO comm", "relative", "reduction", "MTCG sync", "COCO sync"
+    );
+    for r in &results {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>12} {:>12} {:>9.1}% {:>10.1}%   {:>9} {:>9}",
+            r.benchmark,
+            r.mtcg.counts.comm_total(),
+            r.coco.counts.comm_total(),
+            r.relative_comm_pct(),
+            100.0 - r.relative_comm_pct(),
+            r.mtcg.counts.synchronization,
+            r.coco.counts.synchronization,
+        );
+    }
+    let avg = mean(results.iter().map(BenchResult::relative_comm_pct));
+    let _ = writeln!(
+        out,
+        "{:<14} {:>12} {:>12} {:>9.1}% {:>10.1}%",
+        "average", "", "", avg, 100.0 - avg
+    );
+    out
+}
+
+/// Figure 8: speedup over single-threaded execution, without and with
+/// COCO, for one scheduler. Timed with the cycle-level machine model.
+pub fn figure8(kind: SchedulerKind, scale: Scale) -> String {
+    let results = run_all(kind, true, scale);
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 8: speedup over single-threaded, {}", kind.name());
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>12} {:>12} {:>12} {:>9}",
+        "benchmark", "seq cycles", "MTCG cycles", "COCO cycles", "MTCG speedup", "w/ COCO"
+    );
+    for r in &results {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10} {:>12} {:>12} {:>11.2}x {:>8.2}x",
+            r.benchmark,
+            r.seq_cycles,
+            r.mtcg.cycles,
+            r.coco.cycles,
+            r.speedup_mtcg(),
+            r.speedup_coco()
+        );
+    }
+    let g_m = crate::geo_mean(results.iter().map(BenchResult::speedup_mtcg));
+    let g_c = crate::geo_mean(results.iter().map(BenchResult::speedup_coco));
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>12} {:>12} {:>11.2}x {:>8.2}x  (geomean)",
+        "average", "", "", "", g_m, g_c
+    );
+    out
+}
+
+/// Extension study (paper §6): communication growth and COCO savings as
+/// the thread count scales — "as more threads are created, the larger
+/// the number of inter-thread dependences to be respected, and
+/// therefore the larger the fraction of communication instructions."
+pub fn thread_scaling_table(kind: SchedulerKind) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Extension: thread scaling, {}", kind.name());
+    let _ = writeln!(
+        out,
+        "{:<14} {:>7} {:>12} {:>12} {:>10} {:>9}",
+        "benchmark", "threads", "MTCG comm", "COCO comm", "comm frac", "reduction"
+    );
+    for w in catalog() {
+        for p in crate::thread_scaling(&w, kind, &[2, 4]) {
+            let red = if p.mtcg_comm == 0 {
+                0.0
+            } else {
+                100.0 - p.coco_comm as f64 * 100.0 / p.mtcg_comm as f64
+            };
+            let _ = writeln!(
+                out,
+                "{:<14} {:>7} {:>12} {:>12} {:>9.1}% {:>8.1}%",
+                w.benchmark, p.threads, p.mtcg_comm, p.coco_comm, p.comm_fraction_pct, red
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_tables_render() {
+        let a = figure6a();
+        assert!(a.contains("6-issue"));
+        let b = figure6b();
+        assert!(b.contains("FindMaxGpAndSwap"));
+        assert!(b.contains("458.sjeng"));
+    }
+}
+
+
+#[cfg(test)]
+mod render_tests {
+    use super::*;
+
+    #[test]
+    fn figure1_renders_all_rows() {
+        let t = figure1(SchedulerKind::Dswp, Scale::Quick);
+        for w in catalog() {
+            assert!(t.contains(w.benchmark), "missing {}", w.benchmark);
+        }
+        assert!(t.contains("average"));
+    }
+
+    #[test]
+    fn figure7_renders_with_sync_columns() {
+        let t = figure7(SchedulerKind::Dswp, Scale::Quick);
+        assert!(t.contains("MTCG sync"));
+        assert!(t.contains("reduction"));
+        assert_eq!(t.lines().count(), 2 + 11 + 1, "header x2 + rows + average");
+    }
+}

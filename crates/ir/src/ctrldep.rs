@@ -1,0 +1,164 @@
+//! Control-dependence computation (Ferrante–Ottenstein–Warren).
+
+use crate::dom::PostDominators;
+use crate::function::Function;
+use crate::types::{BlockId, InstrId};
+
+/// One control dependence: block/instruction `X` executes iff branch
+/// `branch` (the terminator of `block`) takes its `edge`-th successor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ControlDep {
+    /// The controlling block (whose terminator is the branch).
+    pub block: BlockId,
+    /// The controlling branch instruction (terminator of `block`).
+    pub branch: InstrId,
+    /// Which successor edge of the branch leads to the dependent code
+    /// (0 = taken, 1 = fallthrough).
+    pub edge: usize,
+}
+
+/// Control dependences of every block of a function.
+///
+/// Computed by the classic CFG-edge walk: for each edge `(A, B)` where
+/// `B` does not post-dominate `A`, every node on the post-dominator-tree
+/// path from `B` up to (but excluding) `ipdom(A)` is control dependent
+/// on that edge.
+#[derive(Clone, Debug)]
+pub struct ControlDeps {
+    deps: Vec<Vec<ControlDep>>,
+}
+
+impl ControlDeps {
+    /// Computes control dependences for `f` using `pdom`.
+    pub fn compute(f: &Function, pdom: &PostDominators) -> ControlDeps {
+        let mut deps: Vec<Vec<ControlDep>> = vec![Vec::new(); f.num_blocks()];
+        for a in f.blocks() {
+            let term = f.block(a).terminator.expect("verified function");
+            let succs = f.successors(a);
+            if succs.len() < 2 {
+                continue; // only conditional branches generate control deps
+            }
+            for (edge, &b) in succs.iter().enumerate() {
+                // Skip only if B *strictly* post-dominates A; a self-loop
+                // edge (A -> A) makes A control dependent on itself
+                // (do-while loops).
+                if b != a && pdom.post_dominates(b, a) {
+                    continue;
+                }
+                let dep = ControlDep { block: a, branch: term, edge };
+                // Walk B, ipdom(B), ... up to but excluding ipdom(A)
+                // (`None` means the virtual exit). Note a loop header is
+                // control dependent on its own branch via this walk.
+                let stop = pdom.ipdom(a);
+                let mut cur = Some(b);
+                while let Some(x) = cur {
+                    if Some(x) == stop {
+                        break;
+                    }
+                    if !deps[x.index()].contains(&dep) {
+                        deps[x.index()].push(dep);
+                    }
+                    cur = pdom.ipdom(x);
+                }
+            }
+        }
+        ControlDeps { deps }
+    }
+
+    /// The control dependences of block `b`.
+    pub fn of_block(&self, b: BlockId) -> &[ControlDep] {
+        &self.deps[b.index()]
+    }
+
+    /// The control dependences of instruction `i` (those of its block).
+    pub fn of_instr(&self, f: &Function, i: InstrId) -> &[ControlDep] {
+        self.of_block(f.block_of(i))
+    }
+
+    /// The blocks on whose branches `b` is (directly) control dependent.
+    pub fn controlling_blocks(&self, b: BlockId) -> impl Iterator<Item = BlockId> + '_ {
+        self.deps[b.index()].iter().map(|d| d.block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::BinOp;
+
+    /// B0: br -> {B1, B2}; B1,B2 -> B3(ret).
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("d");
+        let x = b.param();
+        let t = b.block("t");
+        let e = b.block("e");
+        let j = b.block("j");
+        let c = b.bin(BinOp::Lt, x, 10i64);
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn diamond_arms_depend_on_branch() {
+        let f = diamond();
+        let pdom = PostDominators::compute(&f);
+        let cd = ControlDeps::compute(&f, &pdom);
+        assert_eq!(cd.of_block(BlockId(1)).len(), 1);
+        assert_eq!(cd.of_block(BlockId(1))[0].block, BlockId(0));
+        assert_eq!(cd.of_block(BlockId(1))[0].edge, 0);
+        assert_eq!(cd.of_block(BlockId(2))[0].edge, 1);
+        // The join and the branch block itself depend on nothing.
+        assert!(cd.of_block(BlockId(0)).is_empty());
+        assert!(cd.of_block(BlockId(3)).is_empty());
+    }
+
+    #[test]
+    fn loop_header_controls_body_and_itself() {
+        // B0 -> B1(header: br body/exit) ; B2(body) -> B1 ; B3 ret.
+        let mut b = FunctionBuilder::new("l");
+        let i = b.fresh_reg();
+        let header = b.block("h");
+        let body = b.block("b");
+        let exit = b.block("x");
+        b.const_into(i, 0);
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.bin(BinOp::Lt, i, 7i64);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.bin_into(BinOp::Add, i, i, 1i64);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let pdom = PostDominators::compute(&f);
+        let cd = ControlDeps::compute(&f, &pdom);
+        // Body depends on the header's taken edge.
+        let body_deps = cd.of_block(BlockId(2));
+        assert_eq!(body_deps.len(), 1);
+        assert_eq!(body_deps[0].block, BlockId(1));
+        assert_eq!(body_deps[0].edge, 0);
+        // The header depends on itself (loop-carried control).
+        let hdr_deps = cd.of_block(BlockId(1));
+        assert_eq!(hdr_deps.len(), 1);
+        assert_eq!(hdr_deps[0].block, BlockId(1));
+        // Exit post-dominates everything: no control deps.
+        assert!(cd.of_block(BlockId(3)).is_empty());
+    }
+
+    #[test]
+    fn instr_deps_match_block_deps() {
+        let f = diamond();
+        let pdom = PostDominators::compute(&f);
+        let cd = ControlDeps::compute(&f, &pdom);
+        let i = f.block(BlockId(1)).terminator.unwrap();
+        assert_eq!(cd.of_instr(&f, i), cd.of_block(BlockId(1)));
+    }
+}

@@ -1,0 +1,579 @@
+//! A single-threaded interpreter: the functional reference semantics,
+//! the edge profiler, and the dynamic-instruction counter.
+
+use crate::function::Function;
+use crate::instr::Op;
+use crate::profile::Profile;
+use crate::types::{AddrMode, InstrId, ObjectId, Operand, Reg};
+use std::error::Error;
+use std::fmt;
+
+/// Interpreter limits.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    /// Maximum dynamic instructions before the run is aborted with
+    /// [`ExecError::OutOfFuel`].
+    pub max_steps: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig { max_steps: 500_000_000 }
+    }
+}
+
+/// The memory layout of a function's objects: each object is placed at
+/// a fixed base address in one flat cell array, in declaration order,
+/// with a one-cell red zone between objects so off-by-one indexing is
+/// caught rather than silently corrupting a neighbor.
+#[derive(Clone, Debug)]
+pub struct MemoryLayout {
+    bases: Vec<u64>,
+    total: u64,
+}
+
+impl MemoryLayout {
+    /// Computes the layout of `f`'s objects.
+    pub fn of(f: &Function) -> MemoryLayout {
+        let mut bases = Vec::with_capacity(f.objects().len());
+        // Address 0 is reserved so a zero "null" base faults.
+        let mut next = 1u64;
+        for obj in f.objects() {
+            bases.push(next);
+            next += obj.size + 1; // +1 red-zone cell
+        }
+        MemoryLayout { bases, total: next }
+    }
+
+    /// Base address of object `o`.
+    pub fn base(&self, o: ObjectId) -> u64 {
+        self.bases[o.index()]
+    }
+
+    /// Total number of cells (including red zones).
+    pub fn total_cells(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Flat data memory shared by all threads of a run.
+#[derive(Clone, Debug)]
+pub struct Memory {
+    cells: Vec<i64>,
+}
+
+impl Memory {
+    /// Zero-initialized memory sized for `layout`.
+    pub fn for_layout(layout: &MemoryLayout) -> Memory {
+        Memory { cells: vec![0; layout.total_cells() as usize] }
+    }
+
+    /// Reads the cell at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::MemoryFault`] if out of bounds.
+    pub fn read(&self, addr: i64) -> Result<i64, ExecError> {
+        self.cells
+            .get(usize::try_from(addr).map_err(|_| ExecError::MemoryFault { addr })?)
+            .copied()
+            .ok_or(ExecError::MemoryFault { addr })
+    }
+
+    /// Writes the cell at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::MemoryFault`] if out of bounds.
+    pub fn write(&mut self, addr: i64, value: i64) -> Result<(), ExecError> {
+        let idx = usize::try_from(addr).map_err(|_| ExecError::MemoryFault { addr })?;
+        match self.cells.get_mut(idx) {
+            Some(cell) => {
+                *cell = value;
+                Ok(())
+            }
+            None => Err(ExecError::MemoryFault { addr }),
+        }
+    }
+
+    /// Bulk view of the cells (for workload initialization).
+    pub fn cells_mut(&mut self) -> &mut [i64] {
+        &mut self.cells
+    }
+
+    /// Read-only view of the cells.
+    pub fn cells(&self) -> &[i64] {
+        &self.cells
+    }
+}
+
+/// Dynamic-execution failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The step budget ran out (probable infinite loop).
+    OutOfFuel,
+    /// An out-of-bounds memory access.
+    MemoryFault {
+        /// The faulting address.
+        addr: i64,
+    },
+    /// A communication instruction was executed outside a
+    /// multi-threaded run (single-threaded code must not contain
+    /// produce/consume).
+    CommunicationOutsideMt(InstrId),
+    /// Fewer arguments than parameters were supplied.
+    MissingArguments,
+    /// Multi-threaded execution deadlocked: every unfinished thread is
+    /// blocked on a queue.
+    Deadlock,
+    /// A queue id outside the configured queue count was referenced.
+    BadQueue(InstrId),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfFuel => write!(f, "execution exceeded the step budget"),
+            ExecError::MemoryFault { addr } => write!(f, "memory fault at address {addr}"),
+            ExecError::CommunicationOutsideMt(i) => {
+                write!(f, "communication instruction {i:?} in single-threaded run")
+            }
+            ExecError::MissingArguments => write!(f, "fewer arguments than parameters"),
+            ExecError::Deadlock => write!(f, "deadlock: all unfinished threads blocked"),
+            ExecError::BadQueue(i) => write!(f, "instruction {i:?} references bad queue"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// Dynamic instruction counts of a run, split the way Figure 1 of the
+/// paper splits them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DynCounts {
+    /// Original program ("computation") instructions.
+    pub computation: u64,
+    /// `produce`/`consume` register/control communication instructions.
+    pub communication: u64,
+    /// `produce.sync`/`consume.sync` memory synchronization
+    /// instructions.
+    pub synchronization: u64,
+}
+
+impl DynCounts {
+    /// All dynamic instructions.
+    pub fn total(&self) -> u64 {
+        self.computation + self.communication + self.synchronization
+    }
+
+    /// Communication plus synchronization (the quantity Figure 7
+    /// reports).
+    pub fn comm_total(&self) -> u64 {
+        self.communication + self.synchronization
+    }
+
+    /// Adds another count.
+    pub fn add(&mut self, other: DynCounts) {
+        self.computation += other.computation;
+        self.communication += other.communication;
+        self.synchronization += other.synchronization;
+    }
+}
+
+/// The result of a single-threaded run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The value returned by `ret`, if any.
+    pub return_value: Option<i64>,
+    /// The observable output trace.
+    pub output: Vec<i64>,
+    /// Dynamic instruction counts.
+    pub counts: DynCounts,
+    /// The edge profile collected during the run.
+    pub profile: Profile,
+    /// Final memory state.
+    pub memory: Memory,
+}
+
+/// Runs `f` to completion with zeroed memory.
+///
+/// # Errors
+///
+/// See [`ExecError`].
+pub fn run(f: &Function, args: &[i64], config: &ExecConfig) -> Result<RunResult, ExecError> {
+    run_with_memory(f, args, |_, _| {}, config)
+}
+
+/// Runs `f` after letting `init` populate memory (given the layout).
+///
+/// # Errors
+///
+/// See [`ExecError`].
+pub fn run_with_memory(
+    f: &Function,
+    args: &[i64],
+    init: impl FnOnce(&MemoryLayout, &mut Memory),
+    config: &ExecConfig,
+) -> Result<RunResult, ExecError> {
+    let layout = MemoryLayout::of(f);
+    let mut memory = Memory::for_layout(&layout);
+    init(&layout, &mut memory);
+    let mut state = ThreadState::new(f, args, &layout)?;
+    let mut profile = Profile::new();
+    profile.count_entry();
+    let mut output = Vec::new();
+    let mut counts = DynCounts::default();
+    let mut fuel = config.max_steps;
+
+    loop {
+        if fuel == 0 {
+            return Err(ExecError::OutOfFuel);
+        }
+        fuel -= 1;
+        match state.step(f, &mut memory, &mut output, &mut NoQueues)? {
+            StepOutcome::Continue => counts.computation += 1,
+            StepOutcome::Blocked => unreachable!("NoQueues never blocks"),
+            StepOutcome::TookEdge(from, to) => {
+                counts.computation += 1;
+                profile.count_edge(from, to);
+            }
+            StepOutcome::Returned(v) => {
+                counts.computation += 1;
+                return Ok(RunResult {
+                    return_value: v,
+                    output,
+                    counts,
+                    profile,
+                    memory,
+                });
+            }
+        }
+    }
+}
+
+/// Queue access used by [`ThreadState::step`]; single-threaded runs use
+/// [`NoQueues`], the multi-threaded interpreter supplies real queues.
+pub(crate) trait QueueAccess {
+    /// Attempts to push; `Ok(true)` on success, `Ok(false)` when full.
+    fn try_produce(&mut self, queue: usize, value: i64) -> Result<bool, ExecError>;
+    /// Attempts to pop; `Ok(Some(v))` on success, `Ok(None)` when empty.
+    fn try_consume(&mut self, queue: usize) -> Result<Option<i64>, ExecError>;
+}
+
+/// Queue access that rejects all communication (single-threaded runs).
+pub(crate) struct NoQueues;
+
+impl QueueAccess for NoQueues {
+    fn try_produce(&mut self, _q: usize, _v: i64) -> Result<bool, ExecError> {
+        Err(ExecError::CommunicationOutsideMt(InstrId(u32::MAX)))
+    }
+    fn try_consume(&mut self, _q: usize) -> Result<Option<i64>, ExecError> {
+        Err(ExecError::CommunicationOutsideMt(InstrId(u32::MAX)))
+    }
+}
+
+/// What one interpreter step did.
+pub(crate) enum StepOutcome {
+    /// Executed a straight-line instruction.
+    Continue,
+    /// Executed a terminator, traversing the given CFG edge.
+    TookEdge(crate::types::BlockId, crate::types::BlockId),
+    /// Blocked on a queue; the program counter did not advance.
+    Blocked,
+    /// Executed `ret`.
+    Returned(Option<i64>),
+}
+
+/// Architectural state of one thread.
+pub(crate) struct ThreadState {
+    regs: Vec<i64>,
+    block: crate::types::BlockId,
+    /// Index into the block: `< len` body, `== len` terminator.
+    pos: usize,
+    layout: MemoryLayout,
+}
+
+impl ThreadState {
+    pub(crate) fn new(
+        f: &Function,
+        args: &[i64],
+        layout: &MemoryLayout,
+    ) -> Result<ThreadState, ExecError> {
+        if args.len() < f.params.len() {
+            return Err(ExecError::MissingArguments);
+        }
+        let mut regs = vec![0i64; f.num_regs() as usize];
+        for (r, &v) in f.params.iter().zip(args) {
+            regs[r.index()] = v;
+        }
+        Ok(ThreadState { regs, block: f.entry(), pos: 0, layout: layout.clone() })
+    }
+
+    fn reg(&self, r: Reg) -> i64 {
+        self.regs[r.index()]
+    }
+
+    fn operand(&self, o: Operand) -> i64 {
+        match o {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(v) => v,
+        }
+    }
+
+    fn addr(&self, a: AddrMode) -> i64 {
+        self.reg(a.base).wrapping_add(a.offset)
+    }
+
+    /// Executes one instruction (or reports a queue block).
+    pub(crate) fn step(
+        &mut self,
+        f: &Function,
+        memory: &mut Memory,
+        output: &mut Vec<i64>,
+        queues: &mut dyn QueueAccess,
+    ) -> Result<StepOutcome, ExecError> {
+        let block = f.block(self.block);
+        let instr_id = if self.pos < block.instrs.len() {
+            block.instrs[self.pos]
+        } else {
+            block.terminator.expect("verified function")
+        };
+        match *f.instr(instr_id) {
+            Op::Const(d, v) => {
+                self.regs[d.index()] = v;
+                self.pos += 1;
+                Ok(StepOutcome::Continue)
+            }
+            Op::Lea(d, obj, off) => {
+                self.regs[d.index()] = self.layout.base(obj) as i64 + off;
+                self.pos += 1;
+                Ok(StepOutcome::Continue)
+            }
+            Op::Bin(op, d, a, b) => {
+                self.regs[d.index()] = op.eval(self.operand(a), self.operand(b));
+                self.pos += 1;
+                Ok(StepOutcome::Continue)
+            }
+            Op::Un(op, d, a) => {
+                self.regs[d.index()] = op.eval(self.operand(a));
+                self.pos += 1;
+                Ok(StepOutcome::Continue)
+            }
+            Op::Load(d, a) => {
+                self.regs[d.index()] = memory.read(self.addr(a))?;
+                self.pos += 1;
+                Ok(StepOutcome::Continue)
+            }
+            Op::Store(a, v) => {
+                memory.write(self.addr(a), self.operand(v))?;
+                self.pos += 1;
+                Ok(StepOutcome::Continue)
+            }
+            Op::Output(v) => {
+                output.push(self.operand(v));
+                self.pos += 1;
+                Ok(StepOutcome::Continue)
+            }
+            Op::Branch { cond, then_bb, else_bb } => {
+                let from = self.block;
+                let to = if self.reg(cond) != 0 { then_bb } else { else_bb };
+                self.block = to;
+                self.pos = 0;
+                Ok(StepOutcome::TookEdge(from, to))
+            }
+            Op::Jump(t) => {
+                let from = self.block;
+                self.block = t;
+                self.pos = 0;
+                Ok(StepOutcome::TookEdge(from, t))
+            }
+            Op::Ret(v) => Ok(StepOutcome::Returned(v.map(|o| self.operand(o)))),
+            Op::Produce { queue, value } => {
+                let v = self.operand(value);
+                if queues.try_produce(queue.index(), v).map_err(|e| retag(e, instr_id))? {
+                    self.pos += 1;
+                    Ok(StepOutcome::Continue)
+                } else {
+                    Ok(StepOutcome::Blocked)
+                }
+            }
+            Op::Consume { dst, queue } => {
+                match queues.try_consume(queue.index()).map_err(|e| retag(e, instr_id))? {
+                    Some(v) => {
+                        self.regs[dst.index()] = v;
+                        self.pos += 1;
+                        Ok(StepOutcome::Continue)
+                    }
+                    None => Ok(StepOutcome::Blocked),
+                }
+            }
+            Op::ProduceSync { queue } => {
+                if queues.try_produce(queue.index(), 1).map_err(|e| retag(e, instr_id))? {
+                    self.pos += 1;
+                    Ok(StepOutcome::Continue)
+                } else {
+                    Ok(StepOutcome::Blocked)
+                }
+            }
+            Op::ConsumeSync { queue } => {
+                match queues.try_consume(queue.index()).map_err(|e| retag(e, instr_id))? {
+                    Some(_) => {
+                        self.pos += 1;
+                        Ok(StepOutcome::Continue)
+                    }
+                    None => Ok(StepOutcome::Blocked),
+                }
+            }
+            Op::Nop => {
+                self.pos += 1;
+                Ok(StepOutcome::Continue)
+            }
+        }
+    }
+
+    /// The instruction the thread will execute next.
+    pub(crate) fn current_instr(&self, f: &Function) -> InstrId {
+        let block = f.block(self.block);
+        if self.pos < block.instrs.len() {
+            block.instrs[self.pos]
+        } else {
+            block.terminator.expect("verified function")
+        }
+    }
+}
+
+fn retag(e: ExecError, instr: InstrId) -> ExecError {
+    match e {
+        ExecError::CommunicationOutsideMt(_) => ExecError::CommunicationOutsideMt(instr),
+        ExecError::BadQueue(_) => ExecError::BadQueue(instr),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::{BinOp, QueueId};
+
+    #[test]
+    fn profile_matches_trip_counts() {
+        // Loop of 7 iterations.
+        let mut b = FunctionBuilder::new("l");
+        let i = b.fresh_reg();
+        let header = b.block("h");
+        let body = b.block("b");
+        let exit = b.block("x");
+        b.const_into(i, 0);
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.bin(BinOp::Lt, i, 7i64);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.bin_into(BinOp::Add, i, i, 1i64);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let r = run(&f, &[], &ExecConfig::default()).unwrap();
+        use crate::types::BlockId;
+        assert_eq!(r.profile.edge(BlockId(1), BlockId(2)), 7);
+        assert_eq!(r.profile.edge(BlockId(1), BlockId(3)), 1);
+        assert_eq!(r.profile.edge(BlockId(2), BlockId(1)), 7);
+        assert_eq!(r.profile.block_weight(&f, BlockId(1)), 8);
+    }
+
+    #[test]
+    fn output_trace_is_ordered() {
+        let mut b = FunctionBuilder::new("o");
+        b.output(1i64);
+        b.output(2i64);
+        b.output(3i64);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let r = run(&f, &[], &ExecConfig::default()).unwrap();
+        assert_eq!(r.output, vec![1, 2, 3]);
+        assert_eq!(r.counts.computation, 4);
+        assert_eq!(r.counts.comm_total(), 0);
+    }
+
+    #[test]
+    fn out_of_fuel_detected() {
+        let mut b = FunctionBuilder::new("spin");
+        let header = b.block("h");
+        let exit = b.block("x");
+        let z = b.const_(0);
+        b.jump(header);
+        b.switch_to(header);
+        let one = b.bin(BinOp::Eq, z, 0i64);
+        b.branch(one, header, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let err = run(&f, &[], &ExecConfig { max_steps: 100 }).unwrap_err();
+        assert_eq!(err, ExecError::OutOfFuel);
+    }
+
+    #[test]
+    fn memory_fault_on_wild_address() {
+        let mut b = FunctionBuilder::new("wild");
+        let p = b.const_(999_999);
+        let v = b.load(p, 0);
+        b.ret(Some(v.into()));
+        let f = b.finish().unwrap();
+        let err = run(&f, &[], &ExecConfig::default()).unwrap_err();
+        assert!(matches!(err, ExecError::MemoryFault { .. }));
+    }
+
+    #[test]
+    fn negative_address_faults() {
+        let mut b = FunctionBuilder::new("neg");
+        let p = b.const_(-5);
+        b.store(p, 0, 1i64);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        assert!(matches!(
+            run(&f, &[], &ExecConfig::default()),
+            Err(ExecError::MemoryFault { addr: -5 })
+        ));
+    }
+
+    #[test]
+    fn communication_rejected_single_threaded() {
+        let mut b = FunctionBuilder::new("comm");
+        b.emit(Op::ProduceSync { queue: QueueId(0) });
+        b.ret(None);
+        let f = b.finish().unwrap();
+        assert!(matches!(
+            run(&f, &[], &ExecConfig::default()),
+            Err(ExecError::CommunicationOutsideMt(_))
+        ));
+    }
+
+    #[test]
+    fn missing_arguments_detected() {
+        let mut b = FunctionBuilder::new("p");
+        let x = b.param();
+        b.ret(Some(x.into()));
+        let f = b.finish().unwrap();
+        assert_eq!(run(&f, &[], &ExecConfig::default()).unwrap_err(), ExecError::MissingArguments);
+    }
+
+    #[test]
+    fn red_zone_separates_objects() {
+        let mut b = FunctionBuilder::new("rz");
+        let a = b.object("a", 2);
+        let c = b.object("c", 2);
+        let pa = b.lea(a, 0);
+        let pc = b.lea(c, 0);
+        b.store(pa, 0, 11i64);
+        b.store(pc, 0, 22i64);
+        let va = b.load(pa, 0);
+        b.ret(Some(va.into()));
+        let f = b.finish().unwrap();
+        let layout = MemoryLayout::of(&f);
+        assert!(layout.base(crate::types::ObjectId(1)) >= layout.base(crate::types::ObjectId(0)) + 3);
+        let r = run(&f, &[], &ExecConfig::default()).unwrap();
+        assert_eq!(r.return_value, Some(11));
+    }
+}

@@ -1,0 +1,309 @@
+//! A multi-threaded functional interpreter.
+//!
+//! Executes the set of per-thread CFGs produced by MTCG against one
+//! shared memory and a set of blocking scalar queues (the functional
+//! semantics of the synchronization array). This is the tool behind
+//! Figures 1 and 7: it counts dynamic computation, communication, and
+//! synchronization instructions exactly, independent of timing. The
+//! cycle-accurate model lives in the `gmt-sim` crate.
+//!
+//! Scheduling is deterministic round-robin (one instruction per
+//! runnable thread per round). Any correctly synchronized program
+//! produces the same memory/output/return results under every
+//! interleaving; determinism here just makes tests reproducible.
+
+use crate::function::Function;
+use crate::interp::{
+    DynCounts, ExecConfig, ExecError, Memory, MemoryLayout, QueueAccess, StepOutcome, ThreadState,
+};
+use std::collections::VecDeque;
+
+/// Queue configuration for a functional MT run.
+#[derive(Clone, Debug)]
+pub struct QueueConfig {
+    /// Number of queues available.
+    pub num_queues: usize,
+    /// Capacity of each queue in elements (the paper: 1-element queues
+    /// for GREMIO's synchronization array, 32-element for DSWP).
+    pub capacity: usize,
+}
+
+impl Default for QueueConfig {
+    fn default() -> QueueConfig {
+        QueueConfig { num_queues: 256, capacity: 32 }
+    }
+}
+
+struct Queues {
+    queues: Vec<VecDeque<i64>>,
+    capacity: usize,
+}
+
+impl QueueAccess for Queues {
+    fn try_produce(&mut self, queue: usize, value: i64) -> Result<bool, ExecError> {
+        let q = self
+            .queues
+            .get_mut(queue)
+            .ok_or(ExecError::BadQueue(crate::types::InstrId(u32::MAX)))?;
+        if q.len() >= self.capacity {
+            Ok(false)
+        } else {
+            q.push_back(value);
+            Ok(true)
+        }
+    }
+
+    fn try_consume(&mut self, queue: usize) -> Result<Option<i64>, ExecError> {
+        let q = self
+            .queues
+            .get_mut(queue)
+            .ok_or(ExecError::BadQueue(crate::types::InstrId(u32::MAX)))?;
+        Ok(q.pop_front())
+    }
+}
+
+/// The result of a multi-threaded functional run.
+#[derive(Clone, Debug)]
+pub struct MtRunResult {
+    /// The return value (from whichever thread returned one).
+    pub return_value: Option<i64>,
+    /// The merged observable output trace.
+    pub output: Vec<i64>,
+    /// Dynamic counts per thread.
+    pub per_thread: Vec<DynCounts>,
+    /// Final memory state.
+    pub memory: Memory,
+}
+
+impl MtRunResult {
+    /// Dynamic counts summed over all threads.
+    pub fn totals(&self) -> DynCounts {
+        let mut t = DynCounts::default();
+        for c in &self.per_thread {
+            t.add(*c);
+        }
+        t
+    }
+}
+
+/// Runs `threads` concurrently against one shared memory.
+///
+/// All threads receive the same `args`. Memory is laid out from
+/// `threads[0]`'s object table (MTCG copies the object table into every
+/// thread, so they agree) and initialized by `init`.
+///
+/// # Errors
+///
+/// - [`ExecError::Deadlock`] if every unfinished thread is blocked.
+/// - [`ExecError::OutOfFuel`] if total steps exceed
+///   `config.max_steps`.
+/// - Any per-instruction fault ([`ExecError::MemoryFault`], ...).
+///
+/// # Panics
+///
+/// Panics if `threads` is empty.
+pub fn run_mt(
+    threads: &[Function],
+    args: &[i64],
+    init: impl FnOnce(&MemoryLayout, &mut Memory),
+    queue_config: &QueueConfig,
+    config: &ExecConfig,
+) -> Result<MtRunResult, ExecError> {
+    assert!(!threads.is_empty(), "at least one thread required");
+    let layout = MemoryLayout::of(&threads[0]);
+    let mut memory = Memory::for_layout(&layout);
+    init(&layout, &mut memory);
+
+    let mut states: Vec<ThreadState> = threads
+        .iter()
+        .map(|f| ThreadState::new(f, args, &layout))
+        .collect::<Result<_, _>>()?;
+    let mut finished: Vec<bool> = vec![false; threads.len()];
+    let mut per_thread = vec![DynCounts::default(); threads.len()];
+    let mut queues = Queues {
+        queues: vec![VecDeque::new(); queue_config.num_queues],
+        capacity: queue_config.capacity.max(1),
+    };
+    let mut output = Vec::new();
+    let mut return_value = None;
+    let mut fuel = config.max_steps;
+
+    loop {
+        if finished.iter().all(|&f| f) {
+            return Ok(MtRunResult { return_value, output, per_thread, memory });
+        }
+        let mut any_progress = false;
+        for t in 0..threads.len() {
+            if finished[t] {
+                continue;
+            }
+            if fuel == 0 {
+                return Err(ExecError::OutOfFuel);
+            }
+            fuel -= 1;
+            let f = &threads[t];
+            let instr = states[t].current_instr(f);
+            let is_comm = f.instr(instr).is_communication();
+            let is_sync = matches!(
+                f.instr(instr),
+                crate::instr::Op::ProduceSync { .. } | crate::instr::Op::ConsumeSync { .. }
+            );
+            match states[t].step(f, &mut memory, &mut output, &mut queues)? {
+                StepOutcome::Blocked => {
+                    fuel += 1; // blocked polls don't consume the budget
+                }
+                StepOutcome::Returned(v) => {
+                    finished[t] = true;
+                    any_progress = true;
+                    per_thread[t].computation += 1;
+                    if v.is_some() {
+                        return_value = v;
+                    }
+                }
+                StepOutcome::Continue | StepOutcome::TookEdge(..) => {
+                    any_progress = true;
+                    if is_sync {
+                        per_thread[t].synchronization += 1;
+                    } else if is_comm {
+                        per_thread[t].communication += 1;
+                    } else {
+                        per_thread[t].computation += 1;
+                    }
+                }
+            }
+        }
+        if !any_progress {
+            return Err(ExecError::Deadlock);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::Op;
+    use crate::types::{BinOp, QueueId};
+
+    /// Producer thread sends 1..=3; consumer sums and returns.
+    fn producer_consumer(capacity: usize) -> (Vec<Function>, QueueConfig) {
+        let q = QueueId(0);
+        let mut p = FunctionBuilder::new("producer");
+        for v in 1..=3 {
+            p.emit(Op::Produce { queue: q, value: (v as i64).into() });
+        }
+        p.ret(None);
+        let producer = p.finish().unwrap();
+
+        let mut c = FunctionBuilder::new("consumer");
+        let sum = c.fresh_reg();
+        c.const_into(sum, 0);
+        for _ in 0..3 {
+            let v = c.fresh_reg();
+            c.emit(Op::Consume { dst: v, queue: q });
+            c.bin_into(BinOp::Add, sum, sum, v);
+        }
+        c.ret(Some(sum.into()));
+        let consumer = c.finish().unwrap();
+        (vec![producer, consumer], QueueConfig { num_queues: 4, capacity })
+    }
+
+    #[test]
+    fn producer_consumer_sums() {
+        let (threads, qc) = producer_consumer(32);
+        let r = run_mt(&threads, &[], |_, _| {}, &qc, &ExecConfig::default()).unwrap();
+        assert_eq!(r.return_value, Some(6));
+        assert_eq!(r.per_thread[0].communication, 3);
+        assert_eq!(r.per_thread[1].communication, 3);
+    }
+
+    #[test]
+    fn single_element_queues_backpressure() {
+        let (threads, qc) = producer_consumer(1);
+        let r = run_mt(&threads, &[], |_, _| {}, &qc, &ExecConfig::default()).unwrap();
+        assert_eq!(r.return_value, Some(6));
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        // Both threads consume from empty queues first.
+        let q = QueueId(0);
+        let mk = || {
+            let mut b = FunctionBuilder::new("d");
+            let v = b.fresh_reg();
+            b.emit(Op::Consume { dst: v, queue: q });
+            b.ret(None);
+            b.finish().unwrap()
+        };
+        let err = run_mt(
+            &[mk(), mk()],
+            &[],
+            |_, _| {},
+            &QueueConfig::default(),
+            &ExecConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecError::Deadlock);
+    }
+
+    #[test]
+    fn sync_tokens_order_memory() {
+        // T0 stores 7 to cell then produce.sync; T1 consume.sync then
+        // loads and outputs. Output must be 7 under any schedule.
+        let q = QueueId(1);
+        let mut t0 = FunctionBuilder::new("t0");
+        let obj = t0.object("cell", 1);
+        let p0 = t0.lea(obj, 0);
+        t0.store(p0, 0, 7i64);
+        t0.emit(Op::ProduceSync { queue: q });
+        t0.ret(None);
+        let t0 = t0.finish().unwrap();
+
+        let mut t1 = FunctionBuilder::new("t1");
+        let obj1 = t1.object("cell", 1);
+        t1.emit(Op::ConsumeSync { queue: q });
+        let p1 = t1.lea(obj1, 0);
+        let v = t1.load(p1, 0);
+        t1.output(v);
+        t1.ret(None);
+        let t1 = t1.finish().unwrap();
+
+        let r = run_mt(
+            &[t0, t1],
+            &[],
+            |_, _| {},
+            &QueueConfig::default(),
+            &ExecConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.output, vec![7]);
+        let totals = r.totals();
+        assert_eq!(totals.synchronization, 2);
+    }
+
+    #[test]
+    fn bad_queue_reported() {
+        let mut b = FunctionBuilder::new("bad");
+        b.emit(Op::ProduceSync { queue: QueueId(99) });
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let err = run_mt(
+            &[f],
+            &[],
+            |_, _| {},
+            &QueueConfig { num_queues: 2, capacity: 1 },
+            &ExecConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::BadQueue(_)));
+    }
+
+    #[test]
+    fn totals_sum_threads() {
+        let (threads, qc) = producer_consumer(32);
+        let r = run_mt(&threads, &[], |_, _| {}, &qc, &ExecConfig::default()).unwrap();
+        let t = r.totals();
+        assert_eq!(t.communication, 6);
+        assert!(t.computation > 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Textual dumps of functions.
+
+use crate::function::Function;
+use std::fmt;
+
+/// Wraps a [`Function`] for display.
+///
+/// ```
+/// use gmt_ir::{FunctionBuilder, display};
+///
+/// # fn main() -> Result<(), gmt_ir::VerifyError> {
+/// let mut b = FunctionBuilder::new("tiny");
+/// b.ret(None);
+/// let f = b.finish()?;
+/// let text = display(&f).to_string();
+/// assert!(text.contains("func tiny"));
+/// assert!(text.contains("ret"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn display(f: &Function) -> FunctionDisplay<'_> {
+    FunctionDisplay { f }
+}
+
+/// Displays a function as structured text.
+pub struct FunctionDisplay<'a> {
+    f: &'a Function,
+}
+
+impl fmt::Display for FunctionDisplay<'_> {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let f = self.f;
+        write!(out, "func {}(", f.name)?;
+        for (i, p) in f.params.iter().enumerate() {
+            if i > 0 {
+                write!(out, ", ")?;
+            }
+            write!(out, "{p}")?;
+        }
+        writeln!(out, ")")?;
+        for (i, obj) in f.objects().iter().enumerate() {
+            writeln!(out, "  object obj{} \"{}\"[{}]", i, obj.name, obj.size)?;
+        }
+        for b in f.blocks() {
+            let block = f.block(b);
+            if block.name.is_empty() {
+                writeln!(out, "{b}:")?;
+            } else {
+                writeln!(out, "{b} ({}):", block.name)?;
+            }
+            for i in block.all_instrs() {
+                writeln!(out, "    {}", f.instr(i))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::BinOp;
+
+    #[test]
+    fn dump_contains_everything() {
+        let mut b = FunctionBuilder::new("demo");
+        let x = b.param();
+        let obj = b.object("arr", 8);
+        let p = b.lea(obj, 0);
+        let v = b.bin(BinOp::Mul, x, 2i64);
+        b.store(p, 1, v);
+        b.ret(Some(v.into()));
+        let f = b.finish().unwrap();
+        let text = display(&f).to_string();
+        assert!(text.contains("func demo(r0)"));
+        assert!(text.contains("object obj0 \"arr\"[8]"));
+        assert!(text.contains("Mul"));
+        assert!(text.contains("store"));
+        assert!(text.contains("ret r2"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Edge profiles: execution frequencies for CFG arcs and blocks.
+
+use crate::function::Function;
+use crate::types::BlockId;
+use std::collections::HashMap;
+
+/// An edge profile of one function: how many times each CFG arc was
+/// traversed, as collected by the interpreter on a *train* input (§4 of
+/// the paper: "The profiles were collected on smaller, train input
+/// sets").
+///
+/// COCO uses these weights as the arc costs of its min-cut flow graphs;
+/// the partitioners use the derived block weights for load balancing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Profile {
+    edges: HashMap<(BlockId, BlockId), u64>,
+    entries: u64,
+}
+
+impl Profile {
+    /// An empty profile (all weights zero).
+    pub fn new() -> Profile {
+        Profile::default()
+    }
+
+    /// A synthetic profile assigning every edge of `f` the weight `w`
+    /// and entry count `w`. Useful when no training run is available
+    /// (the paper notes static estimates also work \[28\]).
+    pub fn uniform(f: &Function, w: u64) -> Profile {
+        let mut p = Profile::new();
+        p.entries = w;
+        for b in f.blocks() {
+            for s in f.successors(b) {
+                p.edges.insert((b, s), w);
+            }
+        }
+        p
+    }
+
+    /// Records one traversal of `from -> to`.
+    pub fn count_edge(&mut self, from: BlockId, to: BlockId) {
+        *self.edges.entry((from, to)).or_insert(0) += 1;
+    }
+
+    /// Records one entry into the function.
+    pub fn count_entry(&mut self) {
+        self.entries += 1;
+    }
+
+    /// Sets the weight of arc `from -> to` directly (used by static
+    /// estimation).
+    pub fn set_edge(&mut self, from: BlockId, to: BlockId, count: u64) {
+        self.edges.insert((from, to), count);
+    }
+
+    /// Sets the entry count directly (used by static estimation).
+    pub fn set_entries(&mut self, count: u64) {
+        self.entries = count;
+    }
+
+    /// The weight of arc `from -> to` (zero if never seen).
+    pub fn edge(&self, from: BlockId, to: BlockId) -> u64 {
+        self.edges.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// How many times the function was entered.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// The execution count of block `b` in `f`: entries for the entry
+    /// block plus the weights of all incoming arcs.
+    pub fn block_weight(&self, f: &Function, b: BlockId) -> u64 {
+        let incoming: u64 = f
+            .blocks()
+            .map(|p| {
+                // An arc exists at most once per (pred, succ) pair.
+                if f.successors(p).contains(&b) {
+                    self.edge(p, b)
+                } else {
+                    0
+                }
+            })
+            .sum();
+        if b == f.entry() {
+            incoming + self.entries
+        } else {
+            incoming
+        }
+    }
+
+    /// Block weights for all blocks of `f`, indexed by block id.
+    pub fn block_weights(&self, f: &Function) -> Vec<u64> {
+        f.blocks().map(|b| self.block_weight(f, b)).collect()
+    }
+
+    /// Merges another profile into this one (summing counts).
+    pub fn merge(&mut self, other: &Profile) {
+        self.entries += other.entries;
+        for (&k, &v) in &other.edges {
+            *self.edges.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// Scales every count by `num/den` (rounding down, min 0). Used to
+    /// mimic train-vs-ref input discrepancies in tests.
+    pub fn scaled(&self, num: u64, den: u64) -> Profile {
+        assert!(den > 0);
+        Profile {
+            entries: self.entries * num / den,
+            edges: self
+                .edges
+                .iter()
+                .map(|(&k, &v)| (k, v * num / den))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::BinOp;
+
+    fn diamond_fn() -> Function {
+        let mut b = FunctionBuilder::new("d");
+        let x = b.param();
+        let t = b.block("t");
+        let e = b.block("e");
+        let j = b.block("j");
+        let c = b.bin(BinOp::Lt, x, 10i64);
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn uniform_profile_weights() {
+        let f = diamond_fn();
+        let p = Profile::uniform(&f, 3);
+        assert_eq!(p.edge(BlockId(0), BlockId(1)), 3);
+        assert_eq!(p.block_weight(&f, f.entry()), 3);
+        // Join receives both arms.
+        assert_eq!(p.block_weight(&f, BlockId(3)), 6);
+    }
+
+    #[test]
+    fn counting_and_merge() {
+        let mut p = Profile::new();
+        p.count_entry();
+        p.count_edge(BlockId(0), BlockId(1));
+        p.count_edge(BlockId(0), BlockId(1));
+        let mut q = p.clone();
+        q.merge(&p);
+        assert_eq!(q.entries(), 2);
+        assert_eq!(q.edge(BlockId(0), BlockId(1)), 4);
+        assert_eq!(q.edge(BlockId(1), BlockId(0)), 0);
+    }
+
+    #[test]
+    fn scaling() {
+        let mut p = Profile::new();
+        p.count_entry();
+        for _ in 0..10 {
+            p.count_edge(BlockId(0), BlockId(1));
+        }
+        let s = p.scaled(3, 2);
+        assert_eq!(s.edge(BlockId(0), BlockId(1)), 15);
+        assert_eq!(s.entries(), 1);
+    }
+}

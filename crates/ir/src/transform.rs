@@ -1,0 +1,145 @@
+//! CFG normalization transforms.
+
+use crate::function::Function;
+use crate::instr::Op;
+use crate::types::BlockId;
+
+/// Splits every critical edge of `f` by inserting an empty trampoline
+/// block, and returns how many edges were split.
+///
+/// A *critical edge* runs from a block with multiple successors to a
+/// block with multiple predecessors. COCO's min-cut placements live on
+/// CFG arcs; a cut arc maps to a concrete program point only when the
+/// arc has a dedicated end (single-successor tail or single-predecessor
+/// head). Running this transform before profiling and PDG construction
+/// guarantees every arc is placeable, matching the paper's assumption
+/// that communication can be inserted on any `G_f` arc.
+pub fn split_critical_edges(f: &mut Function) -> usize {
+    let mut preds_count = vec![0usize; f.num_blocks()];
+    for b in f.blocks() {
+        for s in f.successors(b) {
+            preds_count[s.index()] += 1;
+        }
+    }
+    let blocks: Vec<BlockId> = f.blocks().collect();
+    let mut split = 0;
+    for b in blocks {
+        let term = f.block(b).terminator.expect("terminated block");
+        let Op::Branch { cond, then_bb, else_bb } = *f.instr(term) else {
+            continue;
+        };
+        if then_bb == else_bb {
+            continue;
+        }
+        let mut new_then = then_bb;
+        let mut new_else = else_bb;
+        if preds_count[then_bb.index()] > 1 {
+            let tramp = f.add_block(format!("split_{}_{}", b.0, then_bb.0));
+            f.set_terminator(tramp, Op::Jump(then_bb));
+            new_then = tramp;
+            split += 1;
+        }
+        if preds_count[else_bb.index()] > 1 {
+            let tramp = f.add_block(format!("split_{}_{}", b.0, else_bb.0));
+            f.set_terminator(tramp, Op::Jump(else_bb));
+            new_else = tramp;
+            split += 1;
+        }
+        if new_then != then_bb || new_else != else_bb {
+            f.replace_terminator(b, Op::Branch { cond, then_bb: new_then, else_bb: new_else });
+        }
+    }
+    split
+}
+
+/// Whether `f` contains a critical edge.
+pub fn has_critical_edges(f: &Function) -> bool {
+    let mut preds_count = vec![0usize; f.num_blocks()];
+    for b in f.blocks() {
+        for s in f.successors(b) {
+            preds_count[s.index()] += 1;
+        }
+    }
+    f.blocks().any(|b| {
+        let succs = f.successors(b);
+        succs.len() > 1 && succs.iter().any(|s| preds_count[s.index()] > 1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::interp::{run, ExecConfig};
+    use crate::types::BinOp;
+
+    /// Loop header branch whose exit edge targets a multi-pred block.
+    fn loopy() -> Function {
+        let mut b = FunctionBuilder::new("l");
+        let n = b.param();
+        let i = b.fresh_reg();
+        let h = b.block("h");
+        let body = b.block("body");
+        let tail = b.block("tail");
+        b.const_into(i, 0);
+        b.jump(tail); // entry jumps straight to tail too (multi-pred)
+        b.switch_to(h);
+        let c = b.bin(BinOp::Lt, i, n);
+        b.branch(c, body, tail);
+        b.switch_to(body);
+        b.bin_into(BinOp::Add, i, i, 1i64);
+        b.jump(h);
+        b.switch_to(tail);
+        b.output(i);
+        b.ret(Some(i.into()));
+        b.finish_unverified()
+    }
+
+    #[test]
+    fn splitting_removes_critical_edges() {
+        let mut f = loopy();
+        assert!(has_critical_edges(&f));
+        let n = split_critical_edges(&mut f);
+        assert!(n > 0);
+        assert!(!has_critical_edges(&f));
+        assert!(crate::verify(&f).is_ok());
+    }
+
+    #[test]
+    fn splitting_preserves_behavior() {
+        let f0 = loopy();
+        let mut f1 = f0.clone();
+        split_critical_edges(&mut f1);
+        let r0 = run(&f0, &[0], &ExecConfig::default()).unwrap();
+        let r1 = run(&f1, &[0], &ExecConfig::default()).unwrap();
+        assert_eq!(r0.return_value, r1.return_value);
+        assert_eq!(r0.output, r1.output);
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut f = loopy();
+        split_critical_edges(&mut f);
+        assert_eq!(split_critical_edges(&mut f), 0);
+    }
+
+    #[test]
+    fn diamond_needs_no_split() {
+        let mut b = FunctionBuilder::new("d");
+        let x = b.param();
+        let t = b.block("t");
+        let e = b.block("e");
+        let j = b.block("j");
+        let c = b.bin(BinOp::Lt, x, 1i64);
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        let mut f = b.finish().unwrap();
+        assert!(!has_critical_edges(&f));
+        assert_eq!(split_critical_edges(&mut f), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Structural verification of IR functions.
+
+use crate::function::Function;
+use crate::instr::Op;
+use crate::types::{BlockId, InstrId};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// A structural defect found by [`verify`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A block has no terminator.
+    Unterminated(BlockId),
+    /// A branch or jump targets a block id that does not exist.
+    BadTarget {
+        /// The offending instruction.
+        instr: InstrId,
+        /// The out-of-range target.
+        target: BlockId,
+    },
+    /// A register is used but never defined anywhere in the function
+    /// (and is not a parameter).
+    UndefinedRegister {
+        /// The instruction using the register.
+        instr: InstrId,
+        /// The register number.
+        reg: u32,
+    },
+    /// A memory instruction references an object id out of range.
+    BadObject(InstrId),
+    /// The function has no reachable `ret`; every execution would loop
+    /// forever, which breaks post-dominance (GMT scheduling requires a
+    /// unique exit).
+    NoReachableReturn,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Unterminated(b) => write!(f, "block {b:?} has no terminator"),
+            VerifyError::BadTarget { instr, target } => {
+                write!(f, "instruction {instr:?} targets nonexistent block {target:?}")
+            }
+            VerifyError::UndefinedRegister { instr, reg } => {
+                write!(f, "instruction {instr:?} uses never-defined register r{reg}")
+            }
+            VerifyError::BadObject(i) => write!(f, "instruction {i:?} references bad object"),
+            VerifyError::NoReachableReturn => write!(f, "no reachable return"),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Checks the structural invariants GMT scheduling relies on.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found.
+pub fn verify(f: &Function) -> Result<(), VerifyError> {
+    // Every block terminated; targets in range.
+    for b in f.blocks() {
+        let Some(term) = f.block(b).terminator else {
+            return Err(VerifyError::Unterminated(b));
+        };
+        for target in f.instr(term).successors() {
+            if target.index() >= f.num_blocks() {
+                return Err(VerifyError::BadTarget { instr: term, target });
+            }
+        }
+    }
+
+    // Register definedness (whole-function, flow-insensitive: a use must
+    // have at least one def or be a parameter).
+    let mut defined: HashSet<u32> = f.params.iter().map(|r| r.0).collect();
+    for i in f.all_instrs() {
+        if let Some(d) = f.instr(i).def() {
+            defined.insert(d.0);
+        }
+    }
+    let mut uses = Vec::new();
+    for i in f.all_instrs() {
+        uses.clear();
+        f.instr(i).uses_into(&mut uses);
+        for r in &uses {
+            if !defined.contains(&r.0) {
+                return Err(VerifyError::UndefinedRegister { instr: i, reg: r.0 });
+            }
+        }
+        if let Op::Lea(_, obj, _) = *f.instr(i) {
+            if obj.index() >= f.objects().len() {
+                return Err(VerifyError::BadObject(i));
+            }
+        }
+    }
+
+    // A return must be reachable from entry.
+    let mut stack = vec![f.entry()];
+    let mut seen = vec![false; f.num_blocks()];
+    seen[f.entry().index()] = true;
+    let mut found_ret = false;
+    while let Some(b) = stack.pop() {
+        let term = f.block(b).terminator.expect("checked above");
+        if matches!(f.instr(term), Op::Ret(_)) {
+            found_ret = true;
+            break;
+        }
+        for s in f.successors(b) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    if !found_ret {
+        return Err(VerifyError::NoReachableReturn);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Operand, Reg};
+
+    #[test]
+    fn accepts_minimal_function() {
+        let mut f = Function::new("ok");
+        let e = f.entry();
+        f.set_terminator(e, Op::Ret(None));
+        assert!(verify(&f).is_ok());
+    }
+
+    #[test]
+    fn rejects_unterminated() {
+        let f = Function::new("bad");
+        assert_eq!(verify(&f), Err(VerifyError::Unterminated(BlockId(0))));
+    }
+
+    #[test]
+    fn rejects_undefined_register() {
+        let mut f = Function::new("bad");
+        let e = f.entry();
+        f.ensure_reg(Reg(0));
+        f.set_terminator(e, Op::Ret(Some(Operand::Reg(Reg(0)))));
+        assert!(matches!(verify(&f), Err(VerifyError::UndefinedRegister { .. })));
+    }
+
+    #[test]
+    fn params_count_as_defined() {
+        let mut f = Function::new("ok");
+        let e = f.entry();
+        let r = f.fresh_reg();
+        f.params.push(r);
+        f.set_terminator(e, Op::Ret(Some(Operand::Reg(r))));
+        assert!(verify(&f).is_ok());
+    }
+
+    #[test]
+    fn rejects_infinite_loop_without_exit() {
+        let mut f = Function::new("spin");
+        let e = f.entry();
+        f.set_terminator(e, Op::Jump(e));
+        assert_eq!(verify(&f), Err(VerifyError::NoReachableReturn));
+    }
+
+    #[test]
+    fn error_messages_are_nonempty() {
+        for e in [
+            VerifyError::Unterminated(BlockId(0)),
+            VerifyError::NoReachableReturn,
+            VerifyError::UndefinedRegister { instr: InstrId(1), reg: 2 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Communication plans: where produce/consume pairs go.
+//!
+//! A [`CommPlan`] is the contract between MTCG and COCO. MTCG's
+//! baseline plan places every communication at the dependence's source
+//! instruction (Algorithm 1 of the paper); COCO computes a cheaper plan
+//! with min-cuts and hands it to the same code generator — "these
+//! annotations can be directly used to place communications in a
+//! slightly modified version of MTCG" (§3.2).
+
+use gmt_ir::{BlockId, Function, InstrId, Reg};
+use gmt_pdg::ThreadId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A program point of the *original* CFG at which communication can be
+/// inserted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CommPoint {
+    /// Immediately before instruction `i` (valid for any instruction,
+    /// including terminators).
+    Before(InstrId),
+    /// Immediately after instruction `i` (must not be a terminator).
+    After(InstrId),
+    /// At the start of block `b`, before its first instruction.
+    BlockStart(BlockId),
+}
+
+impl CommPoint {
+    /// The block containing this point.
+    pub fn block(self, f: &Function) -> BlockId {
+        match self {
+            CommPoint::Before(i) | CommPoint::After(i) => f.block_of(i),
+            CommPoint::BlockStart(b) => b,
+        }
+    }
+}
+
+/// What is communicated by an item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CommKind {
+    /// The value of a virtual register (a `produce`/`consume` pair per
+    /// point).
+    Register(Reg),
+    /// A memory synchronization token (`produce.sync`/`consume.sync`
+    /// pair per point). One item carries *all* memory dependences
+    /// between the thread pair — synchronization is shared (§3.1.3).
+    Memory,
+}
+
+/// One communicated item: a register value or the memory token, sent
+/// from `from` to `to` at each of `points`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommItem {
+    /// What is sent.
+    pub kind: CommKind,
+    /// Producing thread.
+    pub from: ThreadId,
+    /// Consuming thread.
+    pub to: ThreadId,
+    /// The placement points (each gets its own queue).
+    pub points: BTreeSet<CommPoint>,
+}
+
+/// A complete communication plan for one partition.
+#[derive(Clone, Debug, Default)]
+pub struct CommPlan {
+    /// The items, keyed by `(kind, from, to)` (at most one per key).
+    items: BTreeMap<(CommKind, ThreadId, ThreadId), BTreeSet<CommPoint>>,
+    /// Per thread: the branches it must duplicate (its *relevant
+    /// branches* that are assigned to another thread), plus the ones it
+    /// owns (relevant by Definition 1 rule 1).
+    relevant_branches: Vec<BTreeSet<InstrId>>,
+}
+
+impl CommPlan {
+    /// An empty plan for `num_threads` threads.
+    pub fn new(num_threads: u32) -> CommPlan {
+        CommPlan {
+            items: BTreeMap::new(),
+            relevant_branches: vec![BTreeSet::new(); num_threads as usize],
+        }
+    }
+
+    /// Adds `point` to the item `(kind, from, to)`; returns whether the
+    /// plan changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` (intra-thread dependences need no
+    /// communication).
+    pub fn add_point(
+        &mut self,
+        kind: CommKind,
+        from: ThreadId,
+        to: ThreadId,
+        point: CommPoint,
+    ) -> bool {
+        assert_ne!(from, to, "communication within a thread");
+        self.items.entry((kind, from, to)).or_default().insert(point)
+    }
+
+    /// Replaces the points of item `(kind, from, to)`.
+    pub fn set_points(
+        &mut self,
+        kind: CommKind,
+        from: ThreadId,
+        to: ThreadId,
+        points: BTreeSet<CommPoint>,
+    ) {
+        assert_ne!(from, to);
+        if points.is_empty() {
+            self.items.remove(&(kind, from, to));
+        } else {
+            self.items.insert((kind, from, to), points);
+        }
+    }
+
+    /// The points of item `(kind, from, to)`, empty if absent.
+    pub fn points(&self, kind: CommKind, from: ThreadId, to: ThreadId) -> BTreeSet<CommPoint> {
+        self.items.get(&(kind, from, to)).cloned().unwrap_or_default()
+    }
+
+    /// All items in canonical order.
+    pub fn items(&self) -> impl Iterator<Item = CommItem> + '_ {
+        self.items.iter().map(|(&(kind, from, to), points)| CommItem {
+            kind,
+            from,
+            to,
+            points: points.clone(),
+        })
+    }
+
+    /// Marks `branch` as relevant to thread `t`; returns whether new.
+    pub fn add_relevant_branch(&mut self, t: ThreadId, branch: InstrId) -> bool {
+        self.relevant_branches[t.index()].insert(branch)
+    }
+
+    /// The relevant branches of thread `t`.
+    pub fn relevant_branches(&self, t: ThreadId) -> &BTreeSet<InstrId> {
+        &self.relevant_branches[t.index()]
+    }
+
+    /// Number of threads the plan covers.
+    pub fn num_threads(&self) -> u32 {
+        self.relevant_branches.len() as u32
+    }
+
+    /// Total number of placement points (= queue pairs = static
+    /// produce/consume pair count).
+    pub fn total_points(&self) -> usize {
+        self.items.values().map(BTreeSet::len).sum()
+    }
+
+    /// The expected dynamic communication cost of the plan under a
+    /// profile: for every point, the profile weight of its block,
+    /// counting both the produce and the consume (×2).
+    pub fn dynamic_cost(&self, f: &Function, profile: &gmt_ir::Profile) -> u64 {
+        let weights = profile.block_weights(f);
+        self.items
+            .values()
+            .flat_map(|pts| pts.iter())
+            .map(|p| 2 * weights[p.block(f).index()])
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmt_ir::FunctionBuilder;
+
+    #[test]
+    fn add_and_query_points() {
+        let mut plan = CommPlan::new(2);
+        let k = CommKind::Register(Reg(3));
+        assert!(plan.add_point(k, ThreadId(0), ThreadId(1), CommPoint::Before(InstrId(5))));
+        assert!(!plan.add_point(k, ThreadId(0), ThreadId(1), CommPoint::Before(InstrId(5))));
+        assert_eq!(plan.points(k, ThreadId(0), ThreadId(1)).len(), 1);
+        assert_eq!(plan.points(k, ThreadId(1), ThreadId(0)).len(), 0);
+        assert_eq!(plan.total_points(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "within a thread")]
+    fn same_thread_rejected() {
+        let mut plan = CommPlan::new(2);
+        plan.add_point(CommKind::Memory, ThreadId(0), ThreadId(0), CommPoint::BlockStart(BlockId(0)));
+    }
+
+    #[test]
+    fn set_points_replaces_and_clears() {
+        let mut plan = CommPlan::new(2);
+        let k = CommKind::Memory;
+        plan.add_point(k, ThreadId(0), ThreadId(1), CommPoint::BlockStart(BlockId(0)));
+        let mut np = BTreeSet::new();
+        np.insert(CommPoint::BlockStart(BlockId(1)));
+        plan.set_points(k, ThreadId(0), ThreadId(1), np.clone());
+        assert_eq!(plan.points(k, ThreadId(0), ThreadId(1)), np);
+        plan.set_points(k, ThreadId(0), ThreadId(1), BTreeSet::new());
+        assert_eq!(plan.total_points(), 0);
+    }
+
+    #[test]
+    fn relevant_branch_tracking() {
+        let mut plan = CommPlan::new(2);
+        assert!(plan.add_relevant_branch(ThreadId(1), InstrId(7)));
+        assert!(!plan.add_relevant_branch(ThreadId(1), InstrId(7)));
+        assert!(plan.relevant_branches(ThreadId(1)).contains(&InstrId(7)));
+        assert!(plan.relevant_branches(ThreadId(0)).is_empty());
+    }
+
+    #[test]
+    fn dynamic_cost_counts_pairs() {
+        let mut b = FunctionBuilder::new("f");
+        let c = b.const_(0);
+        b.output(c);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let profile = gmt_ir::Profile::uniform(&f, 10);
+        let mut plan = CommPlan::new(2);
+        plan.add_point(
+            CommKind::Register(c),
+            ThreadId(0),
+            ThreadId(1),
+            CommPoint::BlockStart(f.entry()),
+        );
+        // Entry weight = 10 (uniform), pair = produce+consume.
+        assert_eq!(plan.dynamic_cost(&f, &profile), 20);
+    }
+
+    #[test]
+    fn items_iterate_in_canonical_order() {
+        let mut plan = CommPlan::new(3);
+        plan.add_point(CommKind::Memory, ThreadId(2), ThreadId(0), CommPoint::Before(InstrId(0)));
+        plan.add_point(
+            CommKind::Register(Reg(0)),
+            ThreadId(0),
+            ThreadId(1),
+            CommPoint::Before(InstrId(0)),
+        );
+        let items: Vec<_> = plan.items().collect();
+        assert_eq!(items.len(), 2);
+        assert!(items[0].kind <= items[1].kind);
+    }
+}

@@ -1,0 +1,307 @@
+//! Loop-aware memory disambiguation via affine access analysis.
+//!
+//! The paper (§4) notes that DSWP would benefit more from COCO "with
+//! more powerful, loop-aware memory disambiguation techniques to
+//! eliminate false memory dependences, such as shape analysis or
+//! array-dependence analysis". This module implements the
+//! array-dependence half: when two accesses in a loop address
+//! `object[i + c]` through the *same* induction variable `i` with the
+//! same constant `c`, they touch a fresh cell every iteration of `i`'s
+//! loop — so the dependence is not carried by that loop, and the
+//! backward (cross-iteration) PDG arc between them can be dropped.
+//!
+//! Soundness rules:
+//!
+//! - the base register must resolve (through unique reaching
+//!   definitions) to `lea object + const` plus at most one induction
+//!   variable;
+//! - an *induction variable* has exactly two definitions: an
+//!   initialization outside the loop and one `i = i + nonzero-const`
+//!   inside it — strictly monotonic, hence injective within one
+//!   activation of the loop;
+//! - the cross-iteration arc is dropped only when the accesses'
+//!   innermost common loop *is* the induction variable's loop and that
+//!   loop is outermost. If an outer loop re-enters the inner loop the
+//!   variable resets and cells are revisited, so the ordering must
+//!   stay.
+
+use gmt_ir::{DefUse, Function, InstrId, LoopForest, ObjectId, Op, Operand, Reg};
+
+/// An access of the form `object[ivar + offset]` (or `object[offset]`
+/// when `ivar` is `None`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AffineAccess {
+    /// The addressed object.
+    pub object: ObjectId,
+    /// The induction variable and its per-iteration step, if any.
+    pub ivar: Option<(Reg, i64)>,
+    /// The constant displacement.
+    pub offset: i64,
+}
+
+/// Classifies register `r` as an induction variable of some loop:
+/// exactly two defs — one outside the loop, one `r = r + c` (c ≠ 0)
+/// inside — returns `(loop index, step)`.
+fn induction_var(
+    f: &Function,
+    defuse: &DefUse,
+    loops: &LoopForest,
+    r: Reg,
+    user: InstrId,
+) -> Option<(usize, i64)> {
+    let defs = defuse.reaching_defs(user, r);
+    if defs.len() != 2 {
+        return None;
+    }
+    let mut update: Option<(InstrId, i64)> = None;
+    let mut init: Option<InstrId> = None;
+    for &d in defs {
+        match *f.instr(d) {
+            Op::Bin(gmt_ir::BinOp::Add, dst, Operand::Reg(a), Operand::Imm(c))
+                if dst == r && a == r && c != 0 =>
+            {
+                update = Some((d, c));
+            }
+            Op::Bin(gmt_ir::BinOp::Add, dst, Operand::Imm(c), Operand::Reg(a))
+                if dst == r && a == r && c != 0 =>
+            {
+                update = Some((d, c));
+            }
+            _ => init = Some(d),
+        }
+    }
+    let (upd, step) = update?;
+    let init = init?;
+    let li = loops.innermost[f.block_of(upd).index()]?;
+    // The initialization must sit outside the update's loop.
+    if loops.loops[li].contains(f.block_of(init)) {
+        return None;
+    }
+    Some((li, step))
+}
+
+/// Attempts to express the address of memory instruction `i` as an
+/// affine access.
+pub fn affine_access(
+    f: &Function,
+    defuse: &DefUse,
+    loops: &LoopForest,
+    i: InstrId,
+) -> Option<AffineAccess> {
+    let addr = match *f.instr(i) {
+        Op::Load(_, a) => a,
+        Op::Store(a, _) => a,
+        _ => return None,
+    };
+    let mut object: Option<ObjectId> = None;
+    let mut ivar: Option<(Reg, i64)> = None;
+    let mut offset = addr.offset;
+    // Worklist of (register, use site) still to resolve into the sum.
+    let mut work: Vec<(Reg, InstrId)> = vec![(addr.base, i)];
+    let mut fuel = 16;
+    while let Some((r, at)) = work.pop() {
+        fuel -= 1;
+        if fuel == 0 {
+            return None;
+        }
+        // An induction variable terminates resolution of this term.
+        if let Some((li, step)) = induction_var(f, defuse, loops, r, at) {
+            if ivar.is_some() {
+                return None; // two index terms: give up
+            }
+            let _ = li;
+            ivar = Some((r, step));
+            continue;
+        }
+        let defs = defuse.reaching_defs(at, r);
+        if defs.len() != 1 {
+            return None;
+        }
+        let d = defs[0];
+        match *f.instr(d) {
+            Op::Lea(_, obj, c) => {
+                if object.is_some() {
+                    return None;
+                }
+                object = Some(obj);
+                offset += c;
+            }
+            Op::Const(_, v) => offset += v,
+            Op::Un(gmt_ir::UnOp::Mov, _, Operand::Reg(s)) => work.push((s, d)),
+            Op::Bin(gmt_ir::BinOp::Add, _, a, b) => {
+                for o in [a, b] {
+                    match o {
+                        Operand::Reg(s) => work.push((s, d)),
+                        Operand::Imm(v) => offset += v,
+                    }
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some(AffineAccess { object: object?, ivar, offset })
+}
+
+/// Whether the cross-iteration (backward) dependence arc between two
+/// may-aliasing accesses can be dropped: both are affine over the same
+/// induction variable with equal offsets, and the variable's loop is
+/// their outermost common context.
+pub fn kills_carried_dep(
+    f: &Function,
+    defuse: &DefUse,
+    loops: &LoopForest,
+    a: InstrId,
+    b: InstrId,
+) -> bool {
+    let (Some(aa), Some(ab)) = (
+        affine_access(f, defuse, loops, a),
+        affine_access(f, defuse, loops, b),
+    ) else {
+        return false;
+    };
+    let (Some((ra, sa)), Some((rb, sb))) = (aa.ivar, ab.ivar) else {
+        return false;
+    };
+    if aa.object != ab.object || ra != rb || sa != sb || aa.offset != ab.offset {
+        return false;
+    }
+    // The induction variable's loop must be the accesses' innermost
+    // loop and have no parent (otherwise an outer re-entry resets the
+    // variable and revisits cells).
+    let (la, lb) = (
+        loops.innermost[f.block_of(a).index()],
+        loops.innermost[f.block_of(b).index()],
+    );
+    match (la, lb) {
+        (Some(x), Some(y)) if x == y => loops.loops[x].parent.is_none(),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmt_ir::{BinOp, Dominators, FunctionBuilder};
+
+    /// store a[i]; load a[i]; i++ — in one (outermost) loop.
+    fn same_cell_loop(nested: bool) -> (Function, InstrId, InstrId) {
+        let mut bld = FunctionBuilder::new("k");
+        let arr = bld.object("a", 64);
+        let n = bld.param();
+        let i = bld.fresh_reg();
+        let outer_h = if nested { Some(bld.block("oh")) } else { None };
+        let outer_b = if nested { Some(bld.block("ob")) } else { None };
+        let h = bld.block("h");
+        let body = bld.block("body");
+        let exit = bld.block("exit");
+        let done = bld.block("done");
+        let o = bld.fresh_reg();
+        bld.const_into(o, 0);
+        if let (Some(oh), Some(_)) = (outer_h, outer_b) {
+            bld.jump(oh);
+            bld.switch_to(oh);
+            let c = bld.bin(BinOp::Lt, o, 2i64);
+            bld.branch(c, outer_b.unwrap(), done);
+            bld.switch_to(outer_b.unwrap());
+            bld.const_into(i, 0);
+            bld.jump(h);
+        } else {
+            bld.const_into(i, 0);
+            bld.jump(h);
+        }
+        bld.switch_to(h);
+        let c = bld.bin(BinOp::Lt, i, n);
+        bld.branch(c, body, exit);
+        bld.switch_to(body);
+        let base = bld.lea(arr, 0);
+        let addr = bld.bin(BinOp::Add, base, i);
+        bld.store(addr, 0, 7i64);
+        let v = bld.load(addr, 0);
+        bld.output(v);
+        bld.bin_into(BinOp::Add, i, i, 1i64);
+        bld.jump(h);
+        bld.switch_to(exit);
+        if nested {
+            bld.bin_into(BinOp::Add, o, o, 1i64);
+            bld.jump(outer_h.unwrap());
+            bld.switch_to(done);
+            bld.ret(None);
+        } else {
+            bld.jump(done);
+            bld.switch_to(done);
+            bld.ret(None);
+        }
+        let mut f = bld.finish().unwrap();
+        gmt_ir::split_critical_edges(&mut f);
+        let store = f.all_instrs().find(|&x| matches!(f.instr(x), Op::Store(..))).unwrap();
+        let load = f.all_instrs().find(|&x| f.instr(x).is_mem_read()).unwrap();
+        (f, store, load)
+    }
+
+    #[test]
+    fn affine_access_recognized() {
+        let (f, store, load) = same_cell_loop(false);
+        let defuse = DefUse::compute(&f);
+        let dom = Dominators::compute(&f);
+        let loops = LoopForest::compute(&f, &dom);
+        let sa = affine_access(&f, &defuse, &loops, store).expect("store is affine");
+        let la = affine_access(&f, &defuse, &loops, load).expect("load is affine");
+        assert_eq!(sa, la);
+        assert!(sa.ivar.is_some());
+        assert_eq!(sa.ivar.unwrap().1, 1, "step");
+    }
+
+    #[test]
+    fn outermost_loop_kills_carried_dep() {
+        let (f, store, load) = same_cell_loop(false);
+        let defuse = DefUse::compute(&f);
+        let dom = Dominators::compute(&f);
+        let loops = LoopForest::compute(&f, &dom);
+        assert!(kills_carried_dep(&f, &defuse, &loops, store, load));
+    }
+
+    #[test]
+    fn nested_loop_keeps_carried_dep() {
+        // The outer loop resets i, so cells are revisited.
+        let (f, store, load) = same_cell_loop(true);
+        let defuse = DefUse::compute(&f);
+        let dom = Dominators::compute(&f);
+        let loops = LoopForest::compute(&f, &dom);
+        assert!(!kills_carried_dep(&f, &defuse, &loops, store, load));
+    }
+
+    #[test]
+    fn different_offsets_conservative() {
+        // store a[i]; load a[i+1]: cross-iteration dependence is real.
+        let mut bld = FunctionBuilder::new("k");
+        let arr = bld.object("a", 64);
+        let n = bld.param();
+        let i = bld.fresh_reg();
+        let h = bld.block("h");
+        let body = bld.block("body");
+        let exit = bld.block("exit");
+        bld.const_into(i, 0);
+        bld.jump(h);
+        bld.switch_to(h);
+        let c = bld.bin(BinOp::Lt, i, n);
+        bld.branch(c, body, exit);
+        bld.switch_to(body);
+        let base = bld.lea(arr, 0);
+        let addr = bld.bin(BinOp::Add, base, i);
+        bld.store(addr, 0, 7i64);
+        let v = bld.load(addr, 1);
+        bld.output(v);
+        bld.bin_into(BinOp::Add, i, i, 1i64);
+        bld.jump(h);
+        bld.switch_to(exit);
+        bld.ret(None);
+        let mut f = bld.finish().unwrap();
+        gmt_ir::split_critical_edges(&mut f);
+        let store = f.all_instrs().find(|&x| matches!(f.instr(x), Op::Store(..))).unwrap();
+        let load = f.all_instrs().find(|&x| f.instr(x).is_mem_read()).unwrap();
+        let defuse = DefUse::compute(&f);
+        let dom = Dominators::compute(&f);
+        let loops = LoopForest::compute(&f, &dom);
+        assert!(!kills_carried_dep(&f, &defuse, &loops, store, load));
+    }
+}

@@ -1,0 +1,346 @@
+//! Flow-insensitive, Andersen-style points-to analysis over the IR.
+//!
+//! The PDG needs to know, for every pair of memory instructions, whether
+//! they may touch the same location. On this IR the only way an address
+//! is born is `lea` on a named [`MemObject`](gmt_ir::MemObject), so an
+//! inclusion-based points-to analysis at object granularity is both
+//! simple and reasonably precise — the same role the summary-based
+//! pointer analysis of Nystrom et al. plays in the paper's toolchain
+//! (§4, \[14\]).
+//!
+//! Rules (iterated to a fixpoint):
+//!
+//! - `lea d, obj`            → `obj ∈ pts(d)`
+//! - `d = a <op> b`          → `pts(d) ⊇ pts(a) ∪ pts(b)` (pointer arithmetic)
+//! - `d = mov/neg/not a`     → `pts(d) ⊇ pts(a)`
+//! - `d = load [p]`          → `pts(d) ⊇ ⋃ {heap(o) | o ∈ pts(p)}`
+//! - `store [p], v`          → `∀ o ∈ pts(p): heap(o) ⊇ pts(v)`
+//! - `d = const c`           → nothing (integers are not addresses)
+//! - `d = consume q`         → `pts(d) = ⊤` (values from other threads
+//!   are analyzed conservatively; in practice the analysis runs on the
+//!   original single-threaded code, which has no `consume`)
+//!
+//! A register whose points-to set is empty but that is used as a base
+//! address is treated as ⊤ (may address anything), which keeps the
+//! analysis sound for address arithmetic the rules cannot see through.
+
+use gmt_ir::{Function, InstrId, ObjectId, Op, Operand, Reg};
+use std::collections::BTreeSet;
+
+/// What a memory instruction may access.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PointsTo {
+    /// A set of known objects.
+    Objects(BTreeSet<ObjectId>),
+    /// Anything (unknown base address).
+    Top,
+}
+
+impl PointsTo {
+    /// Whether two access summaries may overlap.
+    pub fn may_overlap(&self, other: &PointsTo) -> bool {
+        match (self, other) {
+            (PointsTo::Top, _) | (_, PointsTo::Top) => true,
+            (PointsTo::Objects(a), PointsTo::Objects(b)) => !a.is_disjoint(b),
+        }
+    }
+}
+
+/// Results of the points-to analysis for one function.
+#[derive(Clone, Debug)]
+pub struct AliasInfo {
+    /// Per-register points-to set; `None` = ⊤.
+    reg_pts: Vec<Option<BTreeSet<ObjectId>>>,
+}
+
+impl AliasInfo {
+    /// Runs the analysis on `f`.
+    pub fn compute(f: &Function) -> AliasInfo {
+        let nr = f.num_regs() as usize;
+        // None = ⊤ (top); Some(set) = the inclusion set so far.
+        let mut reg_pts: Vec<Option<BTreeSet<ObjectId>>> = vec![Some(BTreeSet::new()); nr];
+        // heap(o): objects whose addresses may be stored inside o.
+        let mut heap: Vec<Option<BTreeSet<ObjectId>>> =
+            vec![Some(BTreeSet::new()); f.objects().len()];
+
+        // Merge helper: dst ⊇ src; returns change.
+        fn merge(dst: &mut Option<BTreeSet<ObjectId>>, src: &Option<BTreeSet<ObjectId>>) -> bool {
+            match (dst.as_mut(), src) {
+                (None, _) => false,
+                (Some(_), None) => {
+                    *dst = None;
+                    true
+                }
+                (Some(d), Some(s)) => {
+                    let before = d.len();
+                    d.extend(s.iter().copied());
+                    d.len() != before
+                }
+            }
+        }
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in f.all_instrs() {
+                match f.instr(i) {
+                    Op::Lea(d, obj, _) => {
+                        if let Some(set) = reg_pts[d.index()].as_mut() {
+                            changed |= set.insert(*obj);
+                        }
+                    }
+                    Op::Bin(_, d, a, b) => {
+                        let mut acc = operand_pts(&reg_pts, *a);
+                        let other = operand_pts(&reg_pts, *b);
+                        merge(&mut acc, &other);
+                        let acc = acc; // finished accumulating
+                        changed |= merge_into(&mut reg_pts, *d, &acc);
+                    }
+                    Op::Un(_, d, a) => {
+                        let src = operand_pts(&reg_pts, *a);
+                        changed |= merge_into(&mut reg_pts, *d, &src);
+                    }
+                    Op::Load(d, addr) => {
+                        let loaded = match &reg_pts[addr.base.index()] {
+                            None => None, // load through ⊤: result is ⊤
+                            Some(bases) => {
+                                let mut acc = Some(BTreeSet::new());
+                                for o in bases {
+                                    let h = heap[o.index()].clone();
+                                    merge(&mut acc, &h);
+                                }
+                                acc
+                            }
+                        };
+                        changed |= merge_into(&mut reg_pts, *d, &loaded);
+                    }
+                    Op::Store(addr, v) => {
+                        let val = operand_pts(&reg_pts, *v);
+                        // Don't pollute the heap with non-pointer stores.
+                        let is_pointerish = !matches!(&val, Some(s) if s.is_empty());
+                        if is_pointerish {
+                            match &reg_pts[addr.base.index()] {
+                                None => {
+                                    // Store through ⊤: every object may now
+                                    // hold these pointers.
+                                    for h in heap.iter_mut() {
+                                        changed |= merge(h, &val);
+                                    }
+                                }
+                                Some(bases) => {
+                                    for o in bases.clone() {
+                                        changed |= merge(&mut heap[o.index()], &val);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Op::Consume { dst, .. }
+                        if reg_pts[dst.index()].is_some() => {
+                            reg_pts[dst.index()] = None;
+                            changed = true;
+                        }
+                    _ => {}
+                }
+            }
+        }
+        AliasInfo { reg_pts }
+    }
+
+    /// The points-to set of register `r`.
+    pub fn points_to(&self, r: Reg) -> PointsTo {
+        match &self.reg_pts[r.index()] {
+            None => PointsTo::Top,
+            Some(s) => PointsTo::Objects(s.clone()),
+        }
+    }
+
+    /// What memory instruction `i` of `f` may access; `None` if `i` is
+    /// not a memory instruction.
+    ///
+    /// [`Op::Output`] accesses a dedicated I/O "location" disjoint from
+    /// all objects; this is encoded by the caller ([`AliasInfo::may_alias`]) rather
+    /// than here.
+    pub fn access_of(&self, f: &Function, i: InstrId) -> Option<PointsTo> {
+        let base = match f.instr(i) {
+            Op::Load(_, a) => a.base,
+            Op::Store(a, _) => a.base,
+            _ => return None,
+        };
+        Some(match &self.reg_pts[base.index()] {
+            None => PointsTo::Top,
+            // A base with an empty points-to set is an address the rules
+            // couldn't track: be conservative.
+            Some(s) if s.is_empty() => PointsTo::Top,
+            Some(s) => PointsTo::Objects(s.clone()),
+        })
+    }
+
+    /// Whether memory instructions `i` and `j` may access overlapping
+    /// locations (both must be loads/stores/outputs; at least the
+    /// caller should ensure one writes).
+    pub fn may_alias(&self, f: &Function, i: InstrId, j: InstrId) -> bool {
+        let io_i = matches!(f.instr(i), Op::Output(_));
+        let io_j = matches!(f.instr(j), Op::Output(_));
+        if io_i || io_j {
+            // The output stream aliases itself only.
+            return io_i && io_j;
+        }
+        match (self.access_of(f, i), self.access_of(f, j)) {
+            (Some(a), Some(b)) => a.may_overlap(&b),
+            _ => false,
+        }
+    }
+}
+
+fn operand_pts(
+    reg_pts: &[Option<BTreeSet<ObjectId>>],
+    o: Operand,
+) -> Option<BTreeSet<ObjectId>> {
+    match o {
+        Operand::Reg(r) => reg_pts[r.index()].clone(),
+        Operand::Imm(_) => Some(BTreeSet::new()),
+    }
+}
+
+fn merge_into(
+    reg_pts: &mut [Option<BTreeSet<ObjectId>>],
+    dst: Reg,
+    src: &Option<BTreeSet<ObjectId>>,
+) -> bool {
+    match (reg_pts[dst.index()].as_mut(), src) {
+        (None, _) => false,
+        (Some(_), None) => {
+            reg_pts[dst.index()] = None;
+            true
+        }
+        (Some(d), Some(s)) => {
+            let before = d.len();
+            d.extend(s.iter().copied());
+            d.len() != before
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmt_ir::{BinOp, FunctionBuilder};
+
+    #[test]
+    fn distinct_objects_do_not_alias() {
+        let mut b = FunctionBuilder::new("t");
+        let x = b.object("x", 8);
+        let y = b.object("y", 8);
+        let px = b.lea(x, 0);
+        let py = b.lea(y, 0);
+        b.store(px, 0, 1i64);
+        b.store(py, 0, 2i64);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let ai = AliasInfo::compute(&f);
+        let sx = f.block(f.entry()).instrs[2];
+        let sy = f.block(f.entry()).instrs[3];
+        assert!(!ai.may_alias(&f, sx, sy));
+        assert!(ai.may_alias(&f, sx, sx));
+    }
+
+    #[test]
+    fn pointer_arithmetic_preserves_target() {
+        let mut b = FunctionBuilder::new("t");
+        let x = b.object("x", 8);
+        let px = b.lea(x, 0);
+        let i = b.const_(3);
+        let p2 = b.bin(BinOp::Add, px, i);
+        b.store(p2, 0, 1i64);
+        b.store(px, 0, 2i64);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let ai = AliasInfo::compute(&f);
+        assert_eq!(
+            ai.points_to(p2),
+            PointsTo::Objects(std::iter::once(x).collect())
+        );
+        let s1 = f.block(f.entry()).instrs[3];
+        let s2 = f.block(f.entry()).instrs[4];
+        assert!(ai.may_alias(&f, s1, s2));
+    }
+
+    #[test]
+    fn pointers_loaded_from_memory() {
+        // Store &y into x[0]; load it back; the loaded pointer targets y.
+        let mut b = FunctionBuilder::new("t");
+        let x = b.object("x", 2);
+        let y = b.object("y", 2);
+        let px = b.lea(x, 0);
+        let py = b.lea(y, 0);
+        b.store(px, 0, py);
+        let q = b.load(px, 0);
+        b.store(q, 0, 9i64);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let ai = AliasInfo::compute(&f);
+        assert_eq!(ai.points_to(q), PointsTo::Objects(std::iter::once(y).collect()));
+        // The store through q aliases a direct store to y but not to x.
+        let store_q = f.block(f.entry()).instrs[4];
+        let store_px = f.block(f.entry()).instrs[2];
+        assert!(!ai.may_alias(&f, store_q, store_px));
+    }
+
+    #[test]
+    fn untracked_base_is_top() {
+        let mut b = FunctionBuilder::new("t");
+        let x = b.object("x", 4);
+        let px = b.lea(x, 0);
+        let wild = b.const_(123); // integer used as an address
+        b.store(wild, 0, 1i64);
+        b.store(px, 0, 2i64);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let ai = AliasInfo::compute(&f);
+        let sw = f.block(f.entry()).instrs[2];
+        let sx = f.block(f.entry()).instrs[3];
+        assert!(ai.may_alias(&f, sw, sx), "⊤ aliases everything");
+    }
+
+    #[test]
+    fn outputs_alias_each_other_only() {
+        let mut b = FunctionBuilder::new("t");
+        let x = b.object("x", 4);
+        let px = b.lea(x, 0);
+        b.store(px, 0, 1i64);
+        b.output(1i64);
+        b.output(2i64);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let ai = AliasInfo::compute(&f);
+        let st = f.block(f.entry()).instrs[1];
+        let o1 = f.block(f.entry()).instrs[2];
+        let o2 = f.block(f.entry()).instrs[3];
+        assert!(ai.may_alias(&f, o1, o2));
+        assert!(!ai.may_alias(&f, st, o1));
+    }
+
+    #[test]
+    fn consume_result_is_top() {
+        use gmt_ir::{Op, QueueId};
+        let mut b = FunctionBuilder::new("t");
+        let d = b.fresh_reg();
+        b.emit(Op::Consume { dst: d, queue: QueueId(0) });
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let ai = AliasInfo::compute(&f);
+        assert_eq!(ai.points_to(d), PointsTo::Top);
+    }
+
+    #[test]
+    fn non_memory_instructions_have_no_access() {
+        let mut b = FunctionBuilder::new("t");
+        let c = b.const_(1);
+        b.ret(Some(c.into()));
+        let f = b.finish().unwrap();
+        let ai = AliasInfo::compute(&f);
+        let ci = f.block(f.entry()).instrs[0];
+        assert!(ai.access_of(&f, ci).is_none());
+    }
+}

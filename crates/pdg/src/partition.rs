@@ -1,0 +1,198 @@
+//! Thread partitions: the output of a GMT partitioner, the input of
+//! MTCG and COCO.
+
+use gmt_ir::{Function, InstrId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A thread index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The thread index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An assignment of every instruction of a function to a thread.
+///
+/// `ret` terminators are assigned like any other instruction; MTCG gives
+/// every generated thread its own return path regardless.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    thread_of: HashMap<InstrId, ThreadId>,
+    num_threads: u32,
+}
+
+impl Partition {
+    /// Creates an empty partition over `num_threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads == 0`.
+    pub fn new(num_threads: u32) -> Partition {
+        assert!(num_threads > 0, "at least one thread required");
+        Partition { thread_of: HashMap::new(), num_threads }
+    }
+
+    /// A partition placing every instruction of `f` on thread 0 —
+    /// the degenerate single-threaded "partition".
+    pub fn single_threaded(f: &Function) -> Partition {
+        let mut p = Partition::new(1);
+        for i in f.all_instrs() {
+            p.assign(i, ThreadId(0));
+        }
+        p
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> u32 {
+        self.num_threads
+    }
+
+    /// Thread ids, in order.
+    pub fn threads(&self) -> impl Iterator<Item = ThreadId> {
+        (0..self.num_threads).map(ThreadId)
+    }
+
+    /// Assigns instruction `i` to thread `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn assign(&mut self, i: InstrId, t: ThreadId) {
+        assert!(t.0 < self.num_threads, "thread {t:?} out of range");
+        self.thread_of.insert(i, t);
+    }
+
+    /// The thread of instruction `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is unassigned (use [`Partition::get`] for a
+    /// non-panicking query).
+    pub fn thread_of(&self, i: InstrId) -> ThreadId {
+        self.get(i).unwrap_or_else(|| panic!("{i:?} unassigned"))
+    }
+
+    /// The thread of instruction `i`, if assigned.
+    pub fn get(&self, i: InstrId) -> Option<ThreadId> {
+        self.thread_of.get(&i).copied()
+    }
+
+    /// Instructions assigned to thread `t`, in arbitrary order.
+    pub fn instrs_of(&self, t: ThreadId) -> impl Iterator<Item = InstrId> + '_ {
+        self.thread_of
+            .iter()
+            .filter(move |&(_, &tt)| tt == t)
+            .map(|(&i, _)| i)
+    }
+
+    /// Checks that every placed instruction of `f` is assigned to a
+    /// valid thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unassigned instruction.
+    pub fn validate(&self, f: &Function) -> Result<(), InstrId> {
+        for i in f.all_instrs() {
+            if self.get(i).is_none() {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-thread instruction counts (static balance metric).
+    pub fn static_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_threads as usize];
+        for &t in self.thread_of.values() {
+            sizes[t.index()] += 1;
+        }
+        sizes
+    }
+
+    /// Per-thread dynamic weight, given per-instruction weights.
+    pub fn dynamic_sizes(&self, weight: impl Fn(InstrId) -> u64) -> Vec<u64> {
+        let mut sizes = vec![0u64; self.num_threads as usize];
+        for (&i, &t) in &self.thread_of {
+            sizes[t.index()] += weight(i);
+        }
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmt_ir::FunctionBuilder;
+
+    fn tiny() -> Function {
+        let mut b = FunctionBuilder::new("t");
+        let c = b.const_(1);
+        b.output(c);
+        b.ret(None);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn single_threaded_covers_everything() {
+        let f = tiny();
+        let p = Partition::single_threaded(&f);
+        assert!(p.validate(&f).is_ok());
+        assert_eq!(p.num_threads(), 1);
+        assert_eq!(p.static_sizes(), vec![3]);
+    }
+
+    #[test]
+    fn missing_assignment_detected() {
+        let f = tiny();
+        let mut p = Partition::new(2);
+        let first = f.block(f.entry()).instrs[0];
+        p.assign(first, ThreadId(1));
+        assert!(p.validate(&f).is_err());
+        assert_eq!(p.thread_of(first), ThreadId(1));
+        assert_eq!(p.get(InstrId(99)), None);
+    }
+
+    #[test]
+    fn dynamic_sizes_use_weights() {
+        let f = tiny();
+        let mut p = Partition::new(2);
+        let instrs: Vec<_> = f.all_instrs().collect();
+        p.assign(instrs[0], ThreadId(0));
+        p.assign(instrs[1], ThreadId(1));
+        p.assign(instrs[2], ThreadId(1));
+        let sizes = p.dynamic_sizes(|_| 10);
+        assert_eq!(sizes, vec![10, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_thread_rejected() {
+        let f = tiny();
+        let mut p = Partition::new(1);
+        p.assign(f.block(f.entry()).instrs[0], ThreadId(3));
+    }
+
+    #[test]
+    fn instrs_of_filters_by_thread() {
+        let f = tiny();
+        let p = Partition::single_threaded(&f);
+        assert_eq!(p.instrs_of(ThreadId(0)).count(), 3);
+    }
+}

@@ -1,0 +1,385 @@
+//! The DSWP partitioner: Decoupled Software Pipelining \[16\].
+//!
+//! DSWP "creates a pipeline of threads, among which the dependences
+//! only flow in one direction" (§2). The algorithm:
+//!
+//! 1. condense the PDG by strongly connected components — every
+//!    dependence recurrence must live inside one stage, otherwise the
+//!    pipeline property breaks;
+//! 2. lay the SCCs out in topological order, optionally merged into
+//!    coarser region clusters (per block / per innermost loop) so a
+//!    stage boundary does not slice through the middle of a region;
+//! 3. choose the stage cut that minimizes the steady-state throughput
+//!    bound: the heaviest stage's computation plus the communication
+//!    instructions the cut induces (values crossing forward plus
+//!    replicated-branch overhead).
+//!
+//! Because stages are contiguous chunks of a topological order, every
+//! inter-thread dependence flows from an earlier stage to a later one —
+//! the defining DSWP invariant, checked by
+//! [`is_pipeline`](crate::metrics::is_pipeline).
+
+use crate::weights::InstrWeights;
+use gmt_ir::{ControlDeps, Dominators, Function, LoopForest, PostDominators, Profile};
+use gmt_pdg::{Partition, Pdg, ThreadId};
+use std::collections::HashMap;
+
+/// Configuration of the DSWP partitioner.
+#[derive(Clone, Debug)]
+pub struct DswpConfig {
+    /// Number of pipeline stages (threads) to produce.
+    pub num_threads: u32,
+    /// Estimated per-value communication occupancy in cycles.
+    pub comm_latency: u64,
+}
+
+impl Default for DswpConfig {
+    fn default() -> DswpConfig {
+        DswpConfig { num_threads: 2, comm_latency: 1 }
+    }
+}
+
+/// Partitions `f` into a pipeline of `config.num_threads` stages.
+///
+/// ```
+/// use gmt_ir::{FunctionBuilder, BinOp, Profile};
+/// use gmt_pdg::Pdg;
+/// use gmt_sched::{dswp, is_pipeline};
+///
+/// # fn main() -> Result<(), gmt_ir::VerifyError> {
+/// let mut b = FunctionBuilder::new("f");
+/// let x = b.param();
+/// let y = b.bin(BinOp::Mul, x, 3i64);
+/// b.output(y);
+/// b.ret(None);
+/// let f = b.finish()?;
+/// let pdg = Pdg::build(&f);
+/// let p = dswp::partition(&f, &pdg, &Profile::uniform(&f, 10), &dswp::DswpConfig::default());
+/// assert!(is_pipeline(&pdg, &p));
+/// # Ok(())
+/// # }
+/// ```
+pub fn partition(f: &Function, pdg: &Pdg, profile: &Profile, config: &DswpConfig) -> Partition {
+    let weights = InstrWeights::compute(f, profile);
+    let dom = Dominators::compute(f);
+    let loops = LoopForest::compute(f, &dom);
+    let pdom = PostDominators::compute(f);
+    let cdeps = ControlDeps::compute(f, &pdom);
+
+    let (g, _index) = pdg.as_digraph();
+    let cond = g.condensation();
+    let nodes = pdg.nodes();
+    let topo = cond
+        .dag
+        .topological_order()
+        .expect("condensation is acyclic");
+
+    // Candidate cluster sequences: SCCs in topological order, merged at
+    // several granularities. A merge key groups *adjacent-in-topo*
+    // SCCs that share the region; merging only adjacent runs preserves
+    // the topological sequencing needed for contiguous cuts.
+    let region_key = |scc_idx: usize, by_loop: bool| -> u64 {
+        let block = f.block_of(nodes[cond.components[scc_idx].nodes[0].index()]);
+        if by_loop {
+            loops.innermost[block.index()].map_or(u64::MAX, |l| l as u64)
+        } else {
+            u64::from(block.0)
+        }
+    };
+
+    let mut best: Option<(u64, Partition)> = None;
+    for granularity in [None, Some(false), Some(true)] {
+        // Build the cluster sequence.
+        let mut seq: Vec<Vec<usize>> = Vec::new(); // clusters of scc indices
+        let mut last_key: Option<u64> = None;
+        for &c in &topo {
+            let scc_idx = c.index();
+            let key = granularity.map(|by_loop| region_key(scc_idx, by_loop));
+            match (key, last_key) {
+                (Some(k), Some(lk)) if k == lk => {
+                    seq.last_mut().expect("nonempty").push(scc_idx);
+                }
+                _ => seq.push(vec![scc_idx]),
+            }
+            last_key = key;
+        }
+        // Evaluate every contiguous cut of the sequence.
+        for p in candidate_partitions(f, &seq, &cond, nodes, config) {
+            let s = stage_score(f, pdg, &weights, &cdeps, &p, config);
+            if best.as_ref().is_none_or(|(bs, _)| s < *bs) {
+                best = Some((s, p));
+            }
+        }
+    }
+    best.expect("at least one candidate").1
+}
+
+/// Enumerates pipeline partitions over the cluster sequence: for two
+/// stages, every cut position; for more stages, a weight-balanced
+/// greedy chunking (single candidate).
+fn candidate_partitions(
+    f: &Function,
+    seq: &[Vec<usize>],
+    cond: &gmt_graph::Condensation,
+    nodes: &[gmt_ir::InstrId],
+    config: &DswpConfig,
+) -> Vec<Partition> {
+    let n = config.num_threads;
+    let build = |stage_of_cluster: &dyn Fn(usize) -> u32| -> Partition {
+        let mut p = Partition::new(n);
+        for (ci, cluster) in seq.iter().enumerate() {
+            let t = ThreadId(stage_of_cluster(ci).min(n - 1));
+            for &scc_idx in cluster {
+                for &k in &cond.components[scc_idx].nodes {
+                    p.assign(nodes[k.index()], t);
+                }
+            }
+        }
+        p
+    };
+    let _ = f;
+    if n == 1 || seq.len() < 2 {
+        return vec![build(&|_| 0)];
+    }
+    if n == 2 {
+        return (1..seq.len())
+            .map(|cut| build(&move |ci| u32::from(ci >= cut)))
+            .collect();
+    }
+    // Deeper pipelines: enumerate all (n-1)-cut combinations when the
+    // search space is small, otherwise fall back to one greedy
+    // equal-weight chunking.
+    let cuts_needed = (n - 1) as usize;
+    let positions = seq.len().saturating_sub(1);
+    let combos = n_choose_k(positions, cuts_needed);
+    if positions >= cuts_needed && combos <= 3000 {
+        let mut out = Vec::new();
+        let mut cut = (1..=cuts_needed).collect::<Vec<usize>>();
+        loop {
+            let cut_now = cut.clone();
+            out.push(build(&move |ci| {
+                cut_now.iter().filter(|&&c| ci >= c).count() as u32
+            }));
+            // Next combination of `cuts_needed` positions in 1..=positions.
+            let mut k = cuts_needed;
+            loop {
+                if k == 0 {
+                    return out;
+                }
+                k -= 1;
+                if cut[k] < positions - (cuts_needed - 1 - k) {
+                    cut[k] += 1;
+                    for j in k + 1..cuts_needed {
+                        cut[j] = cut[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    // Greedy equal-weight chunking fallback.
+    let cluster_sizes: Vec<usize> = seq
+        .iter()
+        .map(|cluster| cluster.iter().map(|&s| cond.components[s].nodes.len()).sum())
+        .collect();
+    let total: usize = cluster_sizes.iter().sum();
+    let per = total.div_ceil(n as usize).max(1);
+    let mut acc = 0usize;
+    let stages: Vec<u32> = cluster_sizes
+        .iter()
+        .map(|&sz| {
+            let stage = (acc / per) as u32;
+            acc += sz;
+            stage
+        })
+        .collect();
+    vec![build(&move |ci| stages[ci])]
+}
+
+/// Binomial coefficient, saturating (used only to bound enumeration).
+fn n_choose_k(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let mut acc: u64 = 1;
+    for j in 0..k {
+        acc = acc.saturating_mul((n - j) as u64) / (j as u64 + 1);
+        if acc > 1_000_000 {
+            return u64::MAX;
+        }
+    }
+    acc
+}
+
+/// Steady-state throughput score, mirroring the GREMIO model: heaviest
+/// stage load including communication occupancy and replicated-branch
+/// overhead.
+fn stage_score(
+    f: &Function,
+    pdg: &Pdg,
+    weights: &InstrWeights,
+    cdeps: &ControlDeps,
+    partition: &Partition,
+    config: &DswpConfig,
+) -> u64 {
+    let mut load = partition.dynamic_sizes(|i| weights.weight(i));
+    let lat = config.comm_latency.max(1);
+    let mut best_site: HashMap<(gmt_ir::InstrId, u32), u64> = HashMap::new();
+    for d in pdg.deps() {
+        let (s, t) = (partition.thread_of(d.src), partition.thread_of(d.dst));
+        if s == t {
+            continue;
+        }
+        let cost = weights
+            .exec_count(d.src)
+            .min(weights.exec_count(d.dst))
+            .max(1);
+        best_site
+            .entry((d.src, t.0))
+            .and_modify(|c| *c = (*c).max(cost))
+            .or_insert(cost);
+    }
+    for (&(src, t), &c) in &best_site {
+        load[partition.thread_of(src).index()] += c * lat;
+        load[t as usize] += c * lat;
+    }
+    let nt = partition.num_threads() as usize;
+    for t_idx in 0..nt {
+        let t = ThreadId(t_idx as u32);
+        let mut need = vec![false; f.num_blocks()];
+        for i in f.all_instrs() {
+            if partition.thread_of(i) == t {
+                need[f.block_of(i).index()] = true;
+            }
+        }
+        let mut relevant: std::collections::BTreeSet<gmt_ir::InstrId> =
+            std::collections::BTreeSet::new();
+        let mut work: Vec<gmt_ir::BlockId> = f.blocks().filter(|b| need[b.index()]).collect();
+        while let Some(b) = work.pop() {
+            for cd in cdeps.of_block(b) {
+                if relevant.insert(cd.branch) {
+                    let bb = f.block_of(cd.branch);
+                    if !need[bb.index()] {
+                        need[bb.index()] = true;
+                        work.push(bb);
+                    }
+                }
+            }
+        }
+        for br in relevant {
+            if partition.thread_of(br) != t {
+                let c = weights.exec_count(br).max(1) * lat;
+                load[t_idx] += 2 * c;
+                load[partition.thread_of(br).index()] += c;
+            }
+        }
+    }
+    load.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::is_pipeline;
+    use gmt_ir::{BinOp, FunctionBuilder};
+
+    /// Classic DSWP loop: a cheap recurrence feeding an expensive pure
+    /// consumer — the recurrence and the consumer must split cleanly.
+    fn producer_consumer_loop() -> (Function, Profile) {
+        let mut b = FunctionBuilder::new("pc");
+        let n = b.param();
+        let arr = b.object("arr", 128);
+        let i = b.fresh_reg();
+        let s = b.fresh_reg();
+        let h = b.block("h");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.const_into(i, 0);
+        b.const_into(s, 0);
+        b.jump(h);
+        b.switch_to(h);
+        let c = b.bin(BinOp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let base = b.lea(arr, 0);
+        let addr = b.bin(BinOp::Add, base, i);
+        let v = b.load(addr, 0);
+        let t1 = b.bin(BinOp::Mul, v, v);
+        let t2 = b.bin(BinOp::Mul, t1, 3i64);
+        b.bin_into(BinOp::Add, s, s, t2);
+        b.bin_into(BinOp::Add, i, i, 1i64);
+        b.jump(h);
+        b.switch_to(exit);
+        b.ret(Some(s.into()));
+        let mut f = b.finish().unwrap();
+        gmt_ir::split_critical_edges(&mut f);
+        let profile = Profile::uniform(&f, 100);
+        (f, profile)
+    }
+
+    #[test]
+    fn produces_a_valid_pipeline() {
+        let (f, profile) = producer_consumer_loop();
+        let pdg = Pdg::build(&f);
+        let p = partition(&f, &pdg, &profile, &DswpConfig::default());
+        assert!(p.validate(&f).is_ok());
+        assert!(is_pipeline(&pdg, &p), "dependences must flow forward only");
+    }
+
+    #[test]
+    fn both_stages_nonempty_on_balanced_loop() {
+        let (f, profile) = producer_consumer_loop();
+        let pdg = Pdg::build(&f);
+        let p = partition(&f, &pdg, &profile, &DswpConfig::default());
+        let sizes = p.static_sizes();
+        assert!(sizes.iter().all(|&s| s > 0), "{sizes:?}");
+    }
+
+    #[test]
+    fn recurrences_never_split_or_flow_backward() {
+        let (f, profile) = producer_consumer_loop();
+        let pdg = Pdg::build(&f);
+        let p = partition(&f, &pdg, &profile, &DswpConfig::default());
+        for d in pdg.deps() {
+            assert!(p.thread_of(d.src) <= p.thread_of(d.dst), "dep {d:?} flows backward");
+        }
+        let (g, index) = pdg.as_digraph();
+        let cond = g.condensation();
+        for d in pdg.deps() {
+            if cond.component_of[index[&d.src].index()] == cond.component_of[index[&d.dst].index()]
+            {
+                assert_eq!(p.thread_of(d.src), p.thread_of(d.dst));
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_sccs_is_fine() {
+        let mut b = FunctionBuilder::new("tiny");
+        let x = b.const_(1);
+        b.ret(Some(x.into()));
+        let f = b.finish().unwrap();
+        let pdg = Pdg::build(&f);
+        let profile = Profile::uniform(&f, 1);
+        let p = partition(&f, &pdg, &profile, &DswpConfig { num_threads: 4, comm_latency: 1 });
+        assert!(p.validate(&f).is_ok());
+        assert!(is_pipeline(&pdg, &p));
+    }
+
+    #[test]
+    fn single_stage_degenerates_to_single_thread() {
+        let (f, profile) = producer_consumer_loop();
+        let pdg = Pdg::build(&f);
+        let p = partition(&f, &pdg, &profile, &DswpConfig { num_threads: 1, comm_latency: 1 });
+        assert_eq!(p.static_sizes()[0], f.placed_instr_count());
+    }
+
+    #[test]
+    fn four_stage_pipeline_still_valid() {
+        let (f, profile) = producer_consumer_loop();
+        let pdg = Pdg::build(&f);
+        let p = partition(&f, &pdg, &profile, &DswpConfig { num_threads: 4, comm_latency: 1 });
+        assert!(p.validate(&f).is_ok());
+        assert!(is_pipeline(&pdg, &p));
+    }
+}

@@ -1,0 +1,535 @@
+//! The GREMIO partitioner: Global REgion Multi-threaded Instruction
+//! scheduling — the contribution of the MICRO 2007 paper "Global
+//! Multi-Threaded Instruction Scheduling" (Ottoni & August).
+//!
+//! GREMIO "allows cyclic inter-thread dependences and schedules
+//! instructions based on their control relations and an estimate of
+//! when instructions will be ready to execute" (§2 of the COCO paper).
+//! The implementation follows that description with an explicit
+//! hierarchical flavor:
+//!
+//! 1. **Clustering by control relations.** Candidate clusterings are
+//!    derived from the PDG's strongly connected components (recurrences
+//!    are never split) at three region granularities: per-SCC (fine),
+//!    SCCs merged per *innermost* loop, and SCCs merged per *outermost*
+//!    loop. Coarser granularities keep whole loop bodies together —
+//!    the hierarchy of the original algorithm.
+//! 2. **Ready-time list scheduling.** Each candidate clustering is
+//!    list-scheduled onto the threads in quasi-topological order of the
+//!    (possibly cyclic) cluster dependence graph, placing every cluster
+//!    where its profile-weighted finish time is smallest.
+//! 3. **Cost-based selection.** Each schedule is scored by estimated
+//!    makespan plus the dynamic communication the partition would
+//!    induce (cross-thread dependences pay their source's execution
+//!    count); the cheapest candidate wins. Fine granularity wins on
+//!    single-loop kernels (intra-loop parallelism), coarse granularity
+//!    wins when separate regions can run on separate threads — the
+//!    shapes the paper's evaluation exhibits.
+//!
+//! Unlike DSWP, nothing constrains dependences to flow forward: the
+//! chosen partition may have cyclic inter-thread dependences.
+
+use crate::weights::InstrWeights;
+use gmt_graph::{DiGraph, NodeId};
+use gmt_ir::{Dominators, Function, LoopForest, Profile};
+use gmt_pdg::{Partition, Pdg, ThreadId};
+use std::collections::HashMap;
+
+/// Configuration of the GREMIO partitioner.
+#[derive(Clone, Debug)]
+pub struct GremioConfig {
+    /// Number of threads to produce.
+    pub num_threads: u32,
+    /// Estimated one-way communication latency in cycles
+    /// (synchronization-array access), used in the ready-time estimate.
+    pub comm_latency: u64,
+}
+
+impl Default for GremioConfig {
+    fn default() -> GremioConfig {
+        GremioConfig { num_threads: 2, comm_latency: 1 }
+    }
+}
+
+/// Region granularity of a candidate clustering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Granularity {
+    /// One cluster per (intra-iteration) PDG SCC.
+    Scc,
+    /// SCCs merged when they start in the same basic block.
+    Block,
+    /// SCCs merged when their blocks share the same control-dependence
+    /// region within the same innermost loop (hammock arms stay whole).
+    ControlRegion,
+    /// SCCs merged when they share an innermost loop.
+    InnermostLoop,
+    /// SCCs merged when they share an outermost loop.
+    OutermostLoop,
+}
+
+/// All granularities, fine to coarse.
+const GRANULARITIES: [Granularity; 5] = [
+    Granularity::Scc,
+    Granularity::Block,
+    Granularity::ControlRegion,
+    Granularity::InnermostLoop,
+    Granularity::OutermostLoop,
+];
+
+/// Partitions `f` over `config.num_threads` threads, selecting the
+/// best candidate by the analytic throughput score.
+///
+/// ```
+/// use gmt_ir::{FunctionBuilder, BinOp, Profile};
+/// use gmt_pdg::Pdg;
+/// use gmt_sched::gremio;
+///
+/// # fn main() -> Result<(), gmt_ir::VerifyError> {
+/// let mut b = FunctionBuilder::new("f");
+/// let x = b.param();
+/// let y = b.bin(BinOp::Mul, x, 3i64);
+/// b.output(y);
+/// b.ret(None);
+/// let f = b.finish()?;
+/// let pdg = Pdg::build(&f);
+/// let p = gremio::partition(&f, &pdg, &Profile::uniform(&f, 10), &gremio::GremioConfig::default());
+/// assert!(p.validate(&f).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+pub fn partition(f: &Function, pdg: &Pdg, profile: &Profile, config: &GremioConfig) -> Partition {
+    candidates(f, pdg, profile, config)
+        .into_iter()
+        .min_by_key(|(s, _)| *s)
+        .expect("at least one candidate")
+        .1
+}
+
+/// All candidate partitions GREMIO considers, with their analytic
+/// scores: one hill-climbed schedule per region granularity, plus the
+/// degenerate everything-on-thread-0 fallback. Exposed so a driver can
+/// arbitrate between candidates with a better oracle (e.g. a timed run
+/// of the generated code on the train input — profile-guided partition
+/// selection).
+pub fn candidates(
+    f: &Function,
+    pdg: &Pdg,
+    profile: &Profile,
+    config: &GremioConfig,
+) -> Vec<(u64, Partition)> {
+    let weights = InstrWeights::compute(f, profile);
+    let dom = Dominators::compute(f);
+    let loops = LoopForest::compute(f, &dom);
+    let pdom = gmt_ir::PostDominators::compute(f);
+    let cdeps = gmt_ir::ControlDeps::compute(f, &pdom);
+
+    let mut out: Vec<(u64, Partition)> = Vec::new();
+    for gran in GRANULARITIES {
+        let candidate = schedule(f, pdg, config, &weights, &loops, &cdeps, gran);
+        let score = score(f, pdg, &weights, &cdeps, &candidate, config);
+        if !out.iter().any(|(_, p)| *p == candidate) {
+            out.push((score, candidate));
+        }
+    }
+    // Degenerate fallback: everything on thread 0.
+    let mut single = Partition::new(config.num_threads);
+    for i in f.all_instrs() {
+        single.assign(i, ThreadId(0));
+    }
+    let score = score(f, pdg, &weights, &cdeps, &single, config);
+    if !out.iter().any(|(_, p)| *p == single) {
+        out.push((score, single));
+    }
+    out
+}
+
+/// Builds and list-schedules one candidate clustering.
+fn schedule(
+    f: &Function,
+    pdg: &Pdg,
+    config: &GremioConfig,
+    weights: &InstrWeights,
+    loops: &LoopForest,
+    cdeps: &gmt_ir::ControlDeps,
+    gran: Granularity,
+) -> Partition {
+    let n = config.num_threads as usize;
+    // Cluster over the intra-iteration dependence graph: carried arcs
+    // do not constrain the schedule (cyclic inter-thread dependences
+    // are GREMIO's defining freedom), but they still cost communication
+    // and are accounted by `score`.
+    let (g, _index) = pdg.as_digraph_filtered(|d| !d.loop_carried);
+    let cond = g.condensation();
+    let nodes = pdg.nodes();
+
+    // ---- merge SCCs into region clusters.
+    // cluster_of[scc] = cluster id.
+    let scc_count = cond.components.len();
+    let mut cluster_of: Vec<usize> = (0..scc_count).collect();
+    if gran != Granularity::Scc {
+        // Region key of an SCC, from its first instruction's block.
+        let mut key_to_cluster: HashMap<u64, usize> = HashMap::new();
+        for (scc_idx, scc) in cond.components.iter().enumerate() {
+            let block = f.block_of(nodes[scc.nodes[0].index()]);
+            let key: Option<u64> = match gran {
+                Granularity::Scc => unreachable!(),
+                Granularity::Block => Some(block.0 as u64),
+                Granularity::ControlRegion => {
+                    // Key = hash of the control-dependence set (branch
+                    // instruction ids and edges) — control-equivalent
+                    // blocks merge, so hammock arms stay whole.
+                    let mut cds: Vec<(u32, usize)> = cdeps
+                        .of_block(block)
+                        .iter()
+                        .map(|cd| (cd.branch.0, cd.edge))
+                        .collect();
+                    cds.sort_unstable();
+                    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                    for (b, e) in cds {
+                        h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+                        h = (h ^ e as u64).wrapping_mul(0x1000_0000_01b3);
+                    }
+                    Some(h)
+                }
+                Granularity::InnermostLoop | Granularity::OutermostLoop => {
+                    let mut li = loops.innermost[block.index()];
+                    if gran == Granularity::OutermostLoop {
+                        while let Some(k) = li {
+                            match loops.loops[k].parent {
+                                Some(p) => li = Some(p),
+                                None => break,
+                            }
+                        }
+                    }
+                    li.map(|k| k as u64)
+                }
+            };
+            if let Some(k) = key {
+                let c = *key_to_cluster.entry(k).or_insert(scc_idx);
+                cluster_of[scc_idx] = c;
+            }
+        }
+    }
+    // Normalize cluster ids to 0..m.
+    let mut remap: HashMap<usize, usize> = HashMap::new();
+    for c in cluster_of.iter_mut() {
+        let next = remap.len();
+        *c = *remap.entry(*c).or_insert(next);
+    }
+    let m = remap.len();
+
+    // ---- cluster dependence graph (possibly cyclic) and weights.
+    let mut cg = DiGraph::with_nodes(m);
+    let mut cluster_weight = vec![0u64; m];
+    let mut cluster_count = vec![0u64; m]; // max exec count inside
+    for (scc_idx, scc) in cond.components.iter().enumerate() {
+        let c = cluster_of[scc_idx];
+        for &k in &scc.nodes {
+            let i = nodes[k.index()];
+            cluster_weight[c] += weights.weight(i);
+            cluster_count[c] = cluster_count[c].max(weights.exec_count(i));
+        }
+    }
+    let mut instr_cluster: HashMap<gmt_ir::InstrId, usize> = HashMap::new();
+    for (scc_idx, scc) in cond.components.iter().enumerate() {
+        for &k in &scc.nodes {
+            instr_cluster.insert(nodes[k.index()], cluster_of[scc_idx]);
+        }
+    }
+    for d in pdg.deps() {
+        let (cs, ct) = (instr_cluster[&d.src], instr_cluster[&d.dst]);
+        if cs != ct {
+            cg.add_arc_dedup(NodeId(cs as u32), NodeId(ct as u32));
+        }
+    }
+
+    // ---- list scheduling in quasi-topological order; back arcs are
+    // ignored for ready times (cyclic deps allowed).
+    let order = cg.quasi_topological_order();
+    let mut position = vec![0usize; m];
+    for (p, &c) in order.iter().enumerate() {
+        position[c.index()] = p;
+    }
+    let mut thread_free = vec![0u64; n];
+    let mut finish = vec![0u64; m];
+    let mut placed: Vec<Option<ThreadId>> = vec![None; m];
+    for &c in &order {
+        let ci = c.index();
+        let w = cluster_weight[ci];
+        let (mut best_t, mut best_finish) = (0usize, u64::MAX);
+        #[allow(clippy::needless_range_loop)]
+        for t in 0..n {
+            let mut ready = thread_free[t];
+            for &p in cg.preds(c) {
+                let pi = p.index();
+                // Back arc (pred later in quasi-topo): skip.
+                let Some(pt) = placed[pi] else { continue };
+                let arrival = if pt.index() == t {
+                    finish[pi]
+                } else {
+                    finish[pi] + cluster_count[pi].max(1) * config.comm_latency
+                };
+                ready = ready.max(arrival);
+            }
+            let fin = ready + w;
+            if fin < best_finish {
+                best_finish = fin;
+                best_t = t;
+            }
+        }
+        placed[ci] = Some(ThreadId(best_t as u32));
+        finish[ci] = best_finish;
+        thread_free[best_t] = best_finish;
+    }
+
+    // ---- hill-climbing refinement. The list schedule models the
+    // intra-iteration critical path, which chains serial stages onto
+    // one thread; decoupled execution overlaps stages across outer
+    // iterations (pipeline parallelism), which the throughput-style
+    // `score` captures. Move clusters between threads while the score
+    // improves.
+    let mut assignment: Vec<ThreadId> = placed.iter().map(|p| p.expect("placed")).collect();
+    let build = |assignment: &[ThreadId]| {
+        let mut p = Partition::new(config.num_threads);
+        for (scc_idx, scc) in cond.components.iter().enumerate() {
+            let t = assignment[cluster_of[scc_idx]];
+            for &k in &scc.nodes {
+                p.assign(nodes[k.index()], t);
+            }
+        }
+        p
+    };
+    let mut current = build(&assignment);
+    let mut current_score = score(f, pdg, weights, cdeps, &current, config);
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for c in 0..m {
+            let original = assignment[c];
+            for t in 0..n {
+                let t = ThreadId(t as u32);
+                if t == original {
+                    continue;
+                }
+                assignment[c] = t;
+                let candidate = build(&assignment);
+                let s = score(f, pdg, weights, cdeps, &candidate, config);
+                if s < current_score {
+                    current_score = s;
+                    current = candidate;
+                    improved = true;
+                } else {
+                    assignment[c] = original;
+                }
+            }
+        }
+    }
+    current
+}
+
+/// Scores a candidate partition with a steady-state *throughput*
+/// model: every thread's dynamic load is its computation plus the
+/// communication instructions it must execute — produce/consume pairs
+/// for its cross-thread dependences (at the cheapest point on each
+/// def→use path, i.e. assuming COCO-quality placement) and the
+/// operand-consume + duplicated branch for every foreign branch its
+/// *own instructions* make relevant (a cost no placement can remove).
+/// The score is the heaviest thread's load: queue decoupling hides
+/// communication latency, so occupancy — not latency — is what bounds
+/// pipeline throughput.
+fn score(
+    f: &Function,
+    pdg: &Pdg,
+    weights: &InstrWeights,
+    cdeps: &gmt_ir::ControlDeps,
+    partition: &Partition,
+    config: &GremioConfig,
+) -> u64 {
+    let mut load = partition.dynamic_sizes(|i| weights.weight(i));
+    let lat = config.comm_latency.max(1);
+
+    // Communication pairs: cheapest-point estimate per (src, target).
+    let mut best_site: HashMap<(gmt_ir::InstrId, u32), u64> = HashMap::new();
+    for d in pdg.deps() {
+        let (s, t) = (partition.thread_of(d.src), partition.thread_of(d.dst));
+        if s == t {
+            continue;
+        }
+        let cost = weights
+            .exec_count(d.src)
+            .min(weights.exec_count(d.dst))
+            .max(1);
+        best_site
+            .entry((d.src, t.0))
+            .and_modify(|c| *c = (*c).max(cost))
+            .or_insert(cost);
+    }
+    for (&(src, t), &c) in &best_site {
+        load[partition.thread_of(src).index()] += c * lat;
+        load[t as usize] += c * lat;
+    }
+
+    // Intrinsic control replication per thread: the consume of the
+    // operand plus the duplicated branch itself (2 instructions), and
+    // the produce on the owning thread.
+    let nt = partition.num_threads() as usize;
+    for t_idx in 0..nt {
+        let t = ThreadId(t_idx as u32);
+        let mut need = vec![false; f.num_blocks()];
+        for i in f.all_instrs() {
+            if partition.thread_of(i) == t {
+                need[f.block_of(i).index()] = true;
+            }
+        }
+        let mut relevant: std::collections::BTreeSet<gmt_ir::InstrId> =
+            std::collections::BTreeSet::new();
+        let mut work: Vec<gmt_ir::BlockId> =
+            f.blocks().filter(|b| need[b.index()]).collect();
+        while let Some(b) = work.pop() {
+            for cd in cdeps.of_block(b) {
+                if relevant.insert(cd.branch) {
+                    let bb = f.block_of(cd.branch);
+                    if !need[bb.index()] {
+                        need[bb.index()] = true;
+                        work.push(bb);
+                    }
+                }
+            }
+        }
+        for br in relevant {
+            if partition.thread_of(br) != t {
+                let c = weights.exec_count(br).max(1) * lat;
+                load[t_idx] += 2 * c;
+                load[partition.thread_of(br).index()] += c;
+            }
+        }
+    }
+    load.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmt_ir::{BinOp, FunctionBuilder};
+
+    /// Two independent reduction loops over disjoint arrays — ideal for
+    /// GREMIO: each loop goes to its own thread, no communication in
+    /// steady state.
+    fn two_independent_loops() -> (Function, Profile) {
+        let mut b = FunctionBuilder::new("indep");
+        let n = b.param();
+        let a = b.object("a", 64);
+        let c = b.object("c", 64);
+        let i = b.fresh_reg();
+        let s1 = b.fresh_reg();
+        let j = b.fresh_reg();
+        let s2 = b.fresh_reg();
+        let h1 = b.block("h1");
+        let b1 = b.block("b1");
+        let h2 = b.block("h2");
+        let b2 = b.block("b2");
+        let exit = b.block("exit");
+        b.const_into(i, 0);
+        b.const_into(s1, 0);
+        b.const_into(j, 0);
+        b.const_into(s2, 0);
+        b.jump(h1);
+        b.switch_to(h1);
+        let c1 = b.bin(BinOp::Lt, i, n);
+        b.branch(c1, b1, h2);
+        b.switch_to(b1);
+        let pa = b.lea(a, 0);
+        let ea = b.bin(BinOp::Add, pa, i);
+        let va = b.load(ea, 0);
+        b.bin_into(BinOp::Add, s1, s1, va);
+        b.bin_into(BinOp::Add, i, i, 1i64);
+        b.jump(h1);
+        b.switch_to(h2);
+        let c2 = b.bin(BinOp::Lt, j, n);
+        b.branch(c2, b2, exit);
+        b.switch_to(b2);
+        let pc = b.lea(c, 0);
+        let ec = b.bin(BinOp::Add, pc, j);
+        let vc = b.load(ec, 0);
+        b.bin_into(BinOp::Mul, s2, s2, vc);
+        b.bin_into(BinOp::Add, j, j, 1i64);
+        b.jump(h2);
+        b.switch_to(exit);
+        let r = b.bin(BinOp::Add, s1, s2);
+        b.ret(Some(r.into()));
+        let mut f = b.finish().unwrap();
+        gmt_ir::split_critical_edges(&mut f);
+        let profile = Profile::uniform(&f, 64);
+        (f, profile)
+    }
+
+    #[test]
+    fn valid_total_assignment() {
+        let (f, profile) = two_independent_loops();
+        let pdg = Pdg::build(&f);
+        let p = partition(&f, &pdg, &profile, &GremioConfig::default());
+        assert!(p.validate(&f).is_ok());
+    }
+
+    #[test]
+    fn independent_loops_land_on_different_threads() {
+        let (f, profile) = two_independent_loops();
+        let pdg = Pdg::build(&f);
+        let p = partition(&f, &pdg, &profile, &GremioConfig::default());
+        let sizes = p.static_sizes();
+        assert!(sizes.iter().all(|&s| s > 0), "both threads should get work: {sizes:?}");
+        // The two loop bodies must not share a thread: find the two
+        // loads and compare their threads.
+        let loads: Vec<_> = f
+            .all_instrs()
+            .filter(|&i| f.instr(i).is_mem_read())
+            .collect();
+        assert_eq!(loads.len(), 2);
+        assert_ne!(
+            p.thread_of(loads[0]),
+            p.thread_of(loads[1]),
+            "each loop on its own thread"
+        );
+    }
+
+    #[test]
+    fn loop_bodies_stay_whole_when_loops_are_independent() {
+        let (f, profile) = two_independent_loops();
+        let pdg = Pdg::build(&f);
+        let p = partition(&f, &pdg, &profile, &GremioConfig::default());
+        // Every instruction of block b1 shares b1's thread (the loop
+        // body was not scattered).
+        for blk in [gmt_ir::BlockId(2), gmt_ir::BlockId(4)] {
+            let threads: std::collections::BTreeSet<_> = f
+                .block(blk)
+                .all_instrs()
+                .map(|i| p.thread_of(i))
+                .collect();
+            assert_eq!(threads.len(), 1, "block {blk:?} scattered: {threads:?}");
+        }
+    }
+
+    #[test]
+    fn single_thread_config_degenerates() {
+        let (f, profile) = two_independent_loops();
+        let pdg = Pdg::build(&f);
+        let p = partition(&f, &pdg, &profile, &GremioConfig { num_threads: 1, comm_latency: 1 });
+        assert_eq!(p.static_sizes()[0], f.placed_instr_count());
+    }
+
+    #[test]
+    fn recurrences_not_split() {
+        let (f, profile) = two_independent_loops();
+        let pdg = Pdg::build(&f);
+        let p = partition(&f, &pdg, &profile, &GremioConfig::default());
+        let (g, index) = pdg.as_digraph();
+        let cond = g.condensation();
+        for d in pdg.deps() {
+            let same_scc = cond.component_of[index[&d.src].index()]
+                == cond.component_of[index[&d.dst].index()];
+            if same_scc {
+                assert_eq!(p.thread_of(d.src), p.thread_of(d.dst), "SCC split: {d:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Global multi-threaded (GMT) instruction-scheduling partitioners.
+//!
+//! "After the PDG is constructed, a GMT scheduler needs to assign
+//! instructions to threads... This phase, the partitioner, is where the
+//! GMT scheduling techniques differ" (§2 of the COCO paper). Two
+//! published partitioners are implemented:
+//!
+//! - [`dswp`] — Decoupled Software Pipelining \[16\]: SCC condensation of
+//!   the PDG cut into contiguous pipeline stages; dependences flow in
+//!   one direction only;
+//! - [`gremio`] — GREMIO (MICRO 2007): clustered list scheduling by
+//!   estimated ready time over the loop hierarchy; cyclic inter-thread
+//!   dependences allowed.
+//!
+//! Both plug into the same MTCG/COCO back end — the framework shape of
+//! Figure 2.
+//!
+//! # Example
+//!
+//! ```
+//! use gmt_ir::{FunctionBuilder, BinOp, Profile};
+//! use gmt_pdg::Pdg;
+//! use gmt_sched::{dswp, gremio};
+//!
+//! # fn main() -> Result<(), gmt_ir::VerifyError> {
+//! let mut b = FunctionBuilder::new("f");
+//! let x = b.param();
+//! let y = b.bin(BinOp::Mul, x, 3i64);
+//! b.output(y);
+//! b.ret(None);
+//! let f = b.finish()?;
+//! let pdg = Pdg::build(&f);
+//! let profile = Profile::uniform(&f, 10);
+//! let pipe = dswp::partition(&f, &pdg, &profile, &dswp::DswpConfig::default());
+//! let listed = gremio::partition(&f, &pdg, &profile, &gremio::GremioConfig::default());
+//! assert!(pipe.validate(&f).is_ok());
+//! assert!(listed.validate(&f).is_ok());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dswp;
+pub mod gremio;
+pub mod metrics;
+pub mod weights;
+
+pub use metrics::{balance, cut_summary, has_cyclic_inter_thread_deps, is_pipeline, Balance, CutSummary};

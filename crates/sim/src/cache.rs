@@ -1,0 +1,245 @@
+//! Timing-only cache hierarchy with snoop write-invalidate coherence.
+//!
+//! Values live in the shared functional memory; caches track only tags
+//! and LRU state to compute access latencies. This "timing-directed,
+//! functional-first" split is sound here because every program the
+//! simulator runs is properly synchronized by construction (MTCG
+//! inserts synchronization for every inter-thread memory dependence),
+//! so data values never depend on cache timing.
+
+use crate::config::CacheConfig;
+
+/// One set-associative, LRU, tag-only cache.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `sets[set][way]` = Some(tag), with `lru[set][way]` as timestamp.
+    tags: Vec<Vec<Option<u64>>>,
+    lru: Vec<Vec<u64>>,
+    tick: u64,
+    /// Statistics.
+    pub hits: u64,
+    /// Statistics.
+    pub misses: u64,
+}
+
+impl Cache {
+    /// An empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Cache {
+        let sets = config.num_sets() as usize;
+        let ways = config.assoc as usize;
+        Cache {
+            config,
+            tags: vec![vec![None; ways]; sets],
+            lru: vec![vec![0; ways]; sets],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.config.line_bytes;
+        let set = (line % self.config.num_sets()) as usize;
+        let tag = line / self.config.num_sets();
+        (set, tag)
+    }
+
+    /// Probes for `addr`; returns whether it hit, and touches LRU.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        for way in 0..self.tags[set].len() {
+            if self.tags[set][way] == Some(tag) {
+                self.lru[set][way] = self.tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Fills the line containing `addr`, evicting the LRU way.
+    pub fn fill(&mut self, addr: u64) {
+        self.tick += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        // Already present (racing fill)?
+        if self.tags[set].contains(&Some(tag)) {
+            return;
+        }
+        let victim = (0..self.tags[set].len())
+            .min_by_key(|&w| (self.tags[set][w].is_some() as u64, self.lru[set][w]))
+            .expect("at least one way");
+        self.tags[set][victim] = Some(tag);
+        self.lru[set][victim] = self.tick;
+    }
+
+    /// Invalidates the line containing `addr` (snoop hit from the other
+    /// core's write). Returns whether a line was present.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        for way in 0..self.tags[set].len() {
+            if self.tags[set][way] == Some(tag) {
+                self.tags[set][way] = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The hit latency.
+    pub fn latency(&self) -> u64 {
+        self.config.latency
+    }
+}
+
+/// The memory hierarchy of one machine: per-core private L1D/L2, a
+/// shared L3, and main memory.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    /// Private (L1, L2) per core.
+    pub private: Vec<(Cache, Cache)>,
+    /// Shared L3.
+    pub l3: Cache,
+    mem_latency: u64,
+}
+
+/// Per-access outcome for statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HitLevel {
+    /// Served by the L1 data cache.
+    L1,
+    /// Served by the private L2.
+    L2,
+    /// Served by the shared L3.
+    L3,
+    /// Served by main memory.
+    Memory,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy for `cores` cores.
+    pub fn new(cores: usize, config: &crate::config::MachineConfig) -> Hierarchy {
+        Hierarchy {
+            private: (0..cores)
+                .map(|_| (Cache::new(config.l1d), Cache::new(config.l2)))
+                .collect(),
+            l3: Cache::new(config.l3),
+            mem_latency: config.mem_latency,
+        }
+    }
+
+    /// A load by `core` at byte address `addr`: returns (latency, level).
+    pub fn load(&mut self, core: usize, addr: u64) -> (u64, HitLevel) {
+        let (l1, l2) = &mut self.private[core];
+        if l1.access(addr) {
+            return (l1.latency(), HitLevel::L1);
+        }
+        if l2.access(addr) {
+            let lat = l1.latency() + l2.latency();
+            self.private[core].0.fill(addr);
+            return (lat, HitLevel::L2);
+        }
+        let (lat, level) = if self.l3.access(addr) {
+            (self.l3.latency(), HitLevel::L3)
+        } else {
+            self.l3.fill(addr);
+            (self.mem_latency, HitLevel::Memory)
+        };
+        let (l1, l2) = &mut self.private[core];
+        l1.fill(addr);
+        l2.fill(addr);
+        (lat, level)
+    }
+
+    /// A store by `core`: write-through L1 with write-allocate in L2;
+    /// snoop-invalidates the line in every other core's private caches.
+    /// Stores retire through a store buffer, so the returned latency is
+    /// the L1 latency regardless of where the line lives.
+    pub fn store(&mut self, core: usize, addr: u64) -> u64 {
+        for (other, (l1, l2)) in self.private.iter_mut().enumerate() {
+            if other != core {
+                l1.invalidate(addr);
+                l2.invalidate(addr);
+            }
+        }
+        let (l1, l2) = &mut self.private[core];
+        if !l1.access(addr) {
+            l1.fill(addr);
+        }
+        if !l2.access(addr) {
+            l2.fill(addr);
+        }
+        if !self.l3.access(addr) {
+            self.l3.fill(addr);
+        }
+        self.private[core].0.latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = Cache::new(CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 64, latency: 1 });
+        assert!(!c.access(0));
+        c.fill(0);
+        assert!(c.access(0));
+        assert!(c.access(8), "same line");
+        assert!(!c.access(64), "next line");
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        // 2-way set: fill three conflicting lines, first one evicted.
+        let cfg = CacheConfig { size_bytes: 128, assoc: 2, line_bytes: 64, latency: 1 };
+        assert_eq!(cfg.num_sets(), 1);
+        let mut c = Cache::new(cfg);
+        c.fill(0);
+        c.fill(64);
+        assert!(c.access(0)); // touch 0 so 64 is LRU
+        c.fill(128);
+        assert!(c.access(0));
+        assert!(!c.access(64), "LRU way evicted");
+    }
+
+    #[test]
+    fn hierarchy_miss_then_hit() {
+        let cfg = MachineConfig::default();
+        let mut h = Hierarchy::new(2, &cfg);
+        let (lat, level) = h.load(0, 0x1000);
+        assert_eq!(level, HitLevel::Memory);
+        assert_eq!(lat, cfg.mem_latency);
+        let (lat2, level2) = h.load(0, 0x1000);
+        assert_eq!(level2, HitLevel::L1);
+        assert_eq!(lat2, cfg.l1d.latency);
+        // Other core misses its private caches but hits shared L3.
+        let (_, level3) = h.load(1, 0x1000);
+        assert_eq!(level3, HitLevel::L3);
+    }
+
+    #[test]
+    fn store_invalidates_other_core() {
+        let cfg = MachineConfig::default();
+        let mut h = Hierarchy::new(2, &cfg);
+        let _ = h.load(0, 0x40);
+        assert_eq!(h.load(0, 0x40).1, HitLevel::L1);
+        h.store(1, 0x40);
+        // Core 0's copy was invalidated; next load refetches below L1.
+        assert_ne!(h.load(0, 0x40).1, HitLevel::L1);
+    }
+
+    #[test]
+    fn invalidate_reports_presence() {
+        let mut c = Cache::new(CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 64, latency: 1 });
+        c.fill(0);
+        assert!(c.invalidate(0));
+        assert!(!c.invalidate(0));
+    }
+}

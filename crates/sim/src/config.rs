@@ -1,0 +1,191 @@
+//! Machine configuration, defaulting to the paper's Figure 6(a).
+
+/// Geometry and latency of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Hit latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        (self.size_bytes / (self.assoc * self.line_bytes)).max(1)
+    }
+}
+
+/// Branch handling in the front end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BranchModel {
+    /// Redirects are free beyond ending the issue group (the default;
+    /// an idealized predictor).
+    Ideal,
+    /// Static backward-taken / forward-not-taken prediction: a
+    /// mispredicted conditional branch stalls the front end for the
+    /// given penalty.
+    StaticBtfn {
+        /// Refill penalty in cycles.
+        penalty: u64,
+    },
+}
+
+/// Synchronization array parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SaConfig {
+    /// Number of queues.
+    pub num_queues: usize,
+    /// Elements per queue (1 in the base SA; 32 for DSWP).
+    pub depth: usize,
+    /// Access latency in cycles.
+    pub latency: u64,
+    /// Request ports shared between all cores per cycle.
+    pub ports: usize,
+}
+
+/// Full machine description.
+///
+/// Defaults reproduce the evaluated machine: dual-core, 6-issue
+/// in-order cores with 6 ALU / 4 memory / 2 FP / 3 branch units, 16 KB
+/// 4-way L1D (1 cycle), 256 KB 8-way private L2 (7 cycles), 1.5 MB
+/// 12-way shared L3 (12 cycles), 141-cycle main memory, snoop-based
+/// write-invalidate coherence, and a 256-queue synchronization array
+/// with 1-cycle access and 4 shared ports.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Instructions issued per cycle per core.
+    pub issue_width: usize,
+    /// ALU units per core.
+    pub alu_units: usize,
+    /// Memory (M-type) issue ports per core — shared by loads, stores,
+    /// and all produce/consume instructions, as on Itanium 2.
+    pub mem_ports: usize,
+    /// Floating-point units per core.
+    pub fp_units: usize,
+    /// Branch units per core.
+    pub branch_units: usize,
+    /// L1 data cache (private, per core).
+    pub l1d: CacheConfig,
+    /// L2 cache (private, per core).
+    pub l2: CacheConfig,
+    /// L3 cache (shared).
+    pub l3: CacheConfig,
+    /// Main memory latency in cycles.
+    pub mem_latency: u64,
+    /// Synchronization array.
+    pub sa: SaConfig,
+    /// Branch handling.
+    pub branch_model: BranchModel,
+    /// Simulation cycle budget (deadlock/livelock guard).
+    pub max_cycles: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            issue_width: 6,
+            alu_units: 6,
+            mem_ports: 4,
+            fp_units: 2,
+            branch_units: 3,
+            l1d: CacheConfig { size_bytes: 16 * 1024, assoc: 4, line_bytes: 64, latency: 1 },
+            l2: CacheConfig { size_bytes: 256 * 1024, assoc: 8, line_bytes: 128, latency: 7 },
+            l3: CacheConfig {
+                size_bytes: 1536 * 1024,
+                assoc: 12,
+                line_bytes: 128,
+                latency: 12,
+            },
+            mem_latency: 141,
+            sa: SaConfig { num_queues: 256, depth: 32, latency: 1, ports: 4 },
+            branch_model: BranchModel::Ideal,
+            max_cycles: 2_000_000_000,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The configuration with single-element queues (the base
+    /// synchronization array used for GREMIO).
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: usize) -> MachineConfig {
+        self.sa.depth = depth;
+        self
+    }
+
+    /// Renders the Figure 6(a) machine-details table.
+    pub fn describe(&self) -> String {
+        format!(
+            "Core        | {}-issue, {} ALU, {} memory, {} FP, {} branch\n\
+             L1D Cache   | {} cycle, {} KB, {}-way, {}B lines\n\
+             L2 Cache    | {} cycles, {} KB, {}-way, {}B lines\n\
+             Shared L3   | {} cycles, {} KB, {}-way, {}B lines\n\
+             Main Memory | {} cycles\n\
+             Coherence   | snoop-based write-invalidate\n\
+             Sync Array  | {} queues x {} entries, {}-cycle, {} ports",
+            self.issue_width,
+            self.alu_units,
+            self.mem_ports,
+            self.fp_units,
+            self.branch_units,
+            self.l1d.latency,
+            self.l1d.size_bytes / 1024,
+            self.l1d.assoc,
+            self.l1d.line_bytes,
+            self.l2.latency,
+            self.l2.size_bytes / 1024,
+            self.l2.assoc,
+            self.l2.line_bytes,
+            self.l3.latency,
+            self.l3.size_bytes / 1024,
+            self.l3.assoc,
+            self.l3.line_bytes,
+            self.mem_latency,
+            self.sa.num_queues,
+            self.sa.depth,
+            self.sa.latency,
+            self.sa.ports,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_figure_6a() {
+        let m = MachineConfig::default();
+        assert_eq!(m.issue_width, 6);
+        assert_eq!(m.mem_ports, 4);
+        assert_eq!(m.l1d.size_bytes, 16 * 1024);
+        assert_eq!(m.l2.latency, 7);
+        assert_eq!(m.mem_latency, 141);
+        assert_eq!(m.sa.num_queues, 256);
+    }
+
+    #[test]
+    fn cache_set_math() {
+        let c = CacheConfig { size_bytes: 16 * 1024, assoc: 4, line_bytes: 64, latency: 1 };
+        assert_eq!(c.num_sets(), 64);
+    }
+
+    #[test]
+    fn describe_mentions_key_figures() {
+        let d = MachineConfig::default().describe();
+        assert!(d.contains("6-issue"));
+        assert!(d.contains("141 cycles"));
+        assert!(d.contains("256 queues"));
+    }
+
+    #[test]
+    fn queue_depth_override() {
+        let m = MachineConfig::default().with_queue_depth(1);
+        assert_eq!(m.sa.depth, 1);
+    }
+}

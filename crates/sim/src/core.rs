@@ -1,0 +1,210 @@
+//! One in-order, multi-issue, stall-on-use core.
+
+use gmt_ir::interp::MemoryLayout;
+use gmt_ir::{AddrMode, BlockId, Function, InstrId, Op, Operand, Reg};
+
+/// Why a core could not issue its next instruction this cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallReason {
+    /// A source operand was not ready (stall-on-use).
+    Operand,
+    /// A structural resource (issue slot / FU) was exhausted.
+    Structural,
+    /// The synchronization array ports were exhausted.
+    SaPort,
+    /// A produce found its queue full.
+    QueueFull,
+    /// A `consume.sync` waited for its token.
+    QueueEmpty,
+    /// The outstanding-load limit was reached.
+    LoadLimit,
+    /// The front end was refilling after a branch mispredict.
+    Mispredict,
+}
+
+/// Issue statistics of one core.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Computation instructions issued.
+    pub computation: u64,
+    /// Register communication instructions issued.
+    pub communication: u64,
+    /// Memory synchronization instructions issued.
+    pub synchronization: u64,
+    /// Cycle at which the core retired its `ret`.
+    pub finished_at: u64,
+    /// Stall cycles by cause.
+    pub stall_operand: u64,
+    /// See [`StallReason::Structural`].
+    pub stall_structural: u64,
+    /// See [`StallReason::SaPort`].
+    pub stall_sa_port: u64,
+    /// See [`StallReason::QueueFull`].
+    pub stall_queue_full: u64,
+    /// See [`StallReason::QueueEmpty`].
+    pub stall_queue_empty: u64,
+    /// See [`StallReason::LoadLimit`].
+    pub stall_load_limit: u64,
+    /// See [`StallReason::Mispredict`].
+    pub stall_mispredict: u64,
+    /// Mispredicted conditional branches.
+    pub mispredicts: u64,
+}
+
+impl CoreStats {
+    /// Total instructions issued.
+    pub fn total_instrs(&self) -> u64 {
+        self.computation + self.communication + self.synchronization
+    }
+
+    /// Records a stall.
+    pub fn record_stall(&mut self, r: StallReason) {
+        match r {
+            StallReason::Operand => self.stall_operand += 1,
+            StallReason::Structural => self.stall_structural += 1,
+            StallReason::SaPort => self.stall_sa_port += 1,
+            StallReason::QueueFull => self.stall_queue_full += 1,
+            StallReason::QueueEmpty => self.stall_queue_empty += 1,
+            StallReason::LoadLimit => self.stall_load_limit += 1,
+            StallReason::Mispredict => self.stall_mispredict += 1,
+        }
+    }
+}
+
+/// Architectural + microarchitectural state of one core.
+#[derive(Clone, Debug)]
+pub struct Core {
+    /// Register values.
+    pub regs: Vec<i64>,
+    /// Cycle at which each register's value becomes usable;
+    /// `u64::MAX` marks a pending (outstanding consume) register.
+    pub ready: Vec<u64>,
+    /// Monotonic write token per register, guarding late consume
+    /// deliveries against intervening redefinitions.
+    pub token: Vec<u64>,
+    next_token: u64,
+    /// Current block.
+    pub block: BlockId,
+    /// Position within the block (== body length means terminator).
+    pub pos: usize,
+    /// Whether the core has retired its return.
+    pub finished: bool,
+    /// Loads still in flight (dest not yet ready).
+    pub inflight_loads: Vec<u64>,
+    /// The front end is refilling after a branch mispredict until this
+    /// cycle.
+    pub fetch_stalled_until: u64,
+    /// Statistics.
+    pub stats: CoreStats,
+    layout: MemoryLayout,
+}
+
+impl Core {
+    /// A core about to execute `f` with the given arguments.
+    pub fn new(f: &Function, args: &[i64], layout: &MemoryLayout) -> Core {
+        let n = f.num_regs() as usize;
+        let mut regs = vec![0i64; n];
+        for (r, &v) in f.params.iter().zip(args) {
+            regs[r.index()] = v;
+        }
+        Core {
+            regs,
+            ready: vec![0; n],
+            token: vec![0; n],
+            next_token: 1,
+            block: f.entry(),
+            pos: 0,
+            finished: false,
+            inflight_loads: Vec::new(),
+            fetch_stalled_until: 0,
+            stats: CoreStats::default(),
+            layout: layout.clone(),
+        }
+    }
+
+    /// The instruction the core will issue next.
+    pub fn current_instr(&self, f: &Function) -> InstrId {
+        let block = f.block(self.block);
+        if self.pos < block.instrs.len() {
+            block.instrs[self.pos]
+        } else {
+            block.terminator.expect("verified function")
+        }
+    }
+
+    /// Whether all source registers of `op` are ready at `now`.
+    pub fn operands_ready(&self, op: &Op, now: u64) -> bool {
+        op.uses().iter().all(|r| self.ready[r.index()] <= now)
+    }
+
+    /// The value of an operand (operands are checked ready first).
+    pub fn operand(&self, o: Operand) -> i64 {
+        match o {
+            Operand::Reg(r) => self.regs[r.index()],
+            Operand::Imm(v) => v,
+        }
+    }
+
+    /// The effective byte address of a memory operand (cells are 8
+    /// bytes wide for cache indexing).
+    pub fn byte_addr(&self, a: AddrMode) -> i64 {
+        self.cell_addr(a).wrapping_mul(8)
+    }
+
+    /// The effective cell address of a memory operand.
+    pub fn cell_addr(&self, a: AddrMode) -> i64 {
+        self.regs[a.base.index()].wrapping_add(a.offset)
+    }
+
+    /// Resolves a `lea`.
+    pub fn lea(&self, obj: gmt_ir::ObjectId, off: i64) -> i64 {
+        self.layout.base(obj) as i64 + off
+    }
+
+    /// Writes `value` into `dst`, ready at `ready_at`; returns the
+    /// write token.
+    pub fn write(&mut self, dst: Reg, value: i64, ready_at: u64) -> u64 {
+        self.regs[dst.index()] = value;
+        self.ready[dst.index()] = ready_at;
+        let t = self.next_token;
+        self.next_token += 1;
+        self.token[dst.index()] = t;
+        t
+    }
+
+    /// Marks `dst` pending (outstanding consume); returns the token.
+    pub fn mark_pending(&mut self, dst: Reg) -> u64 {
+        self.ready[dst.index()] = u64::MAX;
+        let t = self.next_token;
+        self.next_token += 1;
+        self.token[dst.index()] = t;
+        t
+    }
+
+    /// Applies a late consume delivery if the register has not been
+    /// redefined since the consume issued.
+    pub fn deliver(&mut self, dst: Reg, token: u64, value: i64, ready_at: u64) {
+        if self.token[dst.index()] == token {
+            self.regs[dst.index()] = value;
+            self.ready[dst.index()] = ready_at;
+        }
+    }
+
+    /// Advances past the current (non-terminator) instruction.
+    pub fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    /// Jumps to the start of `target`.
+    pub fn jump_to(&mut self, target: BlockId) {
+        self.block = target;
+        self.pos = 0;
+    }
+
+    /// Drops completed loads from the in-flight set and returns the
+    /// number still outstanding.
+    pub fn outstanding_loads(&mut self, now: u64) -> usize {
+        self.inflight_loads.retain(|&t| t > now);
+        self.inflight_loads.len()
+    }
+}

@@ -1,0 +1,191 @@
+//! The synchronization array: low-latency inter-core scalar queues
+//! (Rangan et al. \[19\]).
+
+use gmt_ir::Reg;
+use std::collections::VecDeque;
+
+/// An entry sitting in a queue: a value and the cycle it becomes
+/// visible to consumers (producer's commit plus the SA latency).
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    value: i64,
+    avail: u64,
+}
+
+/// A consume that issued while its queue was empty: the destination
+/// register will be written when the matching produce arrives.
+/// `token` guards against the register being redefined in between
+/// (write-after-write with a later instruction).
+#[derive(Clone, Copy, Debug)]
+pub struct PendingConsume {
+    /// Core that issued the consume.
+    pub core: usize,
+    /// Destination register (`None` for `consume.sync`).
+    pub dst: Option<Reg>,
+    /// Register-file ownership token at issue time.
+    pub token: u64,
+}
+
+/// A value delivery that the simulator must apply to a core.
+#[derive(Clone, Copy, Debug)]
+pub struct Delivery {
+    /// The satisfied consume.
+    pub pending: PendingConsume,
+    /// The produced value.
+    pub value: i64,
+    /// Cycle at which the consumer's register becomes ready.
+    pub ready_at: u64,
+}
+
+/// One queue of the synchronization array.
+#[derive(Clone, Debug, Default)]
+struct Queue {
+    entries: VecDeque<Entry>,
+    pending: VecDeque<PendingConsume>,
+}
+
+/// The synchronization array.
+#[derive(Clone, Debug)]
+pub struct SyncArray {
+    queues: Vec<Queue>,
+    depth: usize,
+    latency: u64,
+}
+
+impl SyncArray {
+    /// An empty array.
+    pub fn new(num_queues: usize, depth: usize, latency: u64) -> SyncArray {
+        SyncArray {
+            queues: vec![Queue::default(); num_queues],
+            depth: depth.max(1),
+            latency,
+        }
+    }
+
+    /// Whether queue `q` can accept a produce this cycle.
+    pub fn can_produce(&self, q: usize) -> bool {
+        self.queues[q].entries.len() < self.depth
+    }
+
+    /// Produces `value` into queue `q` at cycle `now` (commit at
+    /// `now + 1`). If a consume is pending, returns the delivery to
+    /// apply instead of enqueuing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full (callers check
+    /// [`SyncArray::can_produce`] first).
+    pub fn produce(&mut self, q: usize, value: i64, now: u64) -> Option<Delivery> {
+        let avail = now + 1 + self.latency;
+        let queue = &mut self.queues[q];
+        if let Some(pending) = queue.pending.pop_front() {
+            return Some(Delivery { pending, value, ready_at: avail });
+        }
+        assert!(queue.entries.len() < self.depth, "produce into full queue");
+        queue.entries.push_back(Entry { value, avail });
+        None
+    }
+
+    /// Attempts a consume from queue `q` at cycle `now`.
+    ///
+    /// Returns `Ok((value, ready_at))` when an entry exists; otherwise
+    /// registers `pending` and returns `Err(())` — the consume is
+    /// outstanding and its destination becomes ready on delivery.
+    #[allow(clippy::result_unit_err)]
+    pub fn consume(
+        &mut self,
+        q: usize,
+        now: u64,
+        pending: PendingConsume,
+    ) -> Result<(i64, u64), ()> {
+        let queue = &mut self.queues[q];
+        if let Some(e) = queue.entries.pop_front() {
+            Ok((e.value, e.avail.max(now + 1)))
+        } else {
+            queue.pending.push_back(pending);
+            Err(())
+        }
+    }
+
+    /// Whether queue `q` holds a token visible at cycle `now`
+    /// (`consume.sync` blocks until this is true).
+    pub fn has_visible_entry(&self, q: usize, now: u64) -> bool {
+        self.queues[q].entries.front().is_some_and(|e| e.avail <= now)
+    }
+
+    /// Pops a token for `consume.sync`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no visible entry exists.
+    pub fn pop_token(&mut self, q: usize, now: u64) -> u64 {
+        let e = self.queues[q].entries.pop_front().expect("checked by caller");
+        e.avail.max(now)
+    }
+
+    /// Number of queues.
+    pub fn len(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Whether the array has no queues.
+    pub fn is_empty(&self) -> bool {
+        self.queues.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pc(core: usize) -> PendingConsume {
+        PendingConsume { core, dst: Some(Reg(0)), token: 0 }
+    }
+
+    #[test]
+    fn produce_then_consume() {
+        let mut sa = SyncArray::new(4, 2, 1);
+        assert!(sa.can_produce(0));
+        assert!(sa.produce(0, 42, 10).is_none());
+        let (v, ready) = sa.consume(0, 20, pc(1)).unwrap();
+        assert_eq!(v, 42);
+        assert_eq!(ready, 21, "entry already visible; consume takes 1 cycle");
+    }
+
+    #[test]
+    fn consume_before_produce_is_pending() {
+        let mut sa = SyncArray::new(4, 2, 1);
+        assert!(sa.consume(0, 5, pc(1)).is_err());
+        let d = sa.produce(0, 7, 9).expect("matches pending");
+        assert_eq!(d.value, 7);
+        assert_eq!(d.ready_at, 11, "commit at 10 + 1 cycle SA latency");
+        assert_eq!(d.pending.core, 1);
+    }
+
+    #[test]
+    fn backpressure_at_depth() {
+        let mut sa = SyncArray::new(1, 1, 1);
+        assert!(sa.produce(0, 1, 0).is_none());
+        assert!(!sa.can_produce(0));
+        let _ = sa.consume(0, 5, pc(0)).unwrap();
+        assert!(sa.can_produce(0));
+    }
+
+    #[test]
+    fn sync_token_visibility() {
+        let mut sa = SyncArray::new(1, 1, 1);
+        sa.produce(0, 1, 10); // visible at 12
+        assert!(!sa.has_visible_entry(0, 11));
+        assert!(sa.has_visible_entry(0, 12));
+        assert_eq!(sa.pop_token(0, 15), 15);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut sa = SyncArray::new(1, 4, 1);
+        sa.produce(0, 1, 0);
+        sa.produce(0, 2, 0);
+        assert_eq!(sa.consume(0, 9, pc(0)).unwrap().0, 1);
+        assert_eq!(sa.consume(0, 9, pc(0)).unwrap().0, 2);
+    }
+}

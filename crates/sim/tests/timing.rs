@@ -1,0 +1,267 @@
+//! Timed-simulation behavior: functional agreement with the reference
+//! interpreter, and first-order timing effects (decoupling, stalls,
+//! cache locality).
+
+use gmt_ir::interp::{run, ExecConfig};
+use gmt_ir::{BinOp, Function, FunctionBuilder, Op, QueueId};
+use gmt_pdg::{Partition, Pdg, ThreadId};
+use gmt_sim::{simulate, MachineConfig};
+
+fn counted_loop(iters_are_param: bool) -> Function {
+    let mut b = FunctionBuilder::new("loop");
+    let n = if iters_are_param { b.param() } else { b.const_(20) };
+    let i = b.fresh_reg();
+    let s = b.fresh_reg();
+    let h = b.block("h");
+    let body = b.block("body");
+    let exit = b.block("exit");
+    b.const_into(i, 0);
+    b.const_into(s, 0);
+    b.jump(h);
+    b.switch_to(h);
+    let c = b.bin(BinOp::Lt, i, n);
+    b.branch(c, body, exit);
+    b.switch_to(body);
+    let t = b.bin(BinOp::Mul, i, i);
+    b.bin_into(BinOp::Add, s, s, t);
+    b.bin_into(BinOp::Add, i, i, 1i64);
+    b.jump(h);
+    b.switch_to(exit);
+    b.output(s);
+    b.ret(Some(s.into()));
+    b.finish().unwrap()
+}
+
+#[test]
+fn single_core_matches_interpreter() {
+    let f = counted_loop(true);
+    let st = run(&f, &[20], &ExecConfig::default()).unwrap();
+    let sim = simulate(&[f], &[20], |_, _| {}, &MachineConfig::default()).unwrap();
+    assert_eq!(sim.return_value, st.return_value);
+    assert_eq!(sim.output, st.output);
+    // Dynamic instruction counts agree with the functional run.
+    assert_eq!(sim.cores[0].total_instrs(), st.counts.total());
+}
+
+#[test]
+fn mt_code_matches_interpreter_under_timing() {
+    let f = counted_loop(true);
+    let pdg = Pdg::build(&f);
+    let mut p = Partition::new(2);
+    for (k, i) in f.all_instrs().enumerate() {
+        p.assign(i, ThreadId(k as u32 % 2));
+    }
+    let out = gmt_mtcg::generate(&f, &pdg, &p).unwrap();
+    let st = run(&f, &[15], &ExecConfig::default()).unwrap();
+    for depth in [1usize, 32] {
+        let sim = simulate(
+            &out.threads,
+            &[15],
+            |_, _| {},
+            &MachineConfig::default().with_queue_depth(depth),
+        )
+        .unwrap();
+        assert_eq!(sim.return_value, st.return_value, "depth {depth}");
+        assert_eq!(sim.output, st.output, "depth {depth}");
+    }
+}
+
+#[test]
+fn dependent_chain_slower_than_independent() {
+    // A long dependent chain vs the same ops made independent.
+    let chain = {
+        let mut b = FunctionBuilder::new("chain");
+        let mut v = b.const_(1);
+        for _ in 0..64 {
+            v = b.bin(BinOp::Mul, v, 3i64);
+        }
+        b.ret(Some(v.into()));
+        b.finish().unwrap()
+    };
+    let indep = {
+        let mut b = FunctionBuilder::new("indep");
+        let x = b.const_(1);
+        let mut last = x;
+        for _ in 0..64 {
+            last = b.bin(BinOp::Mul, x, 3i64);
+        }
+        b.ret(Some(last.into()));
+        b.finish().unwrap()
+    };
+    let c1 = simulate(&[chain], &[], |_, _| {}, &MachineConfig::default()).unwrap();
+    let c2 = simulate(&[indep], &[], |_, _| {}, &MachineConfig::default()).unwrap();
+    assert!(
+        c1.cycles > c2.cycles + 60,
+        "stall-on-use must serialize the chain: {} vs {}",
+        c1.cycles,
+        c2.cycles
+    );
+}
+
+#[test]
+fn cache_miss_latency_visible() {
+    // Stride through 64KB (doesn't fit 16KB L1): many L1 misses.
+    let mut b = FunctionBuilder::new("stride");
+    let arr = b.object("arr", 8192);
+    let i = b.fresh_reg();
+    let s = b.fresh_reg();
+    let h = b.block("h");
+    let body = b.block("body");
+    let exit = b.block("exit");
+    b.const_into(i, 0);
+    b.const_into(s, 0);
+    b.jump(h);
+    b.switch_to(h);
+    let c = b.bin(BinOp::Lt, i, 8192i64);
+    b.branch(c, body, exit);
+    b.switch_to(body);
+    let base = b.lea(arr, 0);
+    let addr = b.bin(BinOp::Add, base, i);
+    let v = b.load(addr, 0);
+    b.bin_into(BinOp::Add, s, s, v);
+    b.bin_into(BinOp::Add, i, i, 8i64); // one load per 64B line
+    b.jump(h);
+    b.switch_to(exit);
+    b.ret(Some(s.into()));
+    let f = b.finish().unwrap();
+    let sim = simulate(&[f], &[], |_, _| {}, &MachineConfig::default()).unwrap();
+    assert!(sim.hits_mem > 500, "cold strides must reach memory: {}", sim.hits_mem);
+}
+
+#[test]
+fn producer_consumer_decouples() {
+    // Producer sends i each iteration; consumer multiplies (expensive).
+    // With a 32-deep queue, the pair should overlap; total time well
+    // under the sum of both threads run back to back.
+    let q = QueueId(0);
+    let iters = 200i64;
+    let producer = {
+        let mut b = FunctionBuilder::new("prod");
+        let i = b.fresh_reg();
+        let h = b.block("h");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.const_into(i, 0);
+        b.jump(h);
+        b.switch_to(h);
+        let c = b.bin(BinOp::Lt, i, iters);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.emit(Op::Produce { queue: q, value: i.into() });
+        b.bin_into(BinOp::Add, i, i, 1i64);
+        b.jump(h);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish().unwrap()
+    };
+    let consumer = {
+        let mut b = FunctionBuilder::new("cons");
+        let i = b.fresh_reg();
+        let s = b.fresh_reg();
+        let h = b.block("h");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.const_into(i, 0);
+        b.const_into(s, 0);
+        b.jump(h);
+        b.switch_to(h);
+        let c = b.bin(BinOp::Lt, i, iters);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let v = b.fresh_reg();
+        b.emit(Op::Consume { dst: v, queue: q });
+        let t = b.bin(BinOp::Mul, v, v);
+        let t2 = b.bin(BinOp::Mul, t, 3i64);
+        b.bin_into(BinOp::Add, s, s, t2);
+        b.bin_into(BinOp::Add, i, i, 1i64);
+        b.jump(h);
+        b.switch_to(exit);
+        b.ret(Some(s.into()));
+        b.finish().unwrap()
+    };
+    let cfg = MachineConfig::default();
+    let both = simulate(&[producer.clone(), consumer.clone()], &[], |_, _| {}, &cfg).unwrap();
+    // Consumer alone takes roughly its own critical path; producer
+    // overlaps almost entirely.
+    let expected = iters as u64 * 2;
+    assert!(
+        both.cycles < expected * 8,
+        "pipeline should overlap: {} cycles",
+        both.cycles
+    );
+    assert_eq!(both.return_value, Some((0..200).map(|x| x * x * 3).sum()));
+}
+
+#[test]
+fn consume_sync_blocks_until_token() {
+    // T1 waits on a token T0 sends after a long dependence chain.
+    let q = QueueId(0);
+    let t0 = {
+        let mut b = FunctionBuilder::new("t0");
+        let mut v = b.const_(1);
+        for _ in 0..32 {
+            v = b.bin(BinOp::Mul, v, 3i64);
+        }
+        b.emit(Op::ProduceSync { queue: q });
+        b.output(v);
+        b.ret(None);
+        b.finish().unwrap()
+    };
+    let t1 = {
+        let mut b = FunctionBuilder::new("t1");
+        b.emit(Op::ConsumeSync { queue: q });
+        b.ret(None);
+        b.finish().unwrap()
+    };
+    let sim = simulate(&[t0, t1], &[], |_, _| {}, &MachineConfig::default()).unwrap();
+    // T1 retires only after T0's 32 x 3-cycle chain.
+    assert!(sim.cores[1].finished_at >= 90, "{:?}", sim.cores[1]);
+    assert!(sim.cores[1].stall_queue_empty > 50);
+}
+
+#[test]
+fn deadlock_detected_in_time() {
+    let t0 = {
+        let mut b = FunctionBuilder::new("t0");
+        b.emit(Op::ConsumeSync { queue: QueueId(0) });
+        b.ret(None);
+        b.finish().unwrap()
+    };
+    let err = simulate(&[t0], &[], |_, _| {}, &MachineConfig::default()).unwrap_err();
+    assert_eq!(err, gmt_ir::interp::ExecError::Deadlock);
+}
+
+#[test]
+fn queue_depth_one_backpressures() {
+    // Same producer/consumer as above but depth 1: still correct.
+    let q = QueueId(0);
+    let producer = {
+        let mut b = FunctionBuilder::new("p");
+        for v in 0..8 {
+            b.emit(Op::Produce { queue: q, value: (v as i64).into() });
+        }
+        b.ret(None);
+        b.finish().unwrap()
+    };
+    let consumer = {
+        let mut b = FunctionBuilder::new("c");
+        let s = b.fresh_reg();
+        b.const_into(s, 0);
+        for _ in 0..8 {
+            let v = b.fresh_reg();
+            b.emit(Op::Consume { dst: v, queue: q });
+            b.bin_into(BinOp::Add, s, s, v);
+        }
+        b.ret(Some(s.into()));
+        b.finish().unwrap()
+    };
+    let sim = simulate(
+        &[producer, consumer],
+        &[],
+        |_, _| {},
+        &MachineConfig::default().with_queue_depth(1),
+    )
+    .unwrap();
+    assert_eq!(sim.return_value, Some(28));
+    assert!(sim.cores[0].stall_queue_full > 0, "{:?}", sim.cores[0]);
+}

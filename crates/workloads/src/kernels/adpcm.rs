@@ -1,0 +1,282 @@
+//! MediaBench ADPCM: `adpcm_decoder` and `adpcm_coder`.
+//!
+//! Both are single sequential loops over samples with two loop-carried
+//! scalar recurrences (`valpred` — the predicted value — and `index` —
+//! the quantizer step index), step/index table lookups, a sign hammock,
+//! and saturation clamps. The decoder consumes 4-bit deltas and emits
+//! samples; the coder consumes samples and emits deltas. This carries
+//! exactly the structure that made adpcm a DSWP/GREMIO staple: a tight
+//! recurrence plus per-iteration side computation.
+
+use crate::kernels::finish;
+use crate::{fill_below, fill_signed, Workload};
+use gmt_ir::interp::{Memory, MemoryLayout};
+use gmt_ir::{BinOp, FunctionBuilder, ObjectId};
+
+const N: u64 = 4096;
+const TRAIN: i64 = 256;
+const REF: i64 = 4096;
+
+/// Object indices (declaration order below).
+const OBJ_INPUT: ObjectId = ObjectId(0);
+const OBJ_OUTPUT: ObjectId = ObjectId(1);
+const OBJ_STEPTAB: ObjectId = ObjectId(2);
+const OBJ_INDEXTAB: ObjectId = ObjectId(3);
+
+fn init_tables(layout: &MemoryLayout, mem: &mut Memory, input_amp: bool) {
+    let ib = layout.base(OBJ_INPUT) as usize;
+    let sb = layout.base(OBJ_STEPTAB) as usize;
+    let xb = layout.base(OBJ_INDEXTAB) as usize;
+    let cells = mem.cells_mut();
+    if input_amp {
+        fill_signed(&mut cells[ib..ib + N as usize], 0x5EED, 6000);
+    } else {
+        fill_below(&mut cells[ib..ib + N as usize], 0x5EED, 16);
+    }
+    // The 89-entry step-size table (geometric growth like the real one).
+    let mut step = 7i64;
+    for k in 0..89 {
+        cells[sb + k] = step;
+        step += step / 10 + 1;
+    }
+    // The ADPCM index-adjustment table.
+    let idx = [-1i64, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
+    for (k, v) in idx.iter().enumerate() {
+        cells[xb + k] = *v;
+    }
+}
+
+fn init_dec(layout: &MemoryLayout, mem: &mut Memory) {
+    init_tables(layout, mem, false);
+}
+
+fn init_enc(layout: &MemoryLayout, mem: &mut Memory) {
+    init_tables(layout, mem, true);
+}
+
+/// `adpcm_decoder` (100% of adpcmdec execution).
+pub fn decoder() -> Workload {
+    let mut b = FunctionBuilder::new("adpcm_decoder");
+    let n = b.param();
+    let input = b.object("indata", N);
+    let out = b.object("outdata", N);
+    let steptab = b.object("stepsizeTable", 89);
+    let indextab = b.object("indexTable", 16);
+    debug_assert_eq!(input, OBJ_INPUT);
+    debug_assert_eq!(out, OBJ_OUTPUT);
+    debug_assert_eq!(steptab, OBJ_STEPTAB);
+    debug_assert_eq!(indextab, OBJ_INDEXTAB);
+
+    let i = b.fresh_reg();
+    let valpred = b.fresh_reg();
+    let index = b.fresh_reg();
+
+    let header = b.block("header");
+    let body = b.block("body");
+    let neg = b.block("sign_neg");
+    let pos = b.block("sign_pos");
+    let join = b.block("sign_join");
+    let exit = b.block("exit");
+
+    b.const_into(i, 0);
+    b.const_into(valpred, 0);
+    b.const_into(index, 0);
+    b.jump(header);
+
+    b.switch_to(header);
+    let c = b.bin(BinOp::Lt, i, n);
+    b.branch(c, body, exit);
+
+    b.switch_to(body);
+    let pin = b.lea(input, 0);
+    let pa = b.bin(BinOp::Add, pin, i);
+    let delta = b.load(pa, 0);
+    // index += indexTable[delta]; clamp to [0, 88]
+    let pxt = b.lea(indextab, 0);
+    let pxe = b.bin(BinOp::Add, pxt, delta);
+    let adj = b.load(pxe, 0);
+    b.bin_into(BinOp::Add, index, index, adj);
+    b.bin_into(BinOp::Max, index, index, 0i64);
+    b.bin_into(BinOp::Min, index, index, 88i64);
+    // step = stepsizeTable[index]
+    let pst = b.lea(steptab, 0);
+    let pse = b.bin(BinOp::Add, pst, index);
+    let step = b.load(pse, 0);
+    // vpdiff = step>>3 + bit-selected terms
+    let vpdiff = b.bin(BinOp::Shr, step, 3i64);
+    let b4 = b.bin(BinOp::And, delta, 4i64);
+    let t4 = b.bin(BinOp::Ne, b4, 0i64);
+    let m4 = b.bin(BinOp::Mul, t4, step);
+    b.bin_into(BinOp::Add, vpdiff, vpdiff, m4);
+    let b2 = b.bin(BinOp::And, delta, 2i64);
+    let t2 = b.bin(BinOp::Ne, b2, 0i64);
+    let s1 = b.bin(BinOp::Shr, step, 1i64);
+    let m2 = b.bin(BinOp::Mul, t2, s1);
+    b.bin_into(BinOp::Add, vpdiff, vpdiff, m2);
+    let b1 = b.bin(BinOp::And, delta, 1i64);
+    let t1 = b.bin(BinOp::Ne, b1, 0i64);
+    let s2 = b.bin(BinOp::Shr, step, 2i64);
+    let m1 = b.bin(BinOp::Mul, t1, s2);
+    b.bin_into(BinOp::Add, vpdiff, vpdiff, m1);
+    // Sign hammock: if (delta & 8) valpred -= vpdiff else += vpdiff.
+    let sign = b.bin(BinOp::And, delta, 8i64);
+    let signo = b.bin(BinOp::Ne, sign, 0i64);
+    b.branch(signo, neg, pos);
+
+    b.switch_to(neg);
+    b.bin_into(BinOp::Sub, valpred, valpred, vpdiff);
+    b.jump(join);
+    b.switch_to(pos);
+    b.bin_into(BinOp::Add, valpred, valpred, vpdiff);
+    b.jump(join);
+
+    b.switch_to(join);
+    // Saturate to 16-bit.
+    b.bin_into(BinOp::Max, valpred, valpred, -32768i64);
+    b.bin_into(BinOp::Min, valpred, valpred, 32767i64);
+    let pout = b.lea(out, 0);
+    let po = b.bin(BinOp::Add, pout, i);
+    b.store(po, 0, valpred);
+    b.bin_into(BinOp::Add, i, i, 1i64);
+    b.jump(header);
+
+    b.switch_to(exit);
+    b.output(valpred);
+    b.ret(Some(valpred.into()));
+
+    Workload {
+        name: "adpcm_decoder",
+        benchmark: "adpcmdec",
+        suite: "MediaBench",
+        exec_pct: 100,
+        function: finish(b),
+        train_args: vec![TRAIN],
+        ref_args: vec![REF],
+        init: init_dec,
+    }
+}
+
+/// `adpcm_coder` (100% of adpcmenc execution).
+pub fn coder() -> Workload {
+    let mut b = FunctionBuilder::new("adpcm_coder");
+    let n = b.param();
+    let input = b.object("indata", N);
+    let out = b.object("outdata", N);
+    let steptab = b.object("stepsizeTable", 89);
+    let indextab = b.object("indexTable", 16);
+    debug_assert_eq!(input, OBJ_INPUT);
+    debug_assert_eq!(out, OBJ_OUTPUT);
+    debug_assert_eq!(steptab, OBJ_STEPTAB);
+    debug_assert_eq!(indextab, OBJ_INDEXTAB);
+
+    let i = b.fresh_reg();
+    let valpred = b.fresh_reg();
+    let index = b.fresh_reg();
+
+    let header = b.block("header");
+    let body = b.block("body");
+    let dneg = b.block("diff_neg");
+    let dpos = b.block("diff_pos");
+    let djoin = b.block("diff_join");
+    let exit = b.block("exit");
+
+    b.const_into(i, 0);
+    b.const_into(valpred, 0);
+    b.const_into(index, 0);
+    b.jump(header);
+
+    b.switch_to(header);
+    let c = b.bin(BinOp::Lt, i, n);
+    b.branch(c, body, exit);
+
+    b.switch_to(body);
+    let pin = b.lea(input, 0);
+    let pa = b.bin(BinOp::Add, pin, i);
+    let val = b.load(pa, 0);
+    let step = {
+        let pst = b.lea(steptab, 0);
+        let pse = b.bin(BinOp::Add, pst, index);
+        b.load(pse, 0)
+    };
+    // diff = val - valpred; sign hammock sets delta bit 3 and |diff|.
+    let diff = b.bin(BinOp::Sub, val, valpred);
+    let sbit = b.fresh_reg();
+    let adiff = b.fresh_reg();
+    let isneg = b.bin(BinOp::Lt, diff, 0i64);
+    b.branch(isneg, dneg, dpos);
+
+    b.switch_to(dneg);
+    b.const_into(sbit, 8);
+    let negd = b.un(gmt_ir::UnOp::Neg, diff);
+    b.mov_into(adiff, negd);
+    b.jump(djoin);
+    b.switch_to(dpos);
+    b.const_into(sbit, 0);
+    b.mov_into(adiff, diff);
+    b.jump(djoin);
+
+    b.switch_to(djoin);
+    // Quantize |diff| into 3 bits (delta) and reconstruct vpdiff.
+    let bit2 = b.bin(BinOp::Le, step, adiff);
+    let rem2 = b.bin(BinOp::Mul, bit2, step);
+    let ad2 = b.bin(BinOp::Sub, adiff, rem2);
+    let half = b.bin(BinOp::Shr, step, 1i64);
+    let bit1 = b.bin(BinOp::Le, half, ad2);
+    let rem1 = b.bin(BinOp::Mul, bit1, half);
+    let ad1 = b.bin(BinOp::Sub, ad2, rem1);
+    let quarter = b.bin(BinOp::Shr, step, 2i64);
+    let bit0 = b.bin(BinOp::Le, quarter, ad1);
+    let d2 = b.bin(BinOp::Shl, bit2, 2i64);
+    let d1 = b.bin(BinOp::Shl, bit1, 1i64);
+    let dlow = b.bin(BinOp::Or, d2, d1);
+    let dmag = b.bin(BinOp::Or, dlow, bit0);
+    let delta = b.bin(BinOp::Or, dmag, sbit);
+    // vpdiff = step>>3 + selected terms; update valpred toward val.
+    let vpdiff = b.bin(BinOp::Shr, step, 3i64);
+    let m4 = b.bin(BinOp::Mul, bit2, step);
+    b.bin_into(BinOp::Add, vpdiff, vpdiff, m4);
+    let m2 = b.bin(BinOp::Mul, bit1, half);
+    b.bin_into(BinOp::Add, vpdiff, vpdiff, m2);
+    let m1 = b.bin(BinOp::Mul, bit0, quarter);
+    b.bin_into(BinOp::Add, vpdiff, vpdiff, m1);
+    let signed_vp = {
+        // valpred += sbit ? -vpdiff : vpdiff (branch-free here; the
+        // hammock above already carries the control structure).
+        let has_sign = b.bin(BinOp::Ne, sbit, 0i64);
+        let two = b.bin(BinOp::Mul, has_sign, vpdiff);
+        let twice = b.bin(BinOp::Mul, two, 2i64);
+        
+        b.bin(BinOp::Sub, vpdiff, twice)
+    };
+    b.bin_into(BinOp::Add, valpred, valpred, signed_vp);
+    b.bin_into(BinOp::Max, valpred, valpred, -32768i64);
+    b.bin_into(BinOp::Min, valpred, valpred, 32767i64);
+    // index += indexTable[delta]; clamp.
+    let pxt = b.lea(indextab, 0);
+    let pxe = b.bin(BinOp::Add, pxt, delta);
+    let adj = b.load(pxe, 0);
+    b.bin_into(BinOp::Add, index, index, adj);
+    b.bin_into(BinOp::Max, index, index, 0i64);
+    b.bin_into(BinOp::Min, index, index, 88i64);
+    // Emit the 4-bit code.
+    let pout = b.lea(out, 0);
+    let po = b.bin(BinOp::Add, pout, i);
+    b.store(po, 0, delta);
+    b.bin_into(BinOp::Add, i, i, 1i64);
+    b.jump(header);
+
+    b.switch_to(exit);
+    b.output(index);
+    b.ret(Some(valpred.into()));
+
+    Workload {
+        name: "adpcm_coder",
+        benchmark: "adpcmenc",
+        suite: "MediaBench",
+        exec_pct: 100,
+        function: finish(b),
+        train_args: vec![TRAIN],
+        ref_args: vec![REF],
+        init: init_enc,
+    }
+}

@@ -1,0 +1,133 @@
+//! SPEC `188.ammp`: `mm_fv_update_nonbon` (79% of execution).
+//!
+//! The non-bonded force update: for every atom pair on the neighbor
+//! list, compute the squared distance, test against the cutoff, and if
+//! inside compute Lennard-Jones-style force terms (FP-heavy) and
+//! scatter force updates to *both* atoms. Reproduced in fixed point
+//! with the same shape: neighbor-list indirection, a cutoff hammock,
+//! an expensive FP-classified tail, and dual force scatters.
+
+use crate::kernels::finish;
+use crate::{fill_signed, Rng, Workload};
+use gmt_ir::interp::{Memory, MemoryLayout};
+use gmt_ir::{BinOp, FunctionBuilder, ObjectId};
+
+const ATOMS: u64 = 512;
+const PAIRS: u64 = 4096;
+const OBJ_PAIR_A: ObjectId = ObjectId(0);
+const OBJ_PAIR_B: ObjectId = ObjectId(1);
+const OBJ_POS: ObjectId = ObjectId(2);
+const OBJ_FORCE: ObjectId = ObjectId(3);
+
+fn init(layout: &MemoryLayout, mem: &mut Memory) {
+    let ab = layout.base(OBJ_PAIR_A) as usize;
+    let bb = layout.base(OBJ_PAIR_B) as usize;
+    let pb = layout.base(OBJ_POS) as usize;
+    let cells = mem.cells_mut();
+    let mut rng = Rng::new(0xA117);
+    for k in 0..PAIRS as usize {
+        cells[ab + k] = rng.below(ATOMS) as i64;
+        cells[bb + k] = rng.below(ATOMS) as i64;
+    }
+    fill_signed(&mut cells[pb..pb + ATOMS as usize], 0xA70, 30);
+}
+
+/// Builds the `mm_fv_update_nonbon` workload. Arguments: `(npairs, cutoff2)`.
+pub fn mm_fv_update_nonbon() -> Workload {
+    let mut b = FunctionBuilder::new("mm_fv_update_nonbon");
+    let npairs = b.param();
+    let cutoff2 = b.param();
+    let pair_a = b.object("pair_a", PAIRS);
+    let pair_b = b.object("pair_b", PAIRS);
+    let pos = b.object("atom_pos", ATOMS);
+    let force = b.object("atom_force", ATOMS);
+    debug_assert_eq!(pair_a, OBJ_PAIR_A);
+    debug_assert_eq!(pair_b, OBJ_PAIR_B);
+    debug_assert_eq!(pos, OBJ_POS);
+    debug_assert_eq!(force, OBJ_FORCE);
+
+    let k = b.fresh_reg();
+    let vtot = b.fresh_reg();
+
+    let header = b.block("header");
+    let body = b.block("body");
+    let inside = b.block("inside_cutoff");
+    let outside = b.block("outside_cutoff");
+    let next = b.block("next");
+    let exit = b.block("exit");
+
+    b.const_into(k, 0);
+    b.const_into(vtot, 0);
+    b.jump(header);
+
+    b.switch_to(header);
+    let c = b.bin(BinOp::Lt, k, npairs);
+    b.branch(c, body, exit);
+
+    b.switch_to(body);
+    let pa = b.lea(pair_a, 0);
+    let pae = b.bin(BinOp::Add, pa, k);
+    let ai = b.load(pae, 0);
+    let pb_ = b.lea(pair_b, 0);
+    let pbe = b.bin(BinOp::Add, pb_, k);
+    let bi = b.load(pbe, 0);
+    let pp = b.lea(pos, 0);
+    let ppa = b.bin(BinOp::Add, pp, ai);
+    let xa = b.load(ppa, 0);
+    let ppb = b.bin(BinOp::Add, pp, bi);
+    let xb = b.load(ppb, 0);
+    let dx = b.bin(BinOp::Sub, xa, xb);
+    let r2 = b.bin(BinOp::FMul, dx, dx);
+    let in_range = b.bin(BinOp::Lt, r2, cutoff2);
+    b.branch(in_range, inside, outside);
+
+    b.switch_to(inside);
+    // LJ-style terms in fixed point: r2+1 avoids the singularity.
+    let r2s = b.bin(BinOp::Add, r2, 1i64);
+    let inv = b.bin(BinOp::FDiv, 1_000_000i64, r2s);
+    let inv2 = b.bin(BinOp::FMul, inv, inv);
+    let inv3 = b.bin(BinOp::FMul, inv2, inv);
+    let rep = b.bin(BinOp::Shr, inv3, 20i64);
+    let att = b.bin(BinOp::Shr, inv2, 10i64);
+    let fmag = b.bin(BinOp::FSub, rep, att);
+    b.bin_into(BinOp::Add, vtot, vtot, fmag);
+    // Scatter to both atoms' forces.
+    let pf = b.lea(force, 0);
+    let pfa = b.bin(BinOp::Add, pf, ai);
+    let fa = b.load(pfa, 0);
+    let fa2 = b.bin(BinOp::FAdd, fa, fmag);
+    b.store(pfa, 0, fa2);
+    let pfb = b.bin(BinOp::Add, pf, bi);
+    let fb = b.load(pfb, 0);
+    let fb2 = b.bin(BinOp::FSub, fb, fmag);
+    b.store(pfb, 0, fb2);
+    b.jump(next);
+
+    b.switch_to(outside);
+    b.jump(next);
+
+    b.switch_to(next);
+    b.bin_into(BinOp::Add, k, k, 1i64);
+    b.jump(header);
+
+    b.switch_to(exit);
+    // Fold in a couple of force cells as the oracle checksum.
+    let pf2 = b.lea(force, 0);
+    let f0 = b.load(pf2, 0);
+    let f1 = b.load(pf2, 1);
+    let chk0 = b.bin(BinOp::Add, vtot, f0);
+    let chk = b.bin(BinOp::Add, chk0, f1);
+    b.output(chk);
+    b.ret(Some(chk.into()));
+
+    Workload {
+        name: "mm_fv_update_nonbon",
+        benchmark: "188.ammp",
+        suite: "SPEC-CPU",
+        exec_pct: 79,
+        function: finish(b),
+        train_args: vec![256, 900],
+        ref_args: vec![PAIRS as i64, 900],
+        init,
+    }
+}

@@ -1,0 +1,176 @@
+//! SPEC `183.equake`: `smvp` (63% of execution).
+//!
+//! Sparse matrix–vector product over the earthquake mesh in symmetric
+//! CSR form: for each row `i`, the diagonal contribution plus, for each
+//! stored off-diagonal `(i, col)`, updates to *both* `w[i]` and
+//! `w[col]` — the symmetric scatter that gives smvp its loop-carried
+//! memory dependences through the result vector.
+
+use crate::kernels::finish;
+use crate::{fill_signed, Rng, Workload};
+use gmt_ir::interp::{Memory, MemoryLayout};
+use gmt_ir::{BinOp, FunctionBuilder, ObjectId};
+
+const ROWS: u64 = 512;
+const NNZ_PER_ROW: u64 = 4;
+const NNZ: u64 = ROWS * NNZ_PER_ROW;
+const OBJ_ROWSTART: ObjectId = ObjectId(0);
+const OBJ_COL: ObjectId = ObjectId(1);
+const OBJ_A: ObjectId = ObjectId(2);
+const OBJ_ADIAG: ObjectId = ObjectId(3);
+const OBJ_V: ObjectId = ObjectId(4);
+const OBJ_W: ObjectId = ObjectId(5);
+
+fn init(layout: &MemoryLayout, mem: &mut Memory) {
+    let rs = layout.base(OBJ_ROWSTART) as usize;
+    let co = layout.base(OBJ_COL) as usize;
+    let ab = layout.base(OBJ_A) as usize;
+    let db = layout.base(OBJ_ADIAG) as usize;
+    let vb = layout.base(OBJ_V) as usize;
+    let cells = mem.cells_mut();
+    let mut rng = Rng::new(0x0E5);
+    // Fixed fan-out CSR: row i owns entries [i*4, i*4+4), cols < i
+    // (lower triangle, like the mesh's symmetric storage).
+    for i in 0..=ROWS as usize {
+        cells[rs + i] = (i as u64 * NNZ_PER_ROW) as i64;
+    }
+    for i in 0..ROWS as usize {
+        for k in 0..NNZ_PER_ROW as usize {
+            let col = if i == 0 { 0 } else { rng.below(i as u64) as i64 };
+            cells[co + i * NNZ_PER_ROW as usize + k] = col;
+        }
+    }
+    fill_signed(&mut cells[ab..ab + NNZ as usize], 0xA0, 20);
+    fill_signed(&mut cells[db..db + ROWS as usize], 0xD1, 20);
+    fill_signed(&mut cells[vb..vb + ROWS as usize], 0x77, 100);
+}
+
+/// Builds the `smvp` workload. Arguments: `(rows,)`.
+pub fn smvp() -> Workload {
+    let mut b = FunctionBuilder::new("smvp");
+    let rows = b.param();
+    let rowstart = b.object("Aindex_row", ROWS + 1);
+    let col = b.object("Aindex_col", NNZ);
+    let a = b.object("A", NNZ);
+    let adiag = b.object("Adiag", ROWS);
+    let v = b.object("v", ROWS);
+    let w = b.object("w", ROWS);
+    debug_assert_eq!(rowstart, OBJ_ROWSTART);
+    debug_assert_eq!(col, OBJ_COL);
+    debug_assert_eq!(a, OBJ_A);
+    debug_assert_eq!(adiag, OBJ_ADIAG);
+    debug_assert_eq!(v, OBJ_V);
+    debug_assert_eq!(w, OBJ_W);
+
+    let i = b.fresh_reg();
+    let k = b.fresh_reg();
+    let kend = b.fresh_reg();
+    let sum = b.fresh_reg();
+
+    let row_h = b.block("row_header");
+    let row_body = b.block("row_body");
+    let nz_h = b.block("nz_header");
+    let nz_body = b.block("nz_body");
+    let row_tail = b.block("row_tail");
+    let chk_init = b.block("chk_init");
+    let chk_h = b.block("chk_header");
+    let chk_body = b.block("chk_body");
+    let exit = b.block("exit");
+
+    b.const_into(i, 0);
+    b.jump(row_h);
+
+    b.switch_to(row_h);
+    let c = b.bin(BinOp::Lt, i, rows);
+    b.branch(c, row_body, chk_init);
+
+    b.switch_to(row_body);
+    // sum = Adiag[i] * v[i]
+    let pd = b.lea(adiag, 0);
+    let pde = b.bin(BinOp::Add, pd, i);
+    let dv = b.load(pde, 0);
+    let pv = b.lea(v, 0);
+    let pve = b.bin(BinOp::Add, pv, i);
+    let vi = b.load(pve, 0);
+    let prod0 = b.bin(BinOp::FMul, dv, vi);
+    b.mov_into(sum, prod0);
+    // k = rowstart[i]; kend = rowstart[i+1]
+    let prs = b.lea(rowstart, 0);
+    let prse = b.bin(BinOp::Add, prs, i);
+    let k0 = b.load(prse, 0);
+    b.mov_into(k, k0);
+    let kend0 = b.load(prse, 1);
+    b.mov_into(kend, kend0);
+    b.jump(nz_h);
+
+    b.switch_to(nz_h);
+    let cn = b.bin(BinOp::Lt, k, kend);
+    b.branch(cn, nz_body, row_tail);
+
+    b.switch_to(nz_body);
+    let pcol = b.lea(col, 0);
+    let pcole = b.bin(BinOp::Add, pcol, k);
+    let cj = b.load(pcole, 0);
+    let pa = b.lea(a, 0);
+    let pae = b.bin(BinOp::Add, pa, k);
+    let av = b.load(pae, 0);
+    // sum += A[k] * v[col]
+    let pvc = b.bin(BinOp::Add, pv, cj);
+    let vc = b.load(pvc, 0);
+    let p1 = b.bin(BinOp::FMul, av, vc);
+    b.bin_into(BinOp::FAdd, sum, sum, p1);
+    // Symmetric scatter: w[col] += A[k] * v[i]
+    let p2 = b.bin(BinOp::FMul, av, vi);
+    let pw = b.lea(w, 0);
+    let pwc = b.bin(BinOp::Add, pw, cj);
+    let wold = b.load(pwc, 0);
+    let wnew = b.bin(BinOp::FAdd, wold, p2);
+    b.store(pwc, 0, wnew);
+    b.bin_into(BinOp::Add, k, k, 1i64);
+    b.jump(nz_h);
+
+    b.switch_to(row_tail);
+    // w[i] += sum
+    let pw2 = b.lea(w, 0);
+    let pwi = b.bin(BinOp::Add, pw2, i);
+    let wi = b.load(pwi, 0);
+    let wsum = b.bin(BinOp::FAdd, wi, sum);
+    b.store(pwi, 0, wsum);
+    b.bin_into(BinOp::Add, i, i, 1i64);
+    b.jump(row_h);
+
+    // Checksum loop over w.
+    b.switch_to(chk_init);
+    let chk = b.fresh_reg();
+    let ci = b.fresh_reg();
+    b.const_into(chk, 0);
+    b.const_into(ci, 0);
+    b.jump(chk_h);
+
+    b.switch_to(chk_h);
+    let cc = b.bin(BinOp::Lt, ci, rows);
+    b.branch(cc, chk_body, exit);
+
+    b.switch_to(chk_body);
+    let pw3 = b.lea(w, 0);
+    let pwe = b.bin(BinOp::Add, pw3, ci);
+    let wv = b.load(pwe, 0);
+    b.bin_into(BinOp::Add, chk, chk, wv);
+    b.bin_into(BinOp::Add, ci, ci, 1i64);
+    b.jump(chk_h);
+
+    b.switch_to(exit);
+    b.output(chk);
+    b.ret(Some(chk.into()));
+
+    Workload {
+        name: "smvp",
+        benchmark: "183.equake",
+        suite: "SPEC-CPU",
+        exec_pct: 63,
+        function: finish(b),
+        train_args: vec![96],
+        ref_args: vec![ROWS as i64],
+        init,
+    }
+}

@@ -1,0 +1,132 @@
+//! SPEC `435.gromacs`: `inl1130` (75% of execution).
+//!
+//! The water–water non-bonded inner loop: for each neighbor j, load
+//! the j-water's coordinates, compute the 3×3 inter-atom distances,
+//! evaluate reciprocal-distance interactions (FP-heavy), accumulate
+//! potential, and scatter forces back to the j-water's force array.
+//!
+//! The paper's standout result here is *cache capacity*: DSWP reached
+//! 2.44× because splitting the loop across two cores "effectively used
+//! the doubled L2 cache capacity (the cores have private L2)". This
+//! kernel preserves that mechanism: the coordinate tables and the
+//! force/interaction tables are each ~192 KB — together they exceed
+//! one 256 KB private L2, but each half fits comfortably, so a
+//! pipeline that reads coordinates in one stage and touches
+//! force/interaction tables in the other doubles the effective cache.
+
+use crate::kernels::finish;
+use crate::{fill_below, fill_signed, Workload};
+use gmt_ir::interp::{Memory, MemoryLayout};
+use gmt_ir::{BinOp, FunctionBuilder, ObjectId};
+
+/// 12288 cells = 96 KB of coordinates (and of neighbor indices, force
+/// accumulators, and the interaction table below). The coordinate-side
+/// tables (~192 KB) and the force-side tables (~192 KB) each fit one
+/// 256 KB private L2 but together overflow it — the capacity cliff the
+/// DSWP split crosses.
+const COORDS: u64 = 12288;
+/// Interaction-table cells.
+const FTAB: u64 = 12288;
+const PAIRS: u64 = 12288;
+const OBJ_JLIST: ObjectId = ObjectId(0);
+const OBJ_POS: ObjectId = ObjectId(1);
+const OBJ_FTAB: ObjectId = ObjectId(2);
+const OBJ_FORCE: ObjectId = ObjectId(3);
+
+fn init(layout: &MemoryLayout, mem: &mut Memory) {
+    let jb = layout.base(OBJ_JLIST) as usize;
+    let pb = layout.base(OBJ_POS) as usize;
+    let tb = layout.base(OBJ_FTAB) as usize;
+    let cells = mem.cells_mut();
+    fill_below(&mut cells[jb..jb + PAIRS as usize], 0x960, COORDS - 3);
+    fill_signed(&mut cells[pb..pb + COORDS as usize], 0x961, 100);
+    fill_signed(&mut cells[tb..tb + FTAB as usize], 0x962, 50);
+}
+
+/// Builds the `inl1130` workload. Arguments: `(npairs,)`.
+pub fn inl1130() -> Workload {
+    let mut b = FunctionBuilder::new("inl1130");
+    let npairs = b.param();
+    let jlist = b.object("jjnr", PAIRS);
+    let pos = b.object("pos", COORDS);
+    let ftab = b.object("VFtab", FTAB);
+    let force = b.object("faction", COORDS);
+    debug_assert_eq!(jlist, OBJ_JLIST);
+    debug_assert_eq!(pos, OBJ_POS);
+    debug_assert_eq!(ftab, OBJ_FTAB);
+    debug_assert_eq!(force, OBJ_FORCE);
+
+    let k = b.fresh_reg();
+    let vtot = b.fresh_reg();
+    // The i-water's three "atoms" (fixed for the whole call).
+    let ix0 = b.fresh_reg();
+    let ix1 = b.fresh_reg();
+    let ix2 = b.fresh_reg();
+
+    let header = b.block("header");
+    let body = b.block("body");
+    let exit = b.block("exit");
+
+    b.const_into(k, 0);
+    b.const_into(vtot, 0);
+    b.const_into(ix0, 13);
+    b.const_into(ix1, -7);
+    b.const_into(ix2, 29);
+    b.jump(header);
+
+    b.switch_to(header);
+    let c = b.bin(BinOp::Lt, k, npairs);
+    b.branch(c, body, exit);
+
+    b.switch_to(body);
+    // Stage 1: gather the j-water coordinates (coordinate table).
+    let pj = b.lea(jlist, 0);
+    let pje = b.bin(BinOp::Add, pj, k);
+    let j = b.load(pje, 0);
+    let pp = b.lea(pos, 0);
+    let pp0 = b.bin(BinOp::Add, pp, j);
+    let jx0 = b.load(pp0, 0);
+    let jx1 = b.load(pp0, 1);
+    let jx2 = b.load(pp0, 2);
+    // 3x3 distance terms (one coordinate dimension, fixed point).
+    let mut rsum = b.const_(0);
+    for &ix in &[ix0, ix1, ix2] {
+        for &jx in &[jx0, jx1, jx2] {
+            let d = b.bin(BinOp::Sub, ix, jx);
+            let d2 = b.bin(BinOp::FMul, d, d);
+            rsum = b.bin(BinOp::FAdd, rsum, d2);
+        }
+    }
+    // Stage 2: interaction via the force table (second table) plus a
+    // reciprocal surrogate, then scatter forces.
+    let r2c = b.bin(BinOp::Add, rsum, 1i64);
+    let rinv = b.bin(BinOp::FDiv, 1_000_000i64, r2c);
+    let idx = b.bin(BinOp::And, rsum, (FTAB - 1) as i64);
+    let pt = b.lea(ftab, 0);
+    let pte = b.bin(BinOp::Add, pt, idx);
+    let tabv = b.load(pte, 0);
+    let vterm = b.bin(BinOp::FMul, tabv, rinv);
+    b.bin_into(BinOp::FAdd, vtot, vtot, vterm);
+    let pf = b.lea(force, 0);
+    let pfj = b.bin(BinOp::Add, pf, j);
+    let fj = b.load(pfj, 0);
+    let fj2 = b.bin(BinOp::FAdd, fj, vterm);
+    b.store(pfj, 0, fj2);
+    b.bin_into(BinOp::Add, k, k, 1i64);
+    b.jump(header);
+
+    b.switch_to(exit);
+    b.output(vtot);
+    b.ret(Some(vtot.into()));
+
+    Workload {
+        name: "inl1130",
+        benchmark: "435.gromacs",
+        suite: "SPEC-CPU",
+        exec_pct: 75,
+        function: finish(b),
+        train_args: vec![2048],
+        ref_args: vec![PAIRS as i64],
+        init,
+    }
+}

@@ -1,0 +1,142 @@
+//! Pointer-Intensive `ks`: `FindMaxGpAndSwap` (100% of execution).
+//!
+//! The original walks the gain lists of a Kernighan–Schweikert graph
+//! partitioner: an inner scan finds the module with maximum gain, then
+//! a second inner loop applies the swap and updates neighbor gains.
+//! The structure reproduced here is the paper's headline COCO case:
+//! the max-scan loop produces *live-outs* (`maxgp`, `maxi`) consumed
+//! only after the loop — with baseline MTCG the consumer thread
+//! replicates the whole scan loop just to receive the value each
+//! iteration (Figure 4), and COCO's min-cut sinks the communication
+//! below the loop, deleting the loop from the consumer thread (the
+//! 73.7% reduction for ks-GREMIO).
+
+use crate::kernels::finish;
+use crate::{fill_signed, Workload};
+use gmt_ir::interp::{Memory, MemoryLayout};
+use gmt_ir::{BinOp, FunctionBuilder, ObjectId};
+
+const N: u64 = 512;
+const OBJ_GAIN: ObjectId = ObjectId(0);
+const OBJ_COST: ObjectId = ObjectId(1);
+
+fn init(layout: &MemoryLayout, mem: &mut Memory) {
+    let gb = layout.base(OBJ_GAIN) as usize;
+    let cb = layout.base(OBJ_COST) as usize;
+    let cells = mem.cells_mut();
+    fill_signed(&mut cells[gb..gb + N as usize], 0xAB1E, 1000);
+    fill_signed(&mut cells[cb..cb + N as usize], 0xF00D, 50);
+}
+
+/// Builds the `FindMaxGpAndSwap` workload. Arguments: `(passes, n)`.
+pub fn find_max_gp_and_swap() -> Workload {
+    let mut b = FunctionBuilder::new("FindMaxGpAndSwap");
+    let passes = b.param();
+    let n = b.param();
+    let gain = b.object("gain", N);
+    let cost = b.object("cost", N);
+    debug_assert_eq!(gain, OBJ_GAIN);
+    debug_assert_eq!(cost, OBJ_COST);
+
+    let pass = b.fresh_reg();
+    let total = b.fresh_reg();
+    let maxgp = b.fresh_reg();
+    let maxi = b.fresh_reg();
+    let i = b.fresh_reg();
+    let j = b.fresh_reg();
+
+    let pass_h = b.block("pass_header");
+    let scan_init = b.block("scan_init");
+    let scan_h = b.block("scan_header");
+    let scan_body = b.block("scan_body");
+    let scan_upd = b.block("scan_update");
+    let scan_next = b.block("scan_next");
+    let upd_init = b.block("update_init");
+    let upd_h = b.block("update_header");
+    let upd_body = b.block("update_body");
+    let pass_tail = b.block("pass_tail");
+    let exit = b.block("exit");
+
+    b.const_into(pass, 0);
+    b.const_into(total, 0);
+    b.jump(pass_h);
+
+    b.switch_to(pass_h);
+    let cp = b.bin(BinOp::Lt, pass, passes);
+    b.branch(cp, scan_init, exit);
+
+    // -- scan loop: find max gain and its index (live-outs).
+    b.switch_to(scan_init);
+    b.const_into(maxgp, i64::MIN / 2);
+    b.const_into(maxi, 0);
+    b.const_into(i, 0);
+    b.jump(scan_h);
+
+    b.switch_to(scan_h);
+    let cs = b.bin(BinOp::Lt, i, n);
+    b.branch(cs, scan_body, upd_init);
+
+    b.switch_to(scan_body);
+    let pg = b.lea(gain, 0);
+    let pge = b.bin(BinOp::Add, pg, i);
+    let g = b.load(pge, 0);
+    let better = b.bin(BinOp::Lt, maxgp, g);
+    b.branch(better, scan_upd, scan_next);
+
+    b.switch_to(scan_upd);
+    b.mov_into(maxgp, g);
+    b.mov_into(maxi, i);
+    b.jump(scan_next);
+
+    b.switch_to(scan_next);
+    b.bin_into(BinOp::Add, i, i, 1i64);
+    b.jump(scan_h);
+
+    // -- swap/update loop: apply the chosen move to every gain.
+    b.switch_to(upd_init);
+    b.const_into(j, 0);
+    b.jump(upd_h);
+
+    b.switch_to(upd_h);
+    let cu = b.bin(BinOp::Lt, j, n);
+    b.branch(cu, upd_body, pass_tail);
+
+    b.switch_to(upd_body);
+    let pc = b.lea(cost, 0);
+    let pce = b.bin(BinOp::Add, pc, j);
+    let cst = b.load(pce, 0);
+    // delta(maxi, j): a cheap mixing function of the chosen index.
+    let mix = b.bin(BinOp::Xor, maxi, j);
+    let mix7 = b.bin(BinOp::And, mix, 7i64);
+    let d = b.bin(BinOp::Sub, cst, mix7);
+    let pg2 = b.lea(gain, 0);
+    let pg2e = b.bin(BinOp::Add, pg2, j);
+    let old = b.load(pg2e, 0);
+    let newg = b.bin(BinOp::Add, old, d);
+    b.store(pg2e, 0, newg);
+    b.bin_into(BinOp::Add, j, j, 1i64);
+    b.jump(upd_h);
+
+    b.switch_to(pass_tail);
+    // Consume the scan live-outs after the loop.
+    b.bin_into(BinOp::Add, total, total, maxgp);
+    let scaled = b.bin(BinOp::Mul, maxi, 3i64);
+    b.bin_into(BinOp::Add, total, total, scaled);
+    b.bin_into(BinOp::Add, pass, pass, 1i64);
+    b.jump(pass_h);
+
+    b.switch_to(exit);
+    b.output(total);
+    b.ret(Some(total.into()));
+
+    Workload {
+        name: "FindMaxGpAndSwap",
+        benchmark: "ks",
+        suite: "Pointer-Intensive",
+        exec_pct: 100,
+        function: finish(b),
+        train_args: vec![6, 64],
+        ref_args: vec![24, 512],
+        init,
+    }
+}

@@ -1,0 +1,123 @@
+//! SPEC `181.mcf`: `refresh_potential` (32% of execution).
+//!
+//! The original walks the spanning tree of the network simplex in
+//! preorder, computing `node->potential = node->parent->potential +
+//! node->cost` (sign depending on arc orientation). The defining
+//! structure is a *pointer-chasing recurrence through memory*: each
+//! node's potential is loaded from its parent's freshly-stored
+//! potential, so iterations are linked by store→load memory
+//! dependences. Reproduced here with array-encoded parent links in
+//! preorder (parents always precede children).
+
+use crate::kernels::finish;
+use crate::{fill_signed, Rng, Workload};
+use gmt_ir::interp::{Memory, MemoryLayout};
+use gmt_ir::{BinOp, FunctionBuilder, ObjectId};
+
+const N: u64 = 2048;
+const OBJ_PARENT: ObjectId = ObjectId(0);
+const OBJ_COST: ObjectId = ObjectId(1);
+const OBJ_ORIENT: ObjectId = ObjectId(2);
+const OBJ_POT: ObjectId = ObjectId(3);
+
+fn init(layout: &MemoryLayout, mem: &mut Memory) {
+    let pb = layout.base(OBJ_PARENT) as usize;
+    let cb = layout.base(OBJ_COST) as usize;
+    let ob = layout.base(OBJ_ORIENT) as usize;
+    let cells = mem.cells_mut();
+    // Preorder tree: parent[i] < i; root is node 0.
+    let mut rng = Rng::new(0x7EE);
+    cells[pb] = 0;
+    for k in 1..N as usize {
+        cells[pb + k] = rng.below(k as u64) as i64;
+    }
+    fill_signed(&mut cells[cb..cb + N as usize], 0xC057, 500);
+    for k in 0..N as usize {
+        cells[ob + k] = (rng.below(2)) as i64; // arc orientation bit
+    }
+}
+
+/// Builds the `refresh_potential` workload. Arguments: `(n,)`.
+pub fn refresh_potential() -> Workload {
+    let mut b = FunctionBuilder::new("refresh_potential");
+    let n = b.param();
+    let parent = b.object("basic_arc_parent", N);
+    let cost = b.object("arc_cost", N);
+    let orient = b.object("arc_orientation", N);
+    let pot = b.object("node_potential", N);
+    debug_assert_eq!(parent, OBJ_PARENT);
+    debug_assert_eq!(cost, OBJ_COST);
+    debug_assert_eq!(orient, OBJ_ORIENT);
+    debug_assert_eq!(pot, OBJ_POT);
+
+    let i = b.fresh_reg();
+    let checksum = b.fresh_reg();
+
+    let header = b.block("header");
+    let body = b.block("body");
+    let up = b.block("orient_up");
+    let down = b.block("orient_down");
+    let join = b.block("join");
+    let exit = b.block("exit");
+
+    // potential[0] = a large base value (the original uses MAX_ART_COST).
+    let ppot0 = b.lea(pot, 0);
+    b.store(ppot0, 0, 1_000_000i64);
+    b.const_into(i, 1);
+    b.const_into(checksum, 0);
+    b.jump(header);
+
+    b.switch_to(header);
+    let c = b.bin(BinOp::Lt, i, n);
+    b.branch(c, body, exit);
+
+    b.switch_to(body);
+    let pp = b.lea(parent, 0);
+    let ppe = b.bin(BinOp::Add, pp, i);
+    let par = b.load(ppe, 0);
+    let ppot = b.lea(pot, 0);
+    let ppar = b.bin(BinOp::Add, ppot, par);
+    let parpot = b.load(ppar, 0); // load of a previously-stored potential
+    let pc = b.lea(cost, 0);
+    let pce = b.bin(BinOp::Add, pc, i);
+    let cst = b.load(pce, 0);
+    let po = b.lea(orient, 0);
+    let poe = b.bin(BinOp::Add, po, i);
+    let orientation = b.load(poe, 0);
+    let upward = b.bin(BinOp::Ne, orientation, 0i64);
+    b.branch(upward, up, down);
+
+    // checknum mirrors the original's sign split on arc orientation.
+    b.switch_to(up);
+    let newpot_u = b.bin(BinOp::Add, parpot, cst);
+    let pme_u = b.bin(BinOp::Add, ppot, i);
+    b.store(pme_u, 0, newpot_u);
+    b.bin_into(BinOp::Add, checksum, checksum, newpot_u);
+    b.jump(join);
+
+    b.switch_to(down);
+    let newpot_d = b.bin(BinOp::Sub, parpot, cst);
+    let pme_d = b.bin(BinOp::Add, ppot, i);
+    b.store(pme_d, 0, newpot_d);
+    b.bin_into(BinOp::Sub, checksum, checksum, newpot_d);
+    b.jump(join);
+
+    b.switch_to(join);
+    b.bin_into(BinOp::Add, i, i, 1i64);
+    b.jump(header);
+
+    b.switch_to(exit);
+    b.output(checksum);
+    b.ret(Some(checksum.into()));
+
+    Workload {
+        name: "refresh_potential",
+        benchmark: "181.mcf",
+        suite: "SPEC-CPU",
+        exec_pct: 32,
+        function: finish(b),
+        train_args: vec![192],
+        ref_args: vec![N as i64],
+        init,
+    }
+}

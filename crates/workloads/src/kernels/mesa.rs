@@ -1,0 +1,145 @@
+//! SPEC `177.mesa`: `general_textured_triangle` (32% of execution).
+//!
+//! The rasterizer's span loop: for every fragment, interpolate depth
+//! and texture coordinates, perform the z-test, fetch the texel, and
+//! write the color and depth buffers. Two phases touch the frame
+//! buffers — the z-test *reads* the depth buffer the same loop also
+//! *writes* — which is what made mesa one of only two benchmarks with
+//! inter-thread memory dependences under GREMIO in the paper (both
+//! >99% removable by COCO).
+
+use crate::kernels::finish;
+use crate::{fill_below, Workload};
+use gmt_ir::interp::{Memory, MemoryLayout};
+use gmt_ir::{BinOp, FunctionBuilder, ObjectId};
+
+const WIDTH: u64 = 256;
+const SPANS: u64 = 128;
+const TEX: u64 = 1024;
+const OBJ_TEXTURE: ObjectId = ObjectId(0);
+const OBJ_DEPTH: ObjectId = ObjectId(1);
+const OBJ_COLOR: ObjectId = ObjectId(2);
+
+fn init(layout: &MemoryLayout, mem: &mut Memory) {
+    let tb = layout.base(OBJ_TEXTURE) as usize;
+    let db = layout.base(OBJ_DEPTH) as usize;
+    let cells = mem.cells_mut();
+    fill_below(&mut cells[tb..tb + TEX as usize], 0x7E1, 256);
+    // Depth buffer initialized "far".
+    for k in 0..WIDTH as usize {
+        cells[db + k] = 1 << 20;
+    }
+}
+
+/// Builds the `general_textured_triangle` workload.
+/// Arguments: `(nspans, span_len)`.
+pub fn general_textured_triangle() -> Workload {
+    let mut b = FunctionBuilder::new("general_textured_triangle");
+    let nspans = b.param();
+    let span_len = b.param();
+    let texture = b.object("texture", TEX);
+    let depth = b.object("zbuffer", WIDTH);
+    let color = b.object("colorbuffer", WIDTH);
+    debug_assert_eq!(texture, OBJ_TEXTURE);
+    debug_assert_eq!(depth, OBJ_DEPTH);
+    debug_assert_eq!(color, OBJ_COLOR);
+
+    let span = b.fresh_reg();
+    let x = b.fresh_reg();
+    let z = b.fresh_reg();
+    let scoord = b.fresh_reg();
+    let shaded = b.fresh_reg();
+    let written = b.fresh_reg();
+
+    let span_h = b.block("span_header");
+    let span_body = b.block("span_body");
+    let frag_h = b.block("frag_header");
+    let frag_body = b.block("frag_body");
+    let zpass = b.block("z_pass");
+    let zfail = b.block("z_fail");
+    let frag_next = b.block("frag_next");
+    let span_tail = b.block("span_tail");
+    let exit = b.block("exit");
+
+    b.const_into(span, 0);
+    b.const_into(written, 0);
+    b.jump(span_h);
+
+    b.switch_to(span_h);
+    let cs = b.bin(BinOp::Lt, span, nspans);
+    b.branch(cs, span_body, exit);
+
+    b.switch_to(span_body);
+    b.const_into(x, 0);
+    // Per-span interpolant setup: z0 and s0 derived from span index.
+    let z0 = b.bin(BinOp::Mul, span, 37i64);
+    b.mov_into(z, z0);
+    let s0 = b.bin(BinOp::Mul, span, 11i64);
+    b.mov_into(scoord, s0);
+    b.jump(frag_h);
+
+    b.switch_to(frag_h);
+    let cf = b.bin(BinOp::Lt, x, span_len);
+    b.branch(cf, frag_body, span_tail);
+
+    b.switch_to(frag_body);
+    // z-test: read the depth buffer the loop also writes.
+    let pz = b.lea(depth, 0);
+    let pze = b.bin(BinOp::Add, pz, x);
+    let zbuf = b.load(pze, 0);
+    let pass = b.bin(BinOp::Lt, z, zbuf);
+    b.branch(pass, zpass, zfail);
+
+    b.switch_to(zpass);
+    // Texture fetch + modulate shading.
+    let smask = b.bin(BinOp::And, scoord, (TEX - 1) as i64);
+    let pt = b.lea(texture, 0);
+    let pte = b.bin(BinOp::Add, pt, smask);
+    let texel = b.load(pte, 0);
+    let lit = b.bin(BinOp::Mul, texel, 3i64);
+    let fog = b.bin(BinOp::Shr, z, 4i64);
+    let c2 = b.bin(BinOp::Add, lit, fog);
+    b.mov_into(shaded, c2);
+    // Write color and depth.
+    let pc = b.lea(color, 0);
+    let pce = b.bin(BinOp::Add, pc, x);
+    b.store(pce, 0, shaded);
+    b.store(pze, 0, z);
+    b.bin_into(BinOp::Add, written, written, 1i64);
+    b.jump(frag_next);
+
+    b.switch_to(zfail);
+    b.jump(frag_next);
+
+    b.switch_to(frag_next);
+    // Interpolant steps.
+    b.bin_into(BinOp::Add, z, z, 3i64);
+    b.bin_into(BinOp::Add, scoord, scoord, 7i64);
+    b.bin_into(BinOp::Add, x, x, 1i64);
+    b.jump(frag_h);
+
+    b.switch_to(span_tail);
+    b.bin_into(BinOp::Add, span, span, 1i64);
+    b.jump(span_h);
+
+    b.switch_to(exit);
+    // Checksum the color buffer head.
+    let pc2 = b.lea(color, 0);
+    let c0 = b.load(pc2, 0);
+    let c1 = b.load(pc2, 1);
+    let sum = b.bin(BinOp::Add, c0, c1);
+    let chk = b.bin(BinOp::Add, sum, written);
+    b.output(chk);
+    b.ret(Some(chk.into()));
+
+    Workload {
+        name: "general_textured_triangle",
+        benchmark: "177.mesa",
+        suite: "SPEC-CPU",
+        exec_pct: 32,
+        function: finish(b),
+        train_args: vec![16, 64],
+        ref_args: vec![SPANS as i64, WIDTH as i64],
+        init,
+    }
+}

@@ -1,0 +1,23 @@
+//! The kernel builders, one module per Figure 6(b) benchmark.
+
+pub mod adpcm;
+pub mod ammp;
+pub mod equake;
+pub mod gromacs;
+pub mod ks;
+pub mod mcf;
+pub mod mesa;
+pub mod mpeg2;
+pub mod sjeng;
+pub mod twolf;
+
+use gmt_ir::{Function, FunctionBuilder};
+
+/// Finishes a kernel: verify, then split critical edges so COCO can
+/// place communication on any CFG arc.
+pub(crate) fn finish(b: FunctionBuilder) -> Function {
+    let mut f = b.finish().expect("kernel must verify");
+    gmt_ir::split_critical_edges(&mut f);
+    gmt_ir::verify(&f).expect("still verifies after edge splitting");
+    f
+}

@@ -1,0 +1,158 @@
+//! SPEC `458.sjeng`: `std_eval` (26% of execution).
+//!
+//! Chess positional evaluation: a sweep over the 64 board squares with
+//! a piece-type dispatch (a chain of compares standing in for the
+//! original's `switch`), per-piece positional table lookups, pawn
+//! structure tests reading neighbor files, and a material/positional
+//! score accumulator. Control-dense integer code with table loads.
+
+use crate::kernels::finish;
+use crate::{fill_signed, Rng, Workload};
+use gmt_ir::interp::{Memory, MemoryLayout};
+use gmt_ir::{BinOp, FunctionBuilder, ObjectId};
+
+const SQUARES: u64 = 64;
+const OBJ_BOARD: ObjectId = ObjectId(0);
+const OBJ_PAWN_TAB: ObjectId = ObjectId(1);
+const OBJ_KNIGHT_TAB: ObjectId = ObjectId(2);
+const OBJ_FILE_COUNT: ObjectId = ObjectId(3);
+
+fn init(layout: &MemoryLayout, mem: &mut Memory) {
+    let bb = layout.base(OBJ_BOARD) as usize;
+    let pt = layout.base(OBJ_PAWN_TAB) as usize;
+    let nt = layout.base(OBJ_KNIGHT_TAB) as usize;
+    let cells = mem.cells_mut();
+    let mut rng = Rng::new(0x53E6);
+    // Pieces 0..6 (0 = empty, 1 = pawn, 2 = knight, 3+ = heavy).
+    for k in 0..SQUARES as usize {
+        cells[bb + k] = rng.below(6) as i64;
+    }
+    fill_signed(&mut cells[pt..pt + SQUARES as usize], 0x9A, 30);
+    fill_signed(&mut cells[nt..nt + SQUARES as usize], 0x9B, 40);
+}
+
+/// Builds the `std_eval` workload. Arguments: `(evals,)` — number of
+/// positions evaluated (the original is called once per node searched).
+pub fn std_eval() -> Workload {
+    let mut b = FunctionBuilder::new("std_eval");
+    let evals = b.param();
+    let board = b.object("board", SQUARES);
+    let pawn_tab = b.object("pawn_pos_tab", SQUARES);
+    let knight_tab = b.object("knight_pos_tab", SQUARES);
+    let file_count = b.object("pawn_file_count", 8);
+    debug_assert_eq!(board, OBJ_BOARD);
+    debug_assert_eq!(pawn_tab, OBJ_PAWN_TAB);
+    debug_assert_eq!(knight_tab, OBJ_KNIGHT_TAB);
+    debug_assert_eq!(file_count, OBJ_FILE_COUNT);
+
+    let e = b.fresh_reg();
+    let score = b.fresh_reg();
+    let sq = b.fresh_reg();
+
+    let eval_h = b.block("eval_header");
+    let eval_body = b.block("eval_body");
+    let sq_h = b.block("sq_header");
+    let sq_body = b.block("sq_body");
+    let is_pawn = b.block("is_pawn");
+    let doubled = b.block("doubled_pawn");
+    let not_doubled = b.block("not_doubled");
+    let not_pawn = b.block("not_pawn");
+    let is_knight = b.block("is_knight");
+    let heavy = b.block("heavy_piece");
+    let sq_next = b.block("sq_next");
+    let eval_tail = b.block("eval_tail");
+    let exit = b.block("exit");
+
+    b.const_into(e, 0);
+    b.const_into(score, 0);
+    b.jump(eval_h);
+
+    b.switch_to(eval_h);
+    let ce = b.bin(BinOp::Lt, e, evals);
+    b.branch(ce, eval_body, exit);
+
+    b.switch_to(eval_body);
+    b.const_into(sq, 0);
+    b.jump(sq_h);
+
+    b.switch_to(sq_h);
+    let cs = b.bin(BinOp::Lt, sq, SQUARES as i64);
+    b.branch(cs, sq_body, eval_tail);
+
+    b.switch_to(sq_body);
+    let pb = b.lea(board, 0);
+    let pbe = b.bin(BinOp::Add, pb, sq);
+    let piece = b.load(pbe, 0);
+    let pawn = b.bin(BinOp::Eq, piece, 1i64);
+    b.branch(pawn, is_pawn, not_pawn);
+
+    // Pawn: positional value + doubled-pawn penalty via file counts.
+    b.switch_to(is_pawn);
+    let pt = b.lea(pawn_tab, 0);
+    let pte = b.bin(BinOp::Add, pt, sq);
+    let pv = b.load(pte, 0);
+    b.bin_into(BinOp::Add, score, score, pv);
+    let file = b.bin(BinOp::And, sq, 7i64);
+    let pf = b.lea(file_count, 0);
+    let pfe = b.bin(BinOp::Add, pf, file);
+    let fc = b.load(pfe, 0);
+    let fc2 = b.bin(BinOp::Add, fc, 1i64);
+    b.store(pfe, 0, fc2);
+    let dbl = b.bin(BinOp::Lt, 1i64, fc2);
+    b.branch(dbl, doubled, not_doubled);
+
+    b.switch_to(doubled);
+    b.bin_into(BinOp::Sub, score, score, 12i64);
+    b.jump(sq_next);
+    b.switch_to(not_doubled);
+    b.jump(sq_next);
+
+    b.switch_to(not_pawn);
+    let knight = b.bin(BinOp::Eq, piece, 2i64);
+    b.branch(knight, is_knight, heavy);
+
+    b.switch_to(is_knight);
+    let nt = b.lea(knight_tab, 0);
+    let nte = b.bin(BinOp::Add, nt, sq);
+    let nv = b.load(nte, 0);
+    b.bin_into(BinOp::Add, score, score, nv);
+    b.jump(sq_next);
+
+    b.switch_to(heavy);
+    // Heavy pieces and empty squares: material-weight contribution.
+    let mat = b.bin(BinOp::Mul, piece, 9i64);
+    b.bin_into(BinOp::Add, score, score, mat);
+    b.jump(sq_next);
+
+    b.switch_to(sq_next);
+    b.bin_into(BinOp::Add, sq, sq, 1i64);
+    b.jump(sq_h);
+
+    b.switch_to(eval_tail);
+    // Perturb the board so successive evaluations differ (the search
+    // mutates the position between calls).
+    let pb2 = b.lea(board, 0);
+    let slot = b.bin(BinOp::And, e, 63i64);
+    let pslot = b.bin(BinOp::Add, pb2, slot);
+    let old = b.load(pslot, 0);
+    let rotated = b.bin(BinOp::Add, old, 1i64);
+    let wrapped = b.bin(BinOp::Rem, rotated, 6i64);
+    b.store(pslot, 0, wrapped);
+    b.bin_into(BinOp::Add, e, e, 1i64);
+    b.jump(eval_h);
+
+    b.switch_to(exit);
+    b.output(score);
+    b.ret(Some(score.into()));
+
+    Workload {
+        name: "std_eval",
+        benchmark: "458.sjeng",
+        suite: "SPEC-CPU",
+        exec_pct: 26,
+        function: finish(b),
+        train_args: vec![24],
+        ref_args: vec![256],
+        init,
+    }
+}

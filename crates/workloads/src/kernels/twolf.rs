@@ -1,0 +1,144 @@
+//! SPEC `300.twolf`: `new_dbox_a` (30% of execution).
+//!
+//! Incremental wire-length evaluation: for each terminal of the moved
+//! cell, fetch its net, recompute the net's bounding span if the
+//! terminal was on the boundary, and accumulate the cost delta.
+//! Branch-dense integer code with data-dependent control — the shape
+//! that gives twolf its irregular control profile.
+
+use crate::kernels::finish;
+use crate::{fill_signed, Rng, Workload};
+use gmt_ir::interp::{Memory, MemoryLayout};
+use gmt_ir::{BinOp, FunctionBuilder, ObjectId};
+
+const TERMS: u64 = 2048;
+const NETS: u64 = 256;
+const OBJ_NET_OF: ObjectId = ObjectId(0);
+const OBJ_TERM_X: ObjectId = ObjectId(1);
+const OBJ_NET_MIN: ObjectId = ObjectId(2);
+const OBJ_NET_MAX: ObjectId = ObjectId(3);
+
+fn init(layout: &MemoryLayout, mem: &mut Memory) {
+    let nb = layout.base(OBJ_NET_OF) as usize;
+    let xb = layout.base(OBJ_TERM_X) as usize;
+    let mnb = layout.base(OBJ_NET_MIN) as usize;
+    let mxb = layout.base(OBJ_NET_MAX) as usize;
+    let cells = mem.cells_mut();
+    let mut rng = Rng::new(0x2800);
+    for k in 0..TERMS as usize {
+        cells[nb + k] = rng.below(NETS) as i64;
+    }
+    fill_signed(&mut cells[xb..xb + TERMS as usize], 0x71, 500);
+    for k in 0..NETS as usize {
+        cells[mnb + k] = -400;
+        cells[mxb + k] = 400;
+    }
+}
+
+/// Builds the `new_dbox_a` workload. Arguments: `(nterms, delta)`.
+pub fn new_dbox_a() -> Workload {
+    let mut b = FunctionBuilder::new("new_dbox_a");
+    let nterms = b.param();
+    let delta = b.param();
+    let net_of = b.object("term_net", TERMS);
+    let term_x = b.object("term_x", TERMS);
+    let net_min = b.object("net_min", NETS);
+    let net_max = b.object("net_max", NETS);
+    debug_assert_eq!(net_of, OBJ_NET_OF);
+    debug_assert_eq!(term_x, OBJ_TERM_X);
+    debug_assert_eq!(net_min, OBJ_NET_MIN);
+    debug_assert_eq!(net_max, OBJ_NET_MAX);
+
+    let t = b.fresh_reg();
+    let cost = b.fresh_reg();
+
+    let header = b.block("header");
+    let body = b.block("body");
+    let moved_right = b.block("moved_right");
+    let grow_max = b.block("grow_max");
+    let no_grow_r = b.block("no_grow_r");
+    let moved_left = b.block("moved_left");
+    let grow_min = b.block("grow_min");
+    let no_grow_l = b.block("no_grow_l");
+    let accum = b.block("accum");
+    let exit = b.block("exit");
+
+    b.const_into(t, 0);
+    b.const_into(cost, 0);
+    b.jump(header);
+
+    b.switch_to(header);
+    let c = b.bin(BinOp::Lt, t, nterms);
+    b.branch(c, body, exit);
+
+    b.switch_to(body);
+    let pn = b.lea(net_of, 0);
+    let pne = b.bin(BinOp::Add, pn, t);
+    let net = b.load(pne, 0);
+    let px = b.lea(term_x, 0);
+    let pxe = b.bin(BinOp::Add, px, t);
+    let x = b.load(pxe, 0);
+    let newx = b.bin(BinOp::Add, x, delta);
+    // Direction hammock.
+    let right = b.bin(BinOp::Lt, 0i64, delta);
+    b.branch(right, moved_right, moved_left);
+
+    b.switch_to(moved_right);
+    let pmx = b.lea(net_max, 0);
+    let pmxe = b.bin(BinOp::Add, pmx, net);
+    let mx = b.load(pmxe, 0);
+    let beyond = b.bin(BinOp::Lt, mx, newx);
+    b.branch(beyond, grow_max, no_grow_r);
+
+    b.switch_to(grow_max);
+    b.store(pmxe, 0, newx);
+    let growth = b.bin(BinOp::Sub, newx, mx);
+    b.bin_into(BinOp::Add, cost, cost, growth);
+    b.jump(accum);
+    b.switch_to(no_grow_r);
+    b.jump(accum);
+
+    b.switch_to(moved_left);
+    let pmn = b.lea(net_min, 0);
+    let pmne = b.bin(BinOp::Add, pmn, net);
+    let mn = b.load(pmne, 0);
+    let before = b.bin(BinOp::Lt, newx, mn);
+    b.branch(before, grow_min, no_grow_l);
+
+    b.switch_to(grow_min);
+    b.store(pmne, 0, newx);
+    let shrink = b.bin(BinOp::Sub, mn, newx);
+    b.bin_into(BinOp::Add, cost, cost, shrink);
+    b.jump(accum);
+    b.switch_to(no_grow_l);
+    b.jump(accum);
+
+    b.switch_to(accum);
+    // Half-perimeter contribution of the (possibly updated) net.
+    let pmx2 = b.lea(net_max, 0);
+    let pmx2e = b.bin(BinOp::Add, pmx2, net);
+    let mx2 = b.load(pmx2e, 0);
+    let pmn2 = b.lea(net_min, 0);
+    let pmn2e = b.bin(BinOp::Add, pmn2, net);
+    let mn2 = b.load(pmn2e, 0);
+    let span = b.bin(BinOp::Sub, mx2, mn2);
+    let scaled = b.bin(BinOp::Shr, span, 6i64);
+    b.bin_into(BinOp::Add, cost, cost, scaled);
+    b.bin_into(BinOp::Add, t, t, 1i64);
+    b.jump(header);
+
+    b.switch_to(exit);
+    b.output(cost);
+    b.ret(Some(cost.into()));
+
+    Workload {
+        name: "new_dbox_a",
+        benchmark: "300.twolf",
+        suite: "SPEC-CPU",
+        exec_pct: 30,
+        function: finish(b),
+        train_args: vec![160, 9],
+        ref_args: vec![TERMS as i64, 9],
+        init,
+    }
+}

@@ -1,0 +1,82 @@
+//! Deterministic input generation shared by the kernels.
+
+/// A xorshift64* generator: deterministic, seedable, dependency-free.
+#[derive(Clone, Debug)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// A generator with the given nonzero seed.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// A signed value in `[-amp, amp]`.
+    pub fn signed(&mut self, amp: i64) -> i64 {
+        (self.below((2 * amp + 1) as u64)) as i64 - amp
+    }
+}
+
+/// Fills `cells` with small signed values from a fixed seed.
+pub fn fill_signed(cells: &mut [i64], seed: u64, amp: i64) {
+    let mut rng = Rng::new(seed);
+    for c in cells.iter_mut() {
+        *c = rng.signed(amp);
+    }
+}
+
+/// Fills `cells` with values in `[0, bound)`.
+pub fn fill_below(cells: &mut [i64], seed: u64, bound: u64) {
+    let mut rng = Rng::new(seed);
+    for c in cells.iter_mut() {
+        *c = rng.below(bound) as i64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut r = Rng::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+            let s = r.signed(5);
+            assert!((-5..=5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn fills() {
+        let mut v = vec![0i64; 64];
+        fill_signed(&mut v, 1, 100);
+        assert!(v.iter().any(|&x| x != 0));
+        fill_below(&mut v, 2, 7);
+        assert!(v.iter().all(|&x| (0..7).contains(&x)));
+    }
+}

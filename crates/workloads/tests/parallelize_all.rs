@@ -1,0 +1,147 @@
+//! The supreme correctness gate: every catalog kernel, parallelized by
+//! both partitioners, with and without COCO, must reproduce the
+//! sequential run's return value and output trace on both train and
+//! ref inputs (profiles always come from the *train* run, results from
+//! *ref*, per the paper's methodology).
+
+use gmt_core::{CocoConfig, Parallelizer, Scheduler};
+use gmt_ir::interp::run_with_memory;
+use gmt_ir::interp_mt::{run_mt, QueueConfig};
+use gmt_workloads::{catalog, exec_config, Workload};
+
+fn check(w: &Workload, scheduler: Scheduler, coco: bool, queue_depth: usize) {
+    let train = w.run_train().expect("train run");
+    let reference = w.run_ref().expect("ref run");
+    let mut par = Parallelizer::new(scheduler);
+    if coco {
+        par = par.with_coco(CocoConfig::default());
+    }
+    let result = par
+        .parallelize(&w.function, &train.profile)
+        .unwrap_or_else(|e| panic!("{}: parallelize failed: {e}", w.benchmark));
+    let mt = run_mt(
+        result.threads(),
+        &w.ref_args,
+        w.init,
+        &QueueConfig {
+            num_queues: result.num_queues().max(1) as usize,
+            capacity: queue_depth,
+        },
+        &exec_config(),
+    )
+    .unwrap_or_else(|e| panic!("{}: MT run failed: {e}", w.benchmark));
+    assert_eq!(
+        mt.return_value, reference.return_value,
+        "{}: return value mismatch (coco={coco})",
+        w.benchmark
+    );
+    assert_eq!(
+        mt.output, reference.output,
+        "{}: output mismatch (coco={coco})",
+        w.benchmark
+    );
+}
+
+#[test]
+fn sequential_train_and_ref_run() {
+    for w in catalog() {
+        let t = w.run_train().expect(w.benchmark);
+        let r = w.run_ref().expect(w.benchmark);
+        assert!(t.counts.total() > 100, "{}: train too small", w.benchmark);
+        assert!(
+            r.counts.total() > t.counts.total(),
+            "{}: ref must exceed train",
+            w.benchmark
+        );
+    }
+}
+
+#[test]
+fn sequential_runs_are_deterministic() {
+    for w in catalog() {
+        let a = w.run_ref().expect(w.benchmark);
+        let b = w.run_ref().expect(w.benchmark);
+        assert_eq!(a.return_value, b.return_value, "{}", w.benchmark);
+        assert_eq!(a.output, b.output, "{}", w.benchmark);
+    }
+}
+
+#[test]
+fn dswp_mtcg_correct_all_kernels() {
+    for w in catalog() {
+        check(&w, Scheduler::dswp(2), false, 32);
+    }
+}
+
+#[test]
+fn dswp_coco_correct_all_kernels() {
+    for w in catalog() {
+        check(&w, Scheduler::dswp(2), true, 32);
+    }
+}
+
+#[test]
+fn gremio_mtcg_correct_all_kernels() {
+    for w in catalog() {
+        check(&w, Scheduler::gremio(2), false, 1);
+    }
+}
+
+#[test]
+fn gremio_coco_correct_all_kernels() {
+    for w in catalog() {
+        check(&w, Scheduler::gremio(2), true, 1);
+    }
+}
+
+#[test]
+fn coco_never_increases_dynamic_communication() {
+    // The paper: "COCO never resulted in an increase in dynamic
+    // communication instructions."
+    for w in catalog() {
+        let train = w.run_train().expect("train");
+        for scheduler in [Scheduler::dswp(2), Scheduler::gremio(2)] {
+            let base = Parallelizer::new(scheduler.clone())
+                .parallelize(&w.function, &train.profile)
+                .unwrap();
+            let coco = Parallelizer::new(scheduler.clone())
+                .with_coco(CocoConfig::default())
+                .parallelize(&w.function, &train.profile)
+                .unwrap();
+            let count = |r: &gmt_core::Parallelized| {
+                run_mt(
+                    r.threads(),
+                    &w.ref_args,
+                    w.init,
+                    &QueueConfig {
+                        num_queues: r.num_queues().max(1) as usize,
+                        capacity: 32,
+                    },
+                    &exec_config(),
+                )
+                .unwrap()
+                .totals()
+                .comm_total()
+            };
+            let b = count(&base);
+            let c = count(&coco);
+            assert!(
+                c <= b,
+                "{} / {:?}: COCO increased communication {b} -> {c}",
+                w.benchmark,
+                scheduler
+            );
+        }
+    }
+}
+
+#[test]
+fn single_threaded_memory_init_matches_interpreter_helpers() {
+    // Sanity: run_with_memory and Workload::run_ref agree.
+    for w in catalog().into_iter().take(2) {
+        let direct =
+            run_with_memory(&w.function, &w.ref_args, w.init, &exec_config()).unwrap();
+        let via = w.run_ref().unwrap();
+        assert_eq!(direct.return_value, via.return_value);
+    }
+}

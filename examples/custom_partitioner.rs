@@ -1,0 +1,96 @@
+//! Plugging a custom partitioner into the Figure-2 framework.
+//!
+//! "Different GMT schedulers can be implemented simply by 'plugging'
+//! different partitioners in this framework" (§2). This example builds
+//! a tiny randomized-search partitioner — repeatedly perturb an
+//! assignment and keep the best simulated cycle count — and runs it
+//! through the same PDG → COCO → MTCG back end as DSWP and GREMIO.
+//!
+//! ```text
+//! cargo run --release -p gmt-examples --bin custom_partitioner [benchmark]
+//! ```
+
+use gmt_core::{CocoConfig, Parallelizer, Scheduler};
+use gmt_pdg::{Partition, Pdg, ThreadId};
+use gmt_sim::{simulate, MachineConfig};
+
+/// A deterministic xorshift for the search.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "300.twolf".to_string());
+    let w = gmt_workloads::by_benchmark(&bench)
+        .unwrap_or_else(|| panic!("unknown benchmark {bench}"));
+    let train = w.run_train()?;
+    let pdg = Pdg::build(&w.function);
+    let machine = MachineConfig::default();
+
+    // Keep PDG SCCs atomic (recurrences must not be split), like the
+    // built-in partitioners do.
+    let (g, _index) = pdg.as_digraph();
+    let cond = g.condensation();
+    let nodes = pdg.nodes();
+    let m = cond.components.len();
+
+    let build = |assignment: &[u32]| {
+        let mut p = Partition::new(2);
+        for (scc_idx, scc) in cond.components.iter().enumerate() {
+            for &k in &scc.nodes {
+                p.assign(nodes[k.index()], ThreadId(assignment[scc_idx]));
+            }
+        }
+        p
+    };
+    let evaluate = |p: Partition| -> (u64, Partition) {
+        let r = Parallelizer::new(Scheduler::dswp(2)) // scheduler field unused here
+            .with_coco(CocoConfig::default())
+            .parallelize_with_partition(&w.function, &train.profile, &pdg, p.clone())
+            .expect("codegen");
+        let cycles = simulate(r.threads(), &w.train_args, w.init, &machine)
+            .map_or(u64::MAX, |s| s.cycles);
+        (cycles, p)
+    };
+
+    // Start single-threaded, then hill-climb with random SCC flips.
+    let mut rng = Rng(0xC0C0);
+    let mut assignment = vec![0u32; m];
+    let (mut best_cycles, mut best) = evaluate(build(&assignment));
+    println!("start (single-threaded): {best_cycles} cycles");
+    for step in 0..60 {
+        let flip = (rng.next() % m as u64) as usize;
+        assignment[flip] ^= 1;
+        let (cycles, p) = evaluate(build(&assignment));
+        if cycles < best_cycles {
+            println!("step {step}: improved to {cycles} cycles");
+            best_cycles = cycles;
+            best = p;
+        } else {
+            assignment[flip] ^= 1; // revert
+        }
+    }
+
+    let seq = simulate(
+        std::slice::from_ref(&w.function),
+        &w.train_args,
+        w.init,
+        &machine,
+    )?;
+    println!(
+        "{bench}: sequential {} cycles, custom-search 2-thread {} cycles => {:.2}x",
+        seq.cycles,
+        best_cycles,
+        seq.cycles as f64 / best_cycles as f64
+    );
+    println!("final split sizes: {:?}", best.static_sizes());
+    Ok(())
+}

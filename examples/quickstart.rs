@@ -1,0 +1,76 @@
+//! Quickstart: build a kernel, parallelize it with DSWP + COCO, and run
+//! both versions.
+//!
+//! ```text
+//! cargo run -p gmt-examples --bin quickstart
+//! ```
+
+use gmt_core::{CocoConfig, Parallelizer, Scheduler};
+use gmt_ir::interp::{run, ExecConfig};
+use gmt_ir::interp_mt::{run_mt, QueueConfig};
+use gmt_ir::{display, BinOp, FunctionBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a kernel with the IR builder: sum of squares over 0..n.
+    let mut b = FunctionBuilder::new("sum_squares");
+    let n = b.param();
+    let i = b.fresh_reg();
+    let s = b.fresh_reg();
+    let header = b.block("header");
+    let body = b.block("body");
+    let exit = b.block("exit");
+    b.const_into(i, 0);
+    b.const_into(s, 0);
+    b.jump(header);
+    b.switch_to(header);
+    let c = b.bin(BinOp::Lt, i, n);
+    b.branch(c, body, exit);
+    b.switch_to(body);
+    let sq = b.bin(BinOp::Mul, i, i);
+    b.bin_into(BinOp::Add, s, s, sq);
+    b.bin_into(BinOp::Add, i, i, 1i64);
+    b.jump(header);
+    b.switch_to(exit);
+    b.output(s);
+    b.ret(Some(s.into()));
+    let f = b.finish()?;
+
+    println!("== original function ==\n{}", display(&f));
+
+    // 2. Profile on a train input (the interpreter doubles as profiler).
+    let train = run(&f, &[50], &ExecConfig::default())?;
+    println!("train run: returned {:?}", train.return_value);
+
+    // 3. Parallelize: DSWP into 2 pipeline stages, then COCO.
+    let result = Parallelizer::new(Scheduler::dswp(2))
+        .with_coco(CocoConfig::default())
+        .parallelize(&f, &train.profile)?;
+    for t in result.threads() {
+        println!("== generated thread ==\n{}", display(t));
+    }
+    println!(
+        "queues used: {}, coco stats: {:?}",
+        result.num_queues(),
+        result.coco_stats
+    );
+
+    // 4. Run the multi-threaded code on a bigger (ref) input and check
+    //    it against the sequential semantics.
+    let seq = run(&f, &[500], &ExecConfig::default())?;
+    let mt = run_mt(
+        result.threads(),
+        &[500],
+        |_, _| {},
+        &QueueConfig { num_queues: result.num_queues().max(1) as usize, capacity: 32 },
+        &ExecConfig::default(),
+    )?;
+    assert_eq!(mt.return_value, seq.return_value);
+    assert_eq!(mt.output, seq.output);
+    println!(
+        "ref run: both versions returned {:?}; MT executed {} computation + {} communication instructions",
+        mt.return_value,
+        mt.totals().computation,
+        mt.totals().comm_total(),
+    );
+    Ok(())
+}

@@ -1,0 +1,130 @@
+//! Property tests of the graph substrate: min-cut correctness on
+//! random flow networks (duality with disconnection, algorithm
+//! agreement, multicut soundness).
+
+use gmt_graph::{multicut, Capacity, Commodity, FlowNetwork, MaxFlowAlgo, NodeId};
+use proptest::prelude::*;
+
+/// A random sparse network description: node count and weighted arcs.
+#[derive(Clone, Debug)]
+struct NetDesc {
+    nodes: usize,
+    arcs: Vec<(usize, usize, u64)>,
+}
+
+fn net_strategy() -> impl Strategy<Value = NetDesc> {
+    (3usize..12).prop_flat_map(|nodes| {
+        let arcs = prop::collection::vec(
+            (0..nodes, 0..nodes, 1u64..50).prop_filter("no self arcs", |(a, b, _)| a != b),
+            1..40,
+        );
+        arcs.prop_map(move |arcs| NetDesc { nodes, arcs })
+    })
+}
+
+fn build(desc: &NetDesc) -> FlowNetwork {
+    let mut net = FlowNetwork::new();
+    net.add_nodes(desc.nodes);
+    for &(a, b, w) in &desc.arcs {
+        net.add_arc(NodeId(a as u32), NodeId(b as u32), Capacity::finite(w));
+    }
+    net
+}
+
+/// Reachability in the network with the given arcs removed.
+fn reaches_without(net: &FlowNetwork, removed: &[gmt_graph::ArcId], s: NodeId, t: NodeId) -> bool {
+    let mut adj = vec![Vec::new(); net.node_count()];
+    for (id, arc) in net.arcs() {
+        if !removed.contains(&id) && !arc.capacity.is_zero() {
+            adj[arc.from.index()].push(arc.to);
+        }
+    }
+    let mut seen = vec![false; net.node_count()];
+    let mut stack = vec![s];
+    seen[s.index()] = true;
+    while let Some(x) = stack.pop() {
+        if x == t {
+            return true;
+        }
+        for &y in &adj[x.index()] {
+            if !seen[y.index()] {
+                seen[y.index()] = true;
+                stack.push(y);
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Edmonds–Karp and Dinic compute the same max-flow value, and the
+    /// extracted cut (a) sums to that value and (b) disconnects sink
+    /// from source.
+    #[test]
+    fn mincut_duality_and_disconnection(desc in net_strategy()) {
+        let net = build(&desc);
+        let s = NodeId(0);
+        let t = NodeId((desc.nodes - 1) as u32);
+        let ek = net.min_cut_with(s, t, MaxFlowAlgo::EdmondsKarp);
+        let di = net.min_cut_with(s, t, MaxFlowAlgo::Dinic);
+        prop_assert_eq!(ek.value, di.value);
+        if ek.is_feasible() {
+            let total: Capacity = ek.arcs.iter().map(|&a| net.arc(a).capacity).sum();
+            prop_assert_eq!(total, ek.value);
+            prop_assert!(!reaches_without(&net, &ek.arcs, s, t), "cut must disconnect");
+        }
+    }
+
+    /// Removing any single arc from a min cut reconnects s to t (cuts
+    /// are minimal, not just valid).
+    #[test]
+    fn mincut_is_minimal(desc in net_strategy()) {
+        let net = build(&desc);
+        let s = NodeId(0);
+        let t = NodeId((desc.nodes - 1) as u32);
+        let cut = net.min_cut(s, t);
+        if cut.is_feasible() && !cut.arcs.is_empty() {
+            for k in 0..cut.arcs.len() {
+                let mut partial = cut.arcs.clone();
+                partial.remove(k);
+                prop_assert!(
+                    reaches_without(&net, &partial, s, t),
+                    "dropping a cut arc must reconnect"
+                );
+            }
+        }
+    }
+
+    /// The multicut heuristic disconnects every feasible commodity and
+    /// never costs more than the sum of independent per-pair cuts.
+    #[test]
+    fn multicut_soundness(desc in net_strategy(), pair_seeds in prop::collection::vec((0usize..12, 0usize..12), 1..4)) {
+        let net = build(&desc);
+        let commodities: Vec<Commodity> = pair_seeds
+            .iter()
+            .map(|&(a, b)| Commodity {
+                source: NodeId((a % desc.nodes) as u32),
+                sink: NodeId((b % desc.nodes) as u32),
+            })
+            .collect();
+        let result = multicut(&net, &commodities);
+        let mut independent_total = Capacity::ZERO;
+        for (c, &feasible) in commodities.iter().zip(&result.feasible) {
+            if c.source == c.sink {
+                continue;
+            }
+            let single = net.min_cut(c.source, c.sink);
+            prop_assert_eq!(feasible, single.is_feasible());
+            if feasible {
+                prop_assert!(
+                    !reaches_without(&net, &result.arcs, c.source, c.sink),
+                    "feasible commodity must be disconnected"
+                );
+                independent_total += single.value;
+            }
+        }
+        prop_assert!(result.value <= independent_total, "sharing must not cost extra");
+    }
+}

@@ -1,0 +1,228 @@
+//! Cross-crate invariants of the full pipeline, checked on the real
+//! benchmark catalog: the paper's structural claims beyond raw
+//! correctness.
+
+use gmt_core::{CocoConfig, Parallelizer, Scheduler};
+use gmt_ir::interp_mt::{run_mt, QueueConfig};
+use gmt_pdg::Pdg;
+use gmt_sched::{has_cyclic_inter_thread_deps, is_pipeline};
+use gmt_sim::{simulate, MachineConfig};
+use gmt_workloads::{catalog, exec_config};
+
+/// DSWP output always satisfies the pipeline property (Property 1
+/// discussion: a violated pipeline would create inter-thread dependence
+/// cycles).
+#[test]
+fn dswp_is_always_a_pipeline() {
+    for w in catalog() {
+        let train = w.run_train().unwrap();
+        let pdg = Pdg::build(&w.function);
+        let r = Parallelizer::new(Scheduler::dswp(2))
+            .parallelize(&w.function, &train.profile)
+            .unwrap();
+        assert!(is_pipeline(&pdg, &r.partition), "{}", w.benchmark);
+        assert!(!has_cyclic_inter_thread_deps(&pdg, &r.partition), "{}", w.benchmark);
+    }
+}
+
+/// The generated threads always pass the IR verifier and share the
+/// original's object table.
+#[test]
+fn generated_threads_are_well_formed() {
+    for w in catalog().into_iter().take(4) {
+        let train = w.run_train().unwrap();
+        for scheduler in [Scheduler::dswp(2), Scheduler::gremio(2)] {
+            let r = Parallelizer::new(scheduler)
+                .with_coco(CocoConfig::default())
+                .parallelize(&w.function, &train.profile)
+                .unwrap();
+            for t in r.threads() {
+                gmt_ir::verify(t).unwrap_or_else(|e| panic!("{}: {e}", w.benchmark));
+                assert_eq!(t.objects().len(), w.function.objects().len());
+                assert_eq!(t.params, w.function.params);
+            }
+        }
+    }
+}
+
+/// COCO's plan estimate under the training profile never exceeds the
+/// baseline's (min-cut optimality relative to MTCG's cut, which is
+/// always feasible).
+#[test]
+fn coco_plan_estimate_never_worse_than_baseline() {
+    for w in catalog() {
+        let train = w.run_train().unwrap();
+        let pdg = Pdg::build(&w.function);
+        for scheduler in [Scheduler::dswp(2), Scheduler::gremio(2)] {
+            let base = Parallelizer::new(scheduler.clone())
+                .parallelize(&w.function, &train.profile)
+                .unwrap();
+            let coco = Parallelizer::new(scheduler.clone())
+                .with_coco(CocoConfig::default())
+                .parallelize_with_partition(
+                    &w.function,
+                    &train.profile,
+                    &pdg,
+                    base.partition.clone(),
+                )
+                .unwrap();
+            let b = base.output.plan.dynamic_cost(&w.function, &train.profile);
+            let c = coco.output.plan.dynamic_cost(&w.function, &train.profile);
+            assert!(c <= b, "{} {:?}: {b} -> {c}", w.benchmark, scheduler);
+        }
+    }
+}
+
+/// The cycle-level simulator and the functional MT interpreter agree on
+/// all observable results for parallelized code.
+#[test]
+fn simulator_agrees_with_functional_interpreter() {
+    for w in catalog().into_iter().take(5) {
+        let train = w.run_train().unwrap();
+        let r = Parallelizer::new(Scheduler::dswp(2))
+            .with_coco(CocoConfig::default())
+            .parallelize(&w.function, &train.profile)
+            .unwrap();
+        let functional = run_mt(
+            r.threads(),
+            &w.train_args,
+            w.init,
+            &QueueConfig { num_queues: r.num_queues().max(1) as usize, capacity: 32 },
+            &exec_config(),
+        )
+        .unwrap();
+        let mut machine = MachineConfig::default();
+        if r.num_queues() as usize > machine.sa.num_queues {
+            machine.sa.num_queues = r.num_queues() as usize;
+        }
+        let timed = simulate(r.threads(), &w.train_args, w.init, &machine).unwrap();
+        assert_eq!(timed.return_value, functional.return_value, "{}", w.benchmark);
+        assert_eq!(timed.output, functional.output, "{}", w.benchmark);
+        // Instruction counts agree too (issue == execute in both).
+        let fi: u64 = functional
+            .per_thread
+            .iter()
+            .map(gmt_ir::interp::DynCounts::total)
+            .sum();
+        let ti: u64 = timed.cores.iter().map(gmt_sim::CoreStats::total_instrs).sum();
+        assert_eq!(fi, ti, "{}", w.benchmark);
+    }
+}
+
+/// COCO is deterministic: same inputs, same plan (reproducibility).
+#[test]
+fn coco_is_deterministic() {
+    let w = gmt_workloads::by_benchmark("ks").unwrap();
+    let train = w.run_train().unwrap();
+    let pdg = Pdg::build(&w.function);
+    let partition = gmt_sched::gremio::partition(
+        &w.function,
+        &pdg,
+        &train.profile,
+        &gmt_sched::gremio::GremioConfig::default(),
+    );
+    let (p1, s1) = gmt_core::optimize(
+        &w.function,
+        &pdg,
+        &partition,
+        &train.profile,
+        &CocoConfig::default(),
+    );
+    let (p2, s2) = gmt_core::optimize(
+        &w.function,
+        &pdg,
+        &partition,
+        &train.profile,
+        &CocoConfig::default(),
+    );
+    assert_eq!(s1, s2);
+    assert_eq!(format!("{p1:?}"), format!("{p2:?}"));
+}
+
+/// Algorithm 2 converges in few iterations on real kernels (the paper
+/// argues quasi-topological pair order keeps iteration count low).
+#[test]
+fn coco_converges_quickly() {
+    for w in catalog() {
+        let train = w.run_train().unwrap();
+        let pdg = Pdg::build(&w.function);
+        let partition = gmt_sched::dswp::partition(
+            &w.function,
+            &pdg,
+            &train.profile,
+            &gmt_sched::dswp::DswpConfig::default(),
+        );
+        let (_, stats) = gmt_core::optimize(
+            &w.function,
+            &pdg,
+            &partition,
+            &train.profile,
+            &CocoConfig::default(),
+        );
+        assert!(stats.iterations <= 4, "{}: {} iterations", w.benchmark, stats.iterations);
+    }
+}
+
+/// Static profile estimation (the paper's [28] alternative) drives the
+/// whole pipeline correctly, and preserves the headline ks win.
+#[test]
+fn static_profiles_work_end_to_end() {
+    for w in catalog() {
+        let estimated = gmt_ir::estimate_profile(&w.function);
+        let r = Parallelizer::new(Scheduler::dswp(2))
+            .with_coco(CocoConfig::default())
+            .parallelize(&w.function, &estimated)
+            .unwrap();
+        let seq = w.run_train().unwrap();
+        let mt = run_mt(
+            r.threads(),
+            &w.train_args,
+            w.init,
+            &QueueConfig { num_queues: r.num_queues().max(1) as usize, capacity: 32 },
+            &exec_config(),
+        )
+        .unwrap();
+        assert_eq!(mt.return_value, seq.return_value, "{}", w.benchmark);
+        assert_eq!(mt.output, seq.output, "{}", w.benchmark);
+    }
+    // The Figure-4 sinking still happens with estimated weights.
+    let w = gmt_workloads::by_benchmark("ks").unwrap();
+    let estimated = gmt_ir::estimate_profile(&w.function);
+    let pdg = Pdg::build(&w.function);
+    let partition = gmt_sched::gremio::partition(
+        &w.function,
+        &pdg,
+        &estimated,
+        &gmt_sched::gremio::GremioConfig::default(),
+    );
+    let base = gmt_mtcg::baseline_plan(&w.function, &pdg, &partition);
+    let (coco, _) = gmt_core::optimize(
+        &w.function,
+        &pdg,
+        &partition,
+        &estimated,
+        &CocoConfig::default(),
+    );
+    assert!(
+        coco.dynamic_cost(&w.function, &estimated) <= base.dynamic_cost(&w.function, &estimated),
+        "COCO must not cost more under static estimates either"
+    );
+}
+
+/// The paper's conclusion claim: with more threads, the communication
+/// fraction grows — and COCO's absolute savings do not shrink.
+#[test]
+fn more_threads_more_communication() {
+    for bench in ["ks", "adpcmdec", "458.sjeng"] {
+        let w = gmt_workloads::by_benchmark(bench).unwrap();
+        let points = gmt_harness::thread_scaling(&w, gmt_harness::SchedulerKind::Dswp, &[2, 4]);
+        assert_eq!(points.len(), 2);
+        assert!(
+            points[1].comm_fraction_pct >= points[0].comm_fraction_pct * 0.8,
+            "{bench}: comm fraction should not collapse with more threads: {points:?}"
+        );
+        for p in &points {
+            assert!(p.coco_comm <= p.mtcg_comm, "{bench}: {points:?}");
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Regression: output ordering across threads under DSWP + COCO
+//! (shrunken from the property test).
+
+use gmt_core::{CocoConfig, Parallelizer, Scheduler};
+use gmt_integration_tests::{compile, Stmt};
+use gmt_ir::interp::{run, ExecConfig};
+use gmt_ir::interp_mt::{run_mt, QueueConfig};
+use gmt_pdg::Pdg;
+
+#[test]
+fn outputs_stay_ordered_under_dswp_coco() {
+    let program = vec![
+        Stmt::Loop(0, vec![Stmt::If(19, vec![], vec![Stmt::Load(6, 7)])]),
+        Stmt::Loop(0, vec![Stmt::If(0, vec![Stmt::Output(8)], vec![])]),
+        Stmt::Output(1),
+    ];
+    let f = compile(&program);
+    let seq = run(&f, &[], &ExecConfig::default()).unwrap();
+    println!("seq output: {:?}", seq.output);
+    let pdg = Pdg::build(&f);
+    let dpos: Vec<_> = pdg
+        .deps()
+        .iter()
+        .filter(|d| d.kind == gmt_pdg::DepKind::Memory)
+        .collect();
+    println!("memory deps: {dpos:?}");
+
+    let base = Parallelizer::new(Scheduler::dswp(2))
+        .parallelize(&f, &seq.profile)
+        .unwrap();
+    println!("partition sizes: {:?}", base.partition.static_sizes());
+    for i in f.all_instrs() {
+        if f.instr(i).is_mem_op() {
+            println!("  {i:?} {:?} -> {:?}", f.instr(i), base.partition.thread_of(i));
+        }
+    }
+    let coco = Parallelizer::new(Scheduler::dswp(2))
+        .with_coco(CocoConfig::default())
+        .parallelize(&f, &seq.profile)
+        .unwrap();
+    println!("baseline plan: {:?}", base.output.plan);
+    println!("coco plan: {:?}", coco.output.plan);
+    for (name, r) in [("base", &base), ("coco", &coco)] {
+        let mt = run_mt(
+            r.threads(),
+            &[],
+            |_, _| {},
+            &QueueConfig { num_queues: r.num_queues().max(1) as usize, capacity: 32 },
+            &ExecConfig::default(),
+        )
+        .unwrap();
+        println!("{name}: output {:?}", mt.output);
+        assert_eq!(mt.output, seq.output, "{name}");
+    }
+}
