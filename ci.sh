@@ -1,0 +1,9 @@
+#!/bin/sh
+# The tier-1 gate, runnable with no network access and no registry
+# cache: hermetic build, full test suite, and a smoke pass of one
+# figure bench (every measurement runs once, untimed).
+set -eux
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+GMT_TESTKIT_BENCH_SMOKE=1 cargo bench --offline -p gmt-bench --bench fig8_speedup

@@ -7,12 +7,12 @@
 //! 4. quasi-topological vs worst-case pair order in Algorithm 2
 //!    (iteration count, printed).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gmt_core::{optimize, CocoConfig};
 use gmt_harness::SchedulerKind;
 use gmt_ir::interp_mt::{run_mt, QueueConfig};
 use gmt_pdg::Pdg;
 use gmt_sim::{simulate, MachineConfig};
+use gmt_testkit::BenchGroup;
 use gmt_workloads::exec_config;
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -145,9 +145,9 @@ fn print_tables_once() {
     }
 }
 
-fn ablations(c: &mut Criterion) {
+fn main() {
     print_tables_once();
-    let mut group = c.benchmark_group("coco_variants");
+    let mut group = BenchGroup::new("coco_variants");
     group.sample_size(10);
     let w = gmt_workloads::by_benchmark("ks").unwrap();
     for (name, config) in [
@@ -158,12 +158,7 @@ fn ablations(c: &mut Criterion) {
             CocoConfig { shared_memory_multicut: false, ..CocoConfig::default() },
         ),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(dynamic_comm(&w, &config)));
-        });
+        group.bench(name, || black_box(dynamic_comm(&w, &config)));
     }
     group.finish();
 }
-
-criterion_group!(benches, ablations);
-criterion_main!(benches);

@@ -4,12 +4,12 @@
 //! Prints the figure's rows, then times the pipeline that produces one
 //! row (PDG → partition → MTCG → functional MT run).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gmt_bench::print_once;
 use gmt_harness::{evaluate, Scale, SchedulerKind};
+use gmt_testkit::BenchGroup;
 use std::hint::black_box;
 
-fn fig1(c: &mut Criterion) {
+fn main() {
     print_once("Figure 1 (quick scale)", || {
         format!(
             "{}\n{}",
@@ -18,19 +18,16 @@ fn fig1(c: &mut Criterion) {
         )
     });
 
-    let mut group = c.benchmark_group("fig1_row");
+    let mut group = BenchGroup::new("fig1_row");
     group.sample_size(10);
     for bench in ["ks", "adpcmdec"] {
         let w = gmt_workloads::by_benchmark(bench).unwrap();
-        group.bench_function(format!("{bench}_gremio"), |b| {
-            b.iter(|| black_box(evaluate(&w, SchedulerKind::Gremio, false, Scale::Quick)));
+        group.bench(&format!("{bench}_gremio"), || {
+            black_box(evaluate(&w, SchedulerKind::Gremio, false, Scale::Quick))
         });
-        group.bench_function(format!("{bench}_dswp"), |b| {
-            b.iter(|| black_box(evaluate(&w, SchedulerKind::Dswp, false, Scale::Quick)));
+        group.bench(&format!("{bench}_dswp"), || {
+            black_box(evaluate(&w, SchedulerKind::Dswp, false, Scale::Quick))
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, fig1);
-criterion_main!(benches);

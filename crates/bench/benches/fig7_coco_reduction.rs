@@ -3,14 +3,14 @@
 //! Prints the figure's rows for both schedulers, then times the COCO
 //! optimizer itself (the compile-time cost the paper discusses in §4).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gmt_bench::print_once;
 use gmt_core::CocoConfig;
 use gmt_harness::{Scale, SchedulerKind};
 use gmt_pdg::Pdg;
+use gmt_testkit::BenchGroup;
 use std::hint::black_box;
 
-fn fig7(c: &mut Criterion) {
+fn main() {
     print_once("Figure 7 (quick scale)", || {
         format!(
             "{}\n{}",
@@ -19,7 +19,7 @@ fn fig7(c: &mut Criterion) {
         )
     });
 
-    let mut group = c.benchmark_group("coco_optimize");
+    let mut group = BenchGroup::new("coco_optimize");
     group.sample_size(20);
     for bench in ["ks", "183.equake", "458.sjeng"] {
         let w = gmt_workloads::by_benchmark(bench).unwrap();
@@ -31,20 +31,15 @@ fn fig7(c: &mut Criterion) {
             &train.profile,
             &gmt_sched::dswp::DswpConfig::default(),
         );
-        group.bench_function(bench, |b| {
-            b.iter(|| {
-                black_box(gmt_core::optimize(
-                    &w.function,
-                    &pdg,
-                    &partition,
-                    &train.profile,
-                    &CocoConfig::default(),
-                ))
-            });
+        group.bench(bench, || {
+            black_box(gmt_core::optimize(
+                &w.function,
+                &pdg,
+                &partition,
+                &train.profile,
+                &CocoConfig::default(),
+            ))
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, fig7);
-criterion_main!(benches);

@@ -4,13 +4,13 @@
 //! Prints the figure's rows, then times the simulator itself
 //! (cycles-per-second throughput of the machine model).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gmt_bench::print_once;
 use gmt_harness::{Scale, SchedulerKind};
 use gmt_sim::{simulate, MachineConfig};
+use gmt_testkit::BenchGroup;
 use std::hint::black_box;
 
-fn fig8(c: &mut Criterion) {
+fn main() {
     print_once("Figure 8 (quick scale)", || {
         format!(
             "{}\n{}",
@@ -19,27 +19,22 @@ fn fig8(c: &mut Criterion) {
         )
     });
 
-    let mut group = c.benchmark_group("simulator");
+    let mut group = BenchGroup::new("simulator");
     group.sample_size(10);
     for bench in ["adpcmdec", "181.mcf"] {
         let w = gmt_workloads::by_benchmark(bench).unwrap();
-        group.bench_function(format!("{bench}_single_core"), |b| {
-            b.iter(|| {
-                black_box(
-                    simulate(
-                        std::slice::from_ref(&w.function),
-                        &w.train_args,
-                        w.init,
-                        &MachineConfig::default(),
-                    )
-                    .unwrap()
-                    .cycles,
+        group.bench(&format!("{bench}_single_core"), || {
+            black_box(
+                simulate(
+                    std::slice::from_ref(&w.function),
+                    &w.train_args,
+                    w.init,
+                    &MachineConfig::default(),
                 )
-            });
+                .unwrap()
+                .cycles,
+            )
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, fig8);
-criterion_main!(benches);

@@ -7,10 +7,10 @@
 //! catalog, plus the raw max-flow solvers on synthetic CFG-shaped
 //! networks of growing size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gmt_core::CocoConfig;
 use gmt_graph::{Capacity, FlowNetwork, MaxFlowAlgo, NodeId};
 use gmt_pdg::Pdg;
+use gmt_testkit::BenchGroup;
 use std::hint::black_box;
 
 /// A ladder-shaped network mimicking a CFG at instruction granularity:
@@ -29,55 +29,55 @@ fn ladder(n: usize) -> (FlowNetwork, NodeId, NodeId) {
     (net, nodes[0], nodes[n - 1])
 }
 
-fn solvers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("maxflow_ladder");
+fn solvers() {
+    let mut group = BenchGroup::new("maxflow_ladder");
     for size in [64usize, 256, 1024] {
         let (net, s, t) = ladder(size);
         for (name, algo) in [
             ("edmonds_karp", MaxFlowAlgo::EdmondsKarp),
             ("dinic", MaxFlowAlgo::Dinic),
         ] {
-            group.bench_with_input(BenchmarkId::new(name, size), &size, |b, _| {
-                b.iter(|| black_box(net.min_cut_with(s, t, algo)));
+            group.bench(&format!("{name}/{size}"), || {
+                black_box(net.min_cut_with(s, t, algo))
             });
         }
     }
     group.finish();
 }
 
-fn coco_compile_time(c: &mut Criterion) {
-    let mut group = c.benchmark_group("coco_compile_time");
+fn coco_compile_time() {
+    let mut group = BenchGroup::new("coco_compile_time");
     group.sample_size(10);
     for (name, algo) in [
         ("edmonds_karp", MaxFlowAlgo::EdmondsKarp),
         ("dinic", MaxFlowAlgo::Dinic),
     ] {
-        group.bench_function(name, |b| {
-            // Pre-compute inputs for all workloads once.
-            let inputs: Vec<_> = gmt_workloads::catalog()
-                .into_iter()
-                .map(|w| {
-                    let train = w.run_train().unwrap();
-                    let pdg = Pdg::build(&w.function);
-                    let partition = gmt_sched::dswp::partition(
-                        &w.function,
-                        &pdg,
-                        &train.profile,
-                        &gmt_sched::dswp::DswpConfig::default(),
-                    );
-                    (w, train.profile, pdg, partition)
-                })
-                .collect();
-            let config = CocoConfig { algo, ..CocoConfig::default() };
-            b.iter(|| {
-                for (w, profile, pdg, partition) in &inputs {
-                    black_box(gmt_core::optimize(&w.function, pdg, partition, profile, &config));
-                }
-            });
+        // Pre-compute inputs for all workloads once.
+        let inputs: Vec<_> = gmt_workloads::catalog()
+            .into_iter()
+            .map(|w| {
+                let train = w.run_train().unwrap();
+                let pdg = Pdg::build(&w.function);
+                let partition = gmt_sched::dswp::partition(
+                    &w.function,
+                    &pdg,
+                    &train.profile,
+                    &gmt_sched::dswp::DswpConfig::default(),
+                );
+                (w, train.profile, pdg, partition)
+            })
+            .collect();
+        let config = CocoConfig { algo, ..CocoConfig::default() };
+        group.bench(name, || {
+            for (w, profile, pdg, partition) in &inputs {
+                black_box(gmt_core::optimize(&w.function, pdg, partition, profile, &config));
+            }
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, solvers, coco_compile_time);
-criterion_main!(benches);
+fn main() {
+    solvers();
+    coco_compile_time();
+}

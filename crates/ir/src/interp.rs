@@ -128,6 +128,10 @@ pub enum ExecError {
     Deadlock,
     /// A queue id outside the configured queue count was referenced.
     BadQueue(InstrId),
+    /// The run was configured with values the executor cannot model
+    /// (no threads, a zero-way cache, a zero-width core, ...). The
+    /// string names the offending parameter.
+    InvalidConfig(String),
 }
 
 impl fmt::Display for ExecError {
@@ -141,6 +145,7 @@ impl fmt::Display for ExecError {
             ExecError::MissingArguments => write!(f, "fewer arguments than parameters"),
             ExecError::Deadlock => write!(f, "deadlock: all unfinished threads blocked"),
             ExecError::BadQueue(i) => write!(f, "instruction {i:?} references bad queue"),
+            ExecError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
         }
     }
 }

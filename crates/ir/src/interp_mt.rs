@@ -94,14 +94,11 @@ impl MtRunResult {
 ///
 /// # Errors
 ///
+/// - [`ExecError::InvalidConfig`] if `threads` is empty.
 /// - [`ExecError::Deadlock`] if every unfinished thread is blocked.
 /// - [`ExecError::OutOfFuel`] if total steps exceed
 ///   `config.max_steps`.
 /// - Any per-instruction fault ([`ExecError::MemoryFault`], ...).
-///
-/// # Panics
-///
-/// Panics if `threads` is empty.
 pub fn run_mt(
     threads: &[Function],
     args: &[i64],
@@ -109,7 +106,9 @@ pub fn run_mt(
     queue_config: &QueueConfig,
     config: &ExecConfig,
 ) -> Result<MtRunResult, ExecError> {
-    assert!(!threads.is_empty(), "at least one thread required");
+    if threads.is_empty() {
+        return Err(ExecError::InvalidConfig("at least one thread required".to_string()));
+    }
     let layout = MemoryLayout::of(&threads[0]);
     let mut memory = Memory::for_layout(&layout);
     init(&layout, &mut memory);

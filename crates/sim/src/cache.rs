@@ -39,7 +39,7 @@ impl Cache {
     }
 
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.config.line_bytes;
+        let line = addr / self.config.line_bytes.max(1);
         let set = (line % self.config.num_sets()) as usize;
         let tag = line / self.config.num_sets();
         (set, tag)
@@ -68,9 +68,13 @@ impl Cache {
         if self.tags[set].contains(&Some(tag)) {
             return;
         }
-        let victim = (0..self.tags[set].len())
+        // A zero-way cache (assoc 0 — rejected by `validate`, but this
+        // type stays total anyway) simply never holds lines.
+        let Some(victim) = (0..self.tags[set].len())
             .min_by_key(|&w| (self.tags[set][w].is_some() as u64, self.lru[set][w]))
-            .expect("at least one way");
+        else {
+            return;
+        };
         self.tags[set][victim] = Some(tag);
         self.lru[set][victim] = self.tick;
     }
@@ -233,6 +237,14 @@ mod tests {
         h.store(1, 0x40);
         // Core 0's copy was invalidated; next load refetches below L1.
         assert_ne!(h.load(0, 0x40).1, HitLevel::L1);
+    }
+
+    #[test]
+    fn zero_way_cache_never_holds_lines() {
+        let mut c = Cache::new(CacheConfig { size_bytes: 0, assoc: 0, line_bytes: 0, latency: 1 });
+        c.fill(0);
+        assert!(!c.access(0));
+        assert!(!c.invalidate(0));
     }
 
     #[test]

@@ -16,7 +16,20 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Number of sets.
     pub fn num_sets(&self) -> u64 {
-        (self.size_bytes / (self.assoc * self.line_bytes)).max(1)
+        (self.size_bytes / (self.assoc * self.line_bytes).max(1)).max(1)
+    }
+
+    /// Checks that the geometry is realizable: the address math divides
+    /// by both the associativity and the line size, and a fill needs at
+    /// least one way to land in.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.assoc == 0 {
+            return Err("cache associativity must be at least 1".to_string());
+        }
+        if self.line_bytes == 0 {
+            return Err("cache line size must be at least 1 byte".to_string());
+        }
+        Ok(())
     }
 }
 
@@ -118,6 +131,33 @@ impl MachineConfig {
         self
     }
 
+    /// Checks the whole machine description for values the simulator
+    /// cannot model: a zero-width or unit-less core would never issue
+    /// (permanent structural stall), a port-less synchronization array
+    /// can never serve a communication instruction, and degenerate
+    /// cache geometry breaks the set-index math.
+    ///
+    /// [`crate::simulate`] runs this up front so untrusted
+    /// configurations produce an error instead of a hang or panic.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, n) in [
+            ("issue_width", self.issue_width),
+            ("alu_units", self.alu_units),
+            ("mem_ports", self.mem_ports),
+            ("fp_units", self.fp_units),
+            ("branch_units", self.branch_units),
+            ("sa.ports", self.sa.ports),
+        ] {
+            if n == 0 {
+                return Err(format!("{name} must be at least 1"));
+            }
+        }
+        for (name, c) in [("l1d", self.l1d), ("l2", self.l2), ("l3", self.l3)] {
+            c.validate().map_err(|e| format!("{name}: {e}"))?;
+        }
+        Ok(())
+    }
+
     /// Renders the Figure 6(a) machine-details table.
     pub fn describe(&self) -> String {
         format!(
@@ -181,6 +221,35 @@ mod tests {
         assert!(d.contains("6-issue"));
         assert!(d.contains("141 cycles"));
         assert!(d.contains("256 queues"));
+    }
+
+    #[test]
+    fn default_config_validates() {
+        assert_eq!(MachineConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_values_rejected() {
+        let mut m = MachineConfig::default();
+        m.issue_width = 0;
+        assert!(m.validate().unwrap_err().contains("issue_width"));
+
+        let mut m = MachineConfig::default();
+        m.l2.assoc = 0;
+        assert!(m.validate().unwrap_err().contains("l2"));
+
+        let mut m = MachineConfig::default();
+        m.sa.ports = 0;
+        assert!(m.validate().unwrap_err().contains("sa.ports"));
+    }
+
+    #[test]
+    fn degenerate_cache_set_math_is_total() {
+        // Invalid geometry still yields a positive set count, so the
+        // tag-only cache structures stay constructible.
+        let c = CacheConfig { size_bytes: 1024, assoc: 0, line_bytes: 0, latency: 1 };
+        assert!(c.validate().is_err());
+        assert_eq!(c.num_sets(), 1024);
     }
 
     #[test]

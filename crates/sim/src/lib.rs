@@ -51,5 +51,5 @@ mod sim;
 pub use cache::{Cache, Hierarchy, HitLevel};
 pub use config::{BranchModel, CacheConfig, MachineConfig, SaConfig};
 pub use core::{Core, CoreStats, StallReason};
-pub use sa::SyncArray;
+pub use sa::{Delivery, PendingConsume, QueueFull, SyncArray};
 pub use sim::{simulate, SimResult};

@@ -37,6 +37,12 @@ pub struct Delivery {
     pub ready_at: u64,
 }
 
+/// Error: a produce was attempted against a queue already holding
+/// `depth` entries. Callers that check [`SyncArray::can_produce`] in
+/// the same cycle never see this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueFull;
+
 /// One queue of the synchronization array.
 #[derive(Clone, Debug, Default)]
 struct Queue {
@@ -71,19 +77,22 @@ impl SyncArray {
     /// `now + 1`). If a consume is pending, returns the delivery to
     /// apply instead of enqueuing.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the queue is full (callers check
+    /// Returns [`QueueFull`] when the queue already holds `depth`
+    /// entries (callers are expected to check
     /// [`SyncArray::can_produce`] first).
-    pub fn produce(&mut self, q: usize, value: i64, now: u64) -> Option<Delivery> {
+    pub fn produce(&mut self, q: usize, value: i64, now: u64) -> Result<Option<Delivery>, QueueFull> {
         let avail = now + 1 + self.latency;
         let queue = &mut self.queues[q];
         if let Some(pending) = queue.pending.pop_front() {
-            return Some(Delivery { pending, value, ready_at: avail });
+            return Ok(Some(Delivery { pending, value, ready_at: avail }));
         }
-        assert!(queue.entries.len() < self.depth, "produce into full queue");
+        if queue.entries.len() >= self.depth {
+            return Err(QueueFull);
+        }
         queue.entries.push_back(Entry { value, avail });
-        None
+        Ok(None)
     }
 
     /// Attempts a consume from queue `q` at cycle `now`.
@@ -113,14 +122,11 @@ impl SyncArray {
         self.queues[q].entries.front().is_some_and(|e| e.avail <= now)
     }
 
-    /// Pops a token for `consume.sync`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no visible entry exists.
-    pub fn pop_token(&mut self, q: usize, now: u64) -> u64 {
-        let e = self.queues[q].entries.pop_front().expect("checked by caller");
-        e.avail.max(now)
+    /// Pops a token for `consume.sync`, or `None` when the queue is
+    /// empty (callers gate on [`SyncArray::has_visible_entry`]).
+    pub fn pop_token(&mut self, q: usize, now: u64) -> Option<u64> {
+        let e = self.queues[q].entries.pop_front()?;
+        Some(e.avail.max(now))
     }
 
     /// Number of queues.
@@ -146,7 +152,7 @@ mod tests {
     fn produce_then_consume() {
         let mut sa = SyncArray::new(4, 2, 1);
         assert!(sa.can_produce(0));
-        assert!(sa.produce(0, 42, 10).is_none());
+        assert!(sa.produce(0, 42, 10).unwrap().is_none());
         let (v, ready) = sa.consume(0, 20, pc(1)).unwrap();
         assert_eq!(v, 42);
         assert_eq!(ready, 21, "entry already visible; consume takes 1 cycle");
@@ -156,7 +162,7 @@ mod tests {
     fn consume_before_produce_is_pending() {
         let mut sa = SyncArray::new(4, 2, 1);
         assert!(sa.consume(0, 5, pc(1)).is_err());
-        let d = sa.produce(0, 7, 9).expect("matches pending");
+        let d = sa.produce(0, 7, 9).unwrap().expect("matches pending");
         assert_eq!(d.value, 7);
         assert_eq!(d.ready_at, 11, "commit at 10 + 1 cycle SA latency");
         assert_eq!(d.pending.core, 1);
@@ -165,8 +171,9 @@ mod tests {
     #[test]
     fn backpressure_at_depth() {
         let mut sa = SyncArray::new(1, 1, 1);
-        assert!(sa.produce(0, 1, 0).is_none());
+        assert!(sa.produce(0, 1, 0).unwrap().is_none());
         assert!(!sa.can_produce(0));
+        assert!(matches!(sa.produce(0, 2, 0), Err(QueueFull)), "full queue rejects, not panics");
         let _ = sa.consume(0, 5, pc(0)).unwrap();
         assert!(sa.can_produce(0));
     }
@@ -174,17 +181,18 @@ mod tests {
     #[test]
     fn sync_token_visibility() {
         let mut sa = SyncArray::new(1, 1, 1);
-        sa.produce(0, 1, 10); // visible at 12
+        assert!(sa.produce(0, 1, 10).unwrap().is_none()); // visible at 12
         assert!(!sa.has_visible_entry(0, 11));
         assert!(sa.has_visible_entry(0, 12));
-        assert_eq!(sa.pop_token(0, 15), 15);
+        assert_eq!(sa.pop_token(0, 15), Some(15));
+        assert_eq!(sa.pop_token(0, 16), None, "empty queue yields no token");
     }
 
     #[test]
     fn fifo_order() {
         let mut sa = SyncArray::new(1, 4, 1);
-        sa.produce(0, 1, 0);
-        sa.produce(0, 2, 0);
+        assert!(sa.produce(0, 1, 0).unwrap().is_none());
+        assert!(sa.produce(0, 2, 0).unwrap().is_none());
         assert_eq!(sa.consume(0, 9, pc(0)).unwrap().0, 1);
         assert_eq!(sa.consume(0, 9, pc(0)).unwrap().0, 2);
     }

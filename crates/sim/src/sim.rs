@@ -79,21 +79,22 @@ fn exec_latency(op: &Op) -> u64 {
 ///
 /// # Errors
 ///
+/// - [`ExecError::InvalidConfig`] when `threads` is empty or
+///   [`MachineConfig::validate`] rejects the machine;
 /// - [`ExecError::Deadlock`] when no core makes progress for an entire
 ///   no-progress window (every latency in the machine is far smaller);
 /// - [`ExecError::OutOfFuel`] when `config.max_cycles` elapses;
 /// - [`ExecError::MemoryFault`] on wild accesses.
-///
-/// # Panics
-///
-/// Panics if `threads` is empty.
 pub fn simulate(
     threads: &[Function],
     args: &[i64],
     init: impl FnOnce(&MemoryLayout, &mut Memory),
     config: &MachineConfig,
 ) -> Result<SimResult, ExecError> {
-    assert!(!threads.is_empty(), "at least one thread required");
+    if threads.is_empty() {
+        return Err(ExecError::InvalidConfig("at least one thread required".to_string()));
+    }
+    config.validate().map_err(ExecError::InvalidConfig)?;
     let layout = MemoryLayout::of(&threads[0]);
     let mut memory = Memory::for_layout(&layout);
     init(&layout, &mut memory);
@@ -158,6 +159,10 @@ pub fn simulate(
         hits_l3: hits[2],
         hits_mem: hits[3],
     })
+}
+
+fn sa_overflow() -> String {
+    "synchronization array produce overran the configured queue depth".to_string()
 }
 
 /// Issues as many instructions as possible on core `ci` this cycle;
@@ -268,10 +273,17 @@ fn issue_core(
                 }
                 *sa_ports_left -= 1;
                 let v = cores[ci].operand(value);
-                if let Some(d) = sa.produce(queue.index(), v, now) {
-                    if let Some(dst) = d.pending.dst {
-                        cores[d.pending.core].deliver(dst, d.pending.token, d.value, d.ready_at);
+                match sa.produce(queue.index(), v, now) {
+                    Ok(Some(d)) => {
+                        if let Some(dst) = d.pending.dst {
+                            cores[d.pending.core]
+                                .deliver(dst, d.pending.token, d.value, d.ready_at);
+                        }
                     }
+                    Ok(None) => {}
+                    // `can_produce` held above; losing the value here
+                    // would corrupt the run, so refuse to continue.
+                    Err(_) => return Err(ExecError::InvalidConfig(sa_overflow())),
                 }
                 cores[ci].stats.communication += 1;
                 cores[ci].advance();
@@ -306,7 +318,9 @@ fn issue_core(
                     break;
                 }
                 *sa_ports_left -= 1;
-                let _ = sa.produce(queue.index(), 1, now);
+                if sa.produce(queue.index(), 1, now).is_err() {
+                    return Err(ExecError::InvalidConfig(sa_overflow()));
+                }
                 cores[ci].stats.synchronization += 1;
                 cores[ci].advance();
                 issued += 1;
@@ -325,6 +339,8 @@ fn issue_core(
                     break;
                 }
                 *sa_ports_left -= 1;
+                // Gated on `has_visible_entry` above; an empty pop is
+                // harmless but counts as no token consumed.
                 let _ = sa.pop_token(queue.index(), now);
                 cores[ci].stats.synchronization += 1;
                 cores[ci].advance();

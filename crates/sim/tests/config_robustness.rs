@@ -1,0 +1,127 @@
+//! Property: the simulator and the functional MT interpreter return
+//! typed errors — never panic, hang, or silently misbehave — on
+//! arbitrary machine and queue configurations, including degenerate
+//! ones (zero-width cores, zero-way caches, port-less sync arrays,
+//! zero queues).
+//!
+//! Replay a failure with `GMT_TESTKIT_SEED=<seed> cargo test -p
+//! gmt-sim --test config_robustness`.
+
+use gmt_ir::interp_mt::{run_mt, QueueConfig};
+use gmt_ir::interp::{ExecConfig, ExecError};
+use gmt_ir::{BinOp, FunctionBuilder, Op, QueueId};
+use gmt_sim::{simulate, CacheConfig, MachineConfig, SaConfig};
+use gmt_testkit::{prop_assert, ranged, Checker, Gen};
+
+/// Producer sends 1..=3 on queue 0; consumer sums and returns 6.
+fn producer_consumer() -> Vec<gmt_ir::Function> {
+    let q = QueueId(0);
+    let mut p = FunctionBuilder::new("producer");
+    for v in 1..=3 {
+        p.emit(Op::Produce { queue: q, value: (v as i64).into() });
+    }
+    p.ret(None);
+    let producer = p.finish().unwrap();
+
+    let mut c = FunctionBuilder::new("consumer");
+    let sum = c.fresh_reg();
+    c.const_into(sum, 0);
+    for _ in 0..3 {
+        let v = c.fresh_reg();
+        c.emit(Op::Consume { dst: v, queue: q });
+        c.bin_into(BinOp::Add, sum, sum, v);
+    }
+    c.ret(Some(sum.into()));
+    let consumer = c.finish().unwrap();
+    vec![producer, consumer]
+}
+
+/// (issue_width, alu, mem_ports, assoc), (line_bytes, num_queues, depth, ports)
+type RawCfg = ((usize, usize, usize, u64), (u64, usize, usize, usize));
+
+fn cfg_gen() -> Gen<RawCfg> {
+    let core = ranged(0usize, 5)
+        .zip(ranged(0usize, 4))
+        .zip(ranged(0usize, 4))
+        .zip(ranged(0u64, 4))
+        .map(|(((iw, alu), mp), assoc)| (iw, alu, mp, assoc));
+    let rest = ranged(0u64, 130)
+        .zip(ranged(0usize, 6))
+        .zip(ranged(0usize, 4))
+        .zip(ranged(0usize, 4))
+        .map(|(((lb, nq), d), p)| (lb, nq, d, p));
+    core.zip(rest)
+}
+
+fn machine(raw: &RawCfg) -> MachineConfig {
+    let ((iw, alu, mp, assoc), (lb, nq, d, p)) = *raw;
+    MachineConfig {
+        issue_width: iw,
+        alu_units: alu,
+        mem_ports: mp,
+        fp_units: 1,
+        branch_units: 1,
+        l1d: CacheConfig { size_bytes: 1024, assoc, line_bytes: lb, latency: 1 },
+        sa: SaConfig { num_queues: nq, depth: d, latency: 1, ports: p },
+        // Bound the run so pathological-but-valid machines terminate
+        // through OutOfFuel/Deadlock instead of spinning.
+        max_cycles: 500_000,
+        ..MachineConfig::default()
+    }
+}
+
+#[test]
+fn arbitrary_machine_configs_never_panic() {
+    let threads = producer_consumer();
+    Checker::new("arbitrary_machine_configs_never_panic").cases(64).run(&cfg_gen(), |raw| {
+        let config = machine(raw);
+        let result = simulate(&threads, &[], |_, _| {}, &config);
+        if config.validate().is_err() {
+            prop_assert!(
+                matches!(result, Err(ExecError::InvalidConfig(_))),
+                "invalid machine must be rejected up front, got {result:?}"
+            );
+        } else if config.sa.num_queues == 0 {
+            prop_assert!(
+                matches!(result, Err(ExecError::BadQueue(_))),
+                "communication with no queues must fault, got {result:?}"
+            );
+        } else {
+            let r = result.expect("valid config must simulate");
+            prop_assert!(r.return_value == Some(6), "wrong sum: {:?}", r.return_value);
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn arbitrary_queue_configs_never_panic() {
+    let threads = producer_consumer();
+    Checker::new("arbitrary_queue_configs_never_panic").cases(64).run(
+        &ranged(0usize, 6).zip(ranged(0usize, 5)),
+        |&(num_queues, capacity)| {
+            let qc = QueueConfig { num_queues, capacity };
+            let result = run_mt(&threads, &[], |_, _| {}, &qc, &ExecConfig::default());
+            if num_queues == 0 {
+                prop_assert!(
+                    matches!(result, Err(ExecError::BadQueue(_))),
+                    "communication with no queues must fault, got {result:?}"
+                );
+            } else {
+                let r = result.expect("run must complete (capacity is clamped to >= 1)");
+                prop_assert!(r.return_value == Some(6), "wrong sum: {:?}", r.return_value);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn empty_thread_sets_are_rejected() {
+    let err = simulate(&[], &[], |_, _| {}, &MachineConfig::default()).unwrap_err();
+    assert!(matches!(err, ExecError::InvalidConfig(_)), "{err}");
+
+    let err = run_mt(&[], &[], |_, _| {}, &QueueConfig::default(), &ExecConfig::default())
+        .unwrap_err();
+    assert!(matches!(err, ExecError::InvalidConfig(_)), "{err}");
+}

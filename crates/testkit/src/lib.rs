@@ -1,0 +1,45 @@
+//! Hermetic test & bench infrastructure for the GMT workspace.
+//!
+//! The offline build environment cannot fetch registry crates, so this
+//! crate replaces the three external dev-dependencies the seed relied
+//! on with small in-tree equivalents:
+//!
+//! - [`TestRng`] — a deterministic splitmix64/xorshift64* PRNG
+//!   (replaces `rand`);
+//! - [`Gen`] combinators + the [`Checker`] runner with greedy
+//!   [`Shrink`]-based minimization, failure persistence to a
+//!   `testkit-regressions` file, and `GMT_TESTKIT_SEED` /
+//!   `GMT_TESTKIT_CASES` env overrides (replaces `proptest`);
+//! - [`BenchGroup`] — warmup + timed samples with mean/median/stddev
+//!   and JSON-lines output to `BENCH_<target>.json` (replaces
+//!   `criterion`).
+//!
+//! # Replaying a failure
+//!
+//! When a property fails, the runner shrinks the input, appends the
+//! failing case seed to `testkit-regressions` in the crate under test
+//! (re-run automatically on the next `cargo test`), and prints a
+//! one-liner of the form:
+//!
+//! ```text
+//! replay with: GMT_TESTKIT_SEED=0x1234abcd cargo test -p <crate> <test>
+//! ```
+//!
+//! Setting `GMT_TESTKIT_SEED` makes every checker run exactly that one
+//! case; `GMT_TESTKIT_CASES=N` scales the per-property case budget
+//! (useful to cheapen CI or deepen a soak run).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bench;
+mod check;
+mod gen;
+mod rng;
+mod shrink;
+
+pub use bench::{BenchGroup, BenchStats};
+pub use check::{Checker, PropResult};
+pub use gen::{full_u64, one_of, ranged, recursive, vec_of, weighted, Gen};
+pub use rng::TestRng;
+pub use shrink::Shrink;

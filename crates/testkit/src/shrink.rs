@@ -1,0 +1,154 @@
+//! Greedy shrinking: a failing input is minimized by repeatedly
+//! replacing it with the first *smaller candidate* that still fails.
+//!
+//! Unlike proptest's integrated shrinking this is type-directed: each
+//! input type proposes its own candidates via [`Shrink::shrinks`].
+//! Greedy descent is not globally optimal but converges fast and needs
+//! no generator bookkeeping, which keeps replay-by-seed exact.
+
+/// Types that can propose smaller versions of themselves.
+pub trait Shrink: Sized {
+    /// Strictly-simpler candidate values, most aggressive first.
+    /// Returning an empty vector means the value is fully shrunk.
+    fn shrinks(&self) -> Vec<Self>;
+}
+
+macro_rules! shrink_uint {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrinks(&self) -> Vec<$t> {
+                let v = *self;
+                let mut out = Vec::new();
+                for c in [0, v / 2, v.saturating_sub(1)] {
+                    if c != v && !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+shrink_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! shrink_int {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrinks(&self) -> Vec<$t> {
+                let v = *self;
+                let mut out = Vec::new();
+                for c in [0, v / 2, v - v.signum()] {
+                    if c != v && !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+shrink_int!(i8, i16, i32, i64, isize);
+
+impl Shrink for bool {
+    fn shrinks(&self) -> Vec<bool> {
+        if *self { vec![false] } else { Vec::new() }
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrinks(&self) -> Vec<Vec<T>> {
+        let mut out = Vec::new();
+        // Drop whole halves first (fast descent on long inputs) ...
+        if self.len() >= 2 {
+            out.push(self[self.len() / 2..].to_vec());
+            out.push(self[..self.len() / 2].to_vec());
+        }
+        // ... then individual elements ...
+        for k in 0..self.len() {
+            let mut v = self.clone();
+            v.remove(k);
+            out.push(v);
+        }
+        // ... then shrink elements in place.
+        for k in 0..self.len() {
+            for cand in self[k].shrinks() {
+                let mut v = self.clone();
+                v[k] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! shrink_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Shrink + Clone),+> Shrink for ($($name,)+) {
+            fn shrinks(&self) -> Vec<($($name,)+)> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrinks() {
+                        let mut t = self.clone();
+                        t.$idx = cand;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+shrink_tuple!(A: 0);
+shrink_tuple!(A: 0, B: 1);
+shrink_tuple!(A: 0, B: 1, C: 2);
+shrink_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Greedy descent as the checker performs it.
+    fn minimize<T: Shrink + Clone>(mut value: T, fails: impl Fn(&T) -> bool) -> T {
+        'outer: loop {
+            for cand in value.shrinks() {
+                if fails(&cand) {
+                    value = cand;
+                    continue 'outer;
+                }
+            }
+            return value;
+        }
+    }
+
+    #[test]
+    fn uint_shrinks_toward_zero() {
+        assert_eq!(minimize(200u8, |&v| v >= 17), 17);
+        assert!(0u8.shrinks().is_empty());
+    }
+
+    #[test]
+    fn int_shrinks_from_both_sides() {
+        assert_eq!(minimize(-120i8, |&v| v <= -9), -9);
+        assert_eq!(minimize(100i8, |&v| v >= 3), 3);
+    }
+
+    #[test]
+    fn vec_drops_irrelevant_elements() {
+        let start: Vec<u8> = (0..20).collect();
+        let min = minimize(start, |v| v.contains(&13));
+        assert_eq!(min, vec![13]);
+    }
+
+    #[test]
+    fn tuple_shrinks_componentwise() {
+        let min = minimize((50u8, 99u8), |&(a, b)| a >= 5 && b >= 2);
+        assert_eq!(min, (5, 2));
+    }
+
+    #[test]
+    fn nested_vecs_shrink() {
+        let start = vec![vec![9u8; 6], vec![1, 2, 8], vec![4; 4]];
+        let min = minimize(start, |v| v.iter().any(|inner| inner.contains(&8)));
+        assert_eq!(min, vec![vec![8]]);
+    }
+}

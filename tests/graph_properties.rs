@@ -1,9 +1,10 @@
 //! Property tests of the graph substrate: min-cut correctness on
 //! random flow networks (duality with disconnection, algorithm
-//! agreement, multicut soundness).
+//! agreement, multicut soundness), on the `gmt-testkit` harness with
+//! fixed default seeds.
 
 use gmt_graph::{multicut, Capacity, Commodity, FlowNetwork, MaxFlowAlgo, NodeId};
-use proptest::prelude::*;
+use gmt_testkit::{prop_assert, prop_assert_eq, ranged, vec_of, Checker, Gen, Shrink};
 
 /// A random sparse network description: node count and weighted arcs.
 #[derive(Clone, Debug)]
@@ -12,13 +13,33 @@ struct NetDesc {
     arcs: Vec<(usize, usize, u64)>,
 }
 
-fn net_strategy() -> impl Strategy<Value = NetDesc> {
-    (3usize..12).prop_flat_map(|nodes| {
-        let arcs = prop::collection::vec(
-            (0..nodes, 0..nodes, 1u64..50).prop_filter("no self arcs", |(a, b, _)| a != b),
-            1..40,
-        );
-        arcs.prop_map(move |arcs| NetDesc { nodes, arcs })
+impl Shrink for NetDesc {
+    fn shrinks(&self) -> Vec<NetDesc> {
+        // Node count stays fixed (arc endpoints are reduced modulo it);
+        // shrinking means dropping/simplifying arcs.
+        self.arcs
+            .shrinks()
+            .into_iter()
+            .map(|arcs| NetDesc { nodes: self.nodes, arcs })
+            .collect()
+    }
+}
+
+fn net_gen() -> Gen<NetDesc> {
+    ranged(3usize, 12).flat_map(|nodes| {
+        vec_of(
+            ranged(0usize, nodes).zip(ranged(0usize, nodes)).zip(ranged(1u64, 50)),
+            1,
+            40,
+        )
+        .map(move |arcs| NetDesc {
+            nodes,
+            arcs: arcs
+                .into_iter()
+                .map(|((a, b), w)| (a, b, w))
+                .filter(|&(a, b, _)| a != b)
+                .collect(),
+        })
     })
 }
 
@@ -26,7 +47,16 @@ fn build(desc: &NetDesc) -> FlowNetwork {
     let mut net = FlowNetwork::new();
     net.add_nodes(desc.nodes);
     for &(a, b, w) in &desc.arcs {
-        net.add_arc(NodeId(a as u32), NodeId(b as u32), Capacity::finite(w));
+        // Shrinking may zero a weight or fold endpoints together; keep
+        // the built network well-formed regardless.
+        if a == b {
+            continue;
+        }
+        net.add_arc(
+            NodeId((a % desc.nodes) as u32),
+            NodeId((b % desc.nodes) as u32),
+            Capacity::finite(w.max(1)),
+        );
     }
     net
 }
@@ -56,32 +86,36 @@ fn reaches_without(net: &FlowNetwork, removed: &[gmt_graph::ArcId], s: NodeId, t
     false
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+/// Edmonds–Karp and Dinic compute the same max-flow value, and the
+/// extracted cut (a) sums to that value and (b) disconnects sink
+/// from source.
+#[test]
+fn mincut_duality_and_disconnection() {
+    Checker::new("graph_properties::mincut_duality_and_disconnection").cases(128).run(
+        &net_gen(),
+        |desc| {
+            let net = build(desc);
+            let s = NodeId(0);
+            let t = NodeId((desc.nodes - 1) as u32);
+            let ek = net.min_cut_with(s, t, MaxFlowAlgo::EdmondsKarp);
+            let di = net.min_cut_with(s, t, MaxFlowAlgo::Dinic);
+            prop_assert_eq!(ek.value, di.value);
+            if ek.is_feasible() {
+                let total: Capacity = ek.arcs.iter().map(|&a| net.arc(a).capacity).sum();
+                prop_assert_eq!(total, ek.value);
+                prop_assert!(!reaches_without(&net, &ek.arcs, s, t), "cut must disconnect");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Edmonds–Karp and Dinic compute the same max-flow value, and the
-    /// extracted cut (a) sums to that value and (b) disconnects sink
-    /// from source.
-    #[test]
-    fn mincut_duality_and_disconnection(desc in net_strategy()) {
-        let net = build(&desc);
-        let s = NodeId(0);
-        let t = NodeId((desc.nodes - 1) as u32);
-        let ek = net.min_cut_with(s, t, MaxFlowAlgo::EdmondsKarp);
-        let di = net.min_cut_with(s, t, MaxFlowAlgo::Dinic);
-        prop_assert_eq!(ek.value, di.value);
-        if ek.is_feasible() {
-            let total: Capacity = ek.arcs.iter().map(|&a| net.arc(a).capacity).sum();
-            prop_assert_eq!(total, ek.value);
-            prop_assert!(!reaches_without(&net, &ek.arcs, s, t), "cut must disconnect");
-        }
-    }
-
-    /// Removing any single arc from a min cut reconnects s to t (cuts
-    /// are minimal, not just valid).
-    #[test]
-    fn mincut_is_minimal(desc in net_strategy()) {
-        let net = build(&desc);
+/// Removing any single arc from a min cut reconnects s to t (cuts
+/// are minimal, not just valid).
+#[test]
+fn mincut_is_minimal() {
+    Checker::new("graph_properties::mincut_is_minimal").cases(128).run(&net_gen(), |desc| {
+        let net = build(desc);
         let s = NodeId(0);
         let t = NodeId((desc.nodes - 1) as u32);
         let cut = net.min_cut(s, t);
@@ -95,36 +129,44 @@ proptest! {
                 );
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The multicut heuristic disconnects every feasible commodity and
-    /// never costs more than the sum of independent per-pair cuts.
-    #[test]
-    fn multicut_soundness(desc in net_strategy(), pair_seeds in prop::collection::vec((0usize..12, 0usize..12), 1..4)) {
-        let net = build(&desc);
-        let commodities: Vec<Commodity> = pair_seeds
-            .iter()
-            .map(|&(a, b)| Commodity {
-                source: NodeId((a % desc.nodes) as u32),
-                sink: NodeId((b % desc.nodes) as u32),
-            })
-            .collect();
-        let result = multicut(&net, &commodities);
-        let mut independent_total = Capacity::ZERO;
-        for (c, &feasible) in commodities.iter().zip(&result.feasible) {
-            if c.source == c.sink {
-                continue;
+/// The multicut heuristic disconnects every feasible commodity and
+/// never costs more than the sum of independent per-pair cuts.
+#[test]
+fn multicut_soundness() {
+    let gen = net_gen().zip(vec_of(ranged(0usize, 12).zip(ranged(0usize, 12)), 1, 4));
+    Checker::new("graph_properties::multicut_soundness").cases(128).run(
+        &gen,
+        |(desc, pair_seeds)| {
+            let net = build(desc);
+            let commodities: Vec<Commodity> = pair_seeds
+                .iter()
+                .map(|&(a, b)| Commodity {
+                    source: NodeId((a % desc.nodes) as u32),
+                    sink: NodeId((b % desc.nodes) as u32),
+                })
+                .collect();
+            let result = multicut(&net, &commodities);
+            let mut independent_total = Capacity::ZERO;
+            for (c, &feasible) in commodities.iter().zip(&result.feasible) {
+                if c.source == c.sink {
+                    continue;
+                }
+                let single = net.min_cut(c.source, c.sink);
+                prop_assert_eq!(feasible, single.is_feasible());
+                if feasible {
+                    prop_assert!(
+                        !reaches_without(&net, &result.arcs, c.source, c.sink),
+                        "feasible commodity must be disconnected"
+                    );
+                    independent_total += single.value;
+                }
             }
-            let single = net.min_cut(c.source, c.sink);
-            prop_assert_eq!(feasible, single.is_feasible());
-            if feasible {
-                prop_assert!(
-                    !reaches_without(&net, &result.arcs, c.source, c.sink),
-                    "feasible commodity must be disconnected"
-                );
-                independent_total += single.value;
-            }
-        }
-        prop_assert!(result.value <= independent_total, "sharing must not cost extra");
-    }
+            prop_assert!(result.value <= independent_total, "sharing must not cost extra");
+            Ok(())
+        },
+    );
 }

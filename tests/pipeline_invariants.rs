@@ -1,12 +1,17 @@
 //! Cross-crate invariants of the full pipeline, checked on the real
 //! benchmark catalog: the paper's structural claims beyond raw
-//! correctness.
+//! correctness. Randomized coverage (partition choice × max-flow
+//! algorithm) runs on the `gmt-testkit` harness with fixed default
+//! seeds.
 
 use gmt_core::{CocoConfig, Parallelizer, Scheduler};
+use gmt_graph::MaxFlowAlgo;
+use gmt_integration_tests::block_partition;
 use gmt_ir::interp_mt::{run_mt, QueueConfig};
 use gmt_pdg::Pdg;
 use gmt_sched::{has_cyclic_inter_thread_deps, is_pipeline};
 use gmt_sim::{simulate, MachineConfig};
+use gmt_testkit::{full_u64, prop_assert, prop_assert_eq, ranged, Checker};
 use gmt_workloads::{catalog, exec_config};
 
 /// DSWP output always satisfies the pipeline property (Property 1
@@ -207,6 +212,47 @@ fn static_profiles_work_end_to_end() {
         coco.dynamic_cost(&w.function, &estimated) <= base.dynamic_cost(&w.function, &estimated),
         "COCO must not cost more under static estimates either"
     );
+}
+
+/// COCO on *arbitrary* block partitions of the real kernels — not
+/// just the partitions DSWP/GREMIO would pick — preserves semantics
+/// and never estimates worse than the baseline plan, under both
+/// max-flow algorithms. 32 cases over {workload × seed × algo} give
+/// each `MaxFlowAlgo` variant ample coverage.
+#[test]
+fn coco_on_random_block_partitions_both_algos() {
+    let workloads = catalog();
+    let gen = ranged(0usize, workloads.len()).zip(full_u64()).zip(ranged(0u8, 2));
+    Checker::new("pipeline_invariants::coco_on_random_block_partitions_both_algos")
+        .cases(32)
+        .run(&gen, |&((widx, seed), algo_idx)| {
+            let w = &workloads[widx % workloads.len()];
+            let algo = if algo_idx % 2 == 0 { MaxFlowAlgo::EdmondsKarp } else { MaxFlowAlgo::Dinic };
+            let seq = w.run_train().expect("sequential");
+            let pdg = Pdg::build(&w.function);
+            let partition = block_partition(&w.function, 2, seed);
+            let config = CocoConfig { algo, ..CocoConfig::default() };
+            let base = gmt_mtcg::baseline_plan(&w.function, &pdg, &partition);
+            let (plan, _) = gmt_core::optimize(&w.function, &pdg, &partition, &seq.profile, &config);
+            prop_assert!(
+                plan.dynamic_cost(&w.function, &seq.profile)
+                    <= base.dynamic_cost(&w.function, &seq.profile),
+                "{}: COCO estimate must not exceed baseline",
+                w.benchmark
+            );
+            let out = gmt_mtcg::generate_with_plan(&w.function, &partition, plan).expect("codegen");
+            let mt = run_mt(
+                &out.threads,
+                &w.train_args,
+                w.init,
+                &QueueConfig { num_queues: out.num_queues.max(1) as usize, capacity: 32 },
+                &exec_config(),
+            )
+            .expect("mt run");
+            prop_assert_eq!(mt.return_value, seq.return_value, "{}", w.benchmark);
+            prop_assert_eq!(&mt.output, &seq.output, "{}", w.benchmark);
+            Ok(())
+        });
 }
 
 /// The paper's conclusion claim: with more threads, the communication

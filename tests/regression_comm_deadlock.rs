@@ -1,5 +1,12 @@
-//! Scratch reproduction of a shrunken property-test failure (kept as a
-//! regression test once fixed).
+//! Regression: COCO communication deadlock, shrunken from the
+//! `coco_preserves_semantics_and_never_costs_more` property.
+//!
+//! Re-encoded from the historical proptest regression entry
+//! (`shrinks to program = [Loop(1, [Store(122, 0), Loop(0, [Bin(229,
+//! Add, 0, 0)])]), Store(0, 31)], seed = 12601032260667469312,
+//! penalties = false, dinic = false`) as an explicit `gmt-testkit`-era
+//! case: the shrunken program and partition seed are pinned below, so
+//! the case survives any change to generator draw order.
 
 use gmt_core::{optimize, CocoConfig};
 use gmt_integration_tests::{compile, seeded_partition, Stmt};

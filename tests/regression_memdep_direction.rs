@@ -1,5 +1,12 @@
 //! Regression: output ordering across threads under DSWP + COCO
-//! (shrunken from the property test).
+//! (memory-dependence direction), shrunken from the
+//! `partitioners_preserve_semantics` property.
+//!
+//! Re-encoded from the historical proptest regression entry
+//! (`shrinks to program = [Loop(0, [If(19, [], [Load(6, 7)])]),
+//! Loop(0, [If(0, [Output(8)], [])]), Output(1)], use_gremio =
+//! false`) as an explicit `gmt-testkit`-era case with the shrunken
+//! program pinned below.
 
 use gmt_core::{CocoConfig, Parallelizer, Scheduler};
 use gmt_integration_tests::{compile, Stmt};

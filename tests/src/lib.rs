@@ -9,6 +9,7 @@
 //! hammocks, nests, loop-carried recurrences, and memory dependences.
 
 use gmt_ir::{BinOp, Function, FunctionBuilder, Reg};
+use gmt_testkit::{one_of, recursive, vec_of, Gen, Shrink};
 
 /// Number of mutable program registers in the pool.
 pub const REG_POOL: u32 = 6;
@@ -38,6 +39,108 @@ pub enum Stmt {
     StoreAffine(u8, u8),
     /// `pool[dst] = affmem[loopvar + (off & 7)]` — affine load.
     LoadAffine(u8, u8),
+}
+
+/// Any byte (indices, sources, trip counts).
+fn byte() -> Gen<u8> {
+    Gen::new(|rng| rng.next_u64() as u8)
+}
+
+/// Every [`BinOp`] the generator may emit.
+pub fn bin_op_gen() -> Gen<BinOp> {
+    one_of(
+        [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Lt,
+            BinOp::Eq,
+            BinOp::Min,
+            BinOp::Max,
+            BinOp::Div,
+            BinOp::Shr,
+        ]
+        .into_iter()
+        .map(Gen::just)
+        .collect(),
+    )
+}
+
+/// A statement tree of bounded depth, covering every CFG shape the
+/// scheduling stack must handle.
+pub fn stmt_gen() -> Gen<Stmt> {
+    let leaf = one_of(vec![
+        byte()
+            .zip(bin_op_gen())
+            .zip(byte())
+            .zip(byte())
+            .map(|(((d, op), a), b)| Stmt::Bin(d, op, a, b)),
+        byte().zip(Gen::new(|rng| rng.next_u64() as i8)).map(|(d, v)| Stmt::Const(d, v)),
+        byte().zip(byte()).map(|(d, i)| Stmt::Load(d, i)),
+        byte().zip(byte()).map(|(s, i)| Stmt::Store(s, i)),
+        byte().zip(byte()).map(|(s, o)| Stmt::StoreAffine(s, o)),
+        byte().zip(byte()).map(|(d, o)| Stmt::LoadAffine(d, o)),
+        byte().map(Stmt::Output),
+    ]);
+    recursive(3, leaf, |inner| {
+        one_of(vec![
+            byte()
+                .zip(vec_of(inner.clone(), 0, 4))
+                .zip(vec_of(inner.clone(), 0, 4))
+                .map(|((c, t), e)| Stmt::If(c, t, e)),
+            byte().zip(vec_of(inner, 1, 4)).map(|(n, b)| Stmt::Loop(n, b)),
+        ])
+    })
+}
+
+/// A whole random program: 1–7 top-level statements.
+pub fn program_gen() -> Gen<Vec<Stmt>> {
+    vec_of(stmt_gen(), 1, 8)
+}
+
+impl Shrink for Stmt {
+    fn shrinks(&self) -> Vec<Stmt> {
+        match self {
+            Stmt::Bin(d, op, a, b) => {
+                let mut out: Vec<Stmt> =
+                    (*d, *a, *b).shrinks().into_iter().map(|(d, a, b)| Stmt::Bin(d, *op, a, b)).collect();
+                if *op != BinOp::Add {
+                    out.insert(0, Stmt::Bin(*d, BinOp::Add, *a, *b));
+                }
+                out
+            }
+            Stmt::Const(d, v) => {
+                (*d, *v).shrinks().into_iter().map(|(d, v)| Stmt::Const(d, v)).collect()
+            }
+            Stmt::Load(d, i) => (*d, *i).shrinks().into_iter().map(|(d, i)| Stmt::Load(d, i)).collect(),
+            Stmt::Store(s, i) => (*s, *i).shrinks().into_iter().map(|(s, i)| Stmt::Store(s, i)).collect(),
+            Stmt::StoreAffine(s, o) => {
+                (*s, *o).shrinks().into_iter().map(|(s, o)| Stmt::StoreAffine(s, o)).collect()
+            }
+            Stmt::LoadAffine(d, o) => {
+                (*d, *o).shrinks().into_iter().map(|(d, o)| Stmt::LoadAffine(d, o)).collect()
+            }
+            Stmt::Output(s) => s.shrinks().into_iter().map(Stmt::Output).collect(),
+            Stmt::If(c, t, e) => {
+                // Recurse on the statement lists, and offer each child
+                // statement as a whole-node replacement.
+                let mut out: Vec<Stmt> = t.iter().chain(e).cloned().collect();
+                out.extend(t.shrinks().into_iter().map(|t| Stmt::If(*c, t, e.clone())));
+                out.extend(e.shrinks().into_iter().map(|e| Stmt::If(*c, t.clone(), e)));
+                out.extend(c.shrinks().into_iter().map(|c| Stmt::If(c, t.clone(), e.clone())));
+                out
+            }
+            Stmt::Loop(n, b) => {
+                let mut out: Vec<Stmt> = b.to_vec();
+                out.extend(b.shrinks().into_iter().filter(|b| !b.is_empty()).map(|b| Stmt::Loop(*n, b)));
+                out.extend(n.shrinks().into_iter().map(|n| Stmt::Loop(n, b.clone())));
+                out
+            }
+        }
+    }
 }
 
 /// Compiles a statement list into a verified, critical-edge-split
