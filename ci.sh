@@ -7,3 +7,11 @@ set -eux
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 GMT_TESTKIT_BENCH_SMOKE=1 cargo bench --offline -p gmt-bench --bench fig8_speedup
+
+# Parallel experiment-runner smoke: the full quick figure set on the
+# worker pool, plus a GMT_JOBS=1 serial cross-check of one figure —
+# the parallel and serial paths must produce byte-identical output.
+GMT_JOBS=8 ./target/release/repro --quick --fig all > target/ci_repro_parallel.txt
+GMT_JOBS=8 ./target/release/repro --quick --fig 7 > target/ci_fig7_parallel.txt
+GMT_JOBS=1 ./target/release/repro --quick --fig 7 > target/ci_fig7_serial.txt
+cmp target/ci_fig7_parallel.txt target/ci_fig7_serial.txt

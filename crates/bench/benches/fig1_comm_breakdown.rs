@@ -23,10 +23,10 @@ fn main() {
     for bench in ["ks", "adpcmdec"] {
         let w = gmt_workloads::by_benchmark(bench).unwrap();
         group.bench(&format!("{bench}_gremio"), || {
-            black_box(evaluate(&w, SchedulerKind::Gremio, false, Scale::Quick))
+            black_box(evaluate(&w, SchedulerKind::Gremio, false, Scale::Quick).expect("evaluates"))
         });
         group.bench(&format!("{bench}_dswp"), || {
-            black_box(evaluate(&w, SchedulerKind::Dswp, false, Scale::Quick))
+            black_box(evaluate(&w, SchedulerKind::Dswp, false, Scale::Quick).expect("evaluates"))
         });
     }
     group.finish();

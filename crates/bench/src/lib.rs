@@ -18,7 +18,12 @@ pub fn print_once(tag: &str, body: impl FnOnce() -> String) {
     }
 }
 
-/// Quick-scale functional results for both schedulers.
+/// Quick-scale functional results for both schedulers. The catalog
+/// workloads are all expected to evaluate; panics (with the benchmark
+/// name) if one does not.
 pub fn quick_results(kind: SchedulerKind) -> Vec<gmt_harness::BenchResult> {
     run_all(kind, false, Scale::Quick)
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()
+        .expect("catalog workloads evaluate")
 }

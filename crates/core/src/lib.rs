@@ -69,6 +69,6 @@ mod safety;
 
 pub use coco::{optimize, CocoConfig, CocoStats};
 pub use flowgraph::{Gf, GfBuilder, LiveMap};
-pub use pipeline::{Parallelized, Parallelizer, Scheduler};
+pub use pipeline::{CompileTimings, Parallelized, Parallelizer, Scheduler};
 pub use pos::{Pos, PosArc, PosGraph};
 pub use safety::Safety;

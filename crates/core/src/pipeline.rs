@@ -7,6 +7,33 @@ use gmt_ir::{Function, Profile};
 use gmt_mtcg::{CommPlan, MtcgError, MtcgOutput, QueueBudget};
 use gmt_pdg::{Partition, Pdg};
 use gmt_sched::{dswp, gremio};
+use std::time::Instant;
+
+/// Wall-clock nanoseconds spent in each compile phase of one
+/// parallelization run (the §4 compile-time breakdown).
+///
+/// [`Parallelizer::parallelize`] fills every field;
+/// [`Parallelizer::parallelize_with_partition`] only fills `coco_ns`
+/// and `mtcg_ns` (the PDG and partition are caller-supplied there —
+/// callers that time those phases themselves can patch the fields in).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompileTimings {
+    /// PDG construction (dependence analysis).
+    pub pdg_build_ns: u64,
+    /// Partitioning (DSWP or GREMIO, including candidate arbitration).
+    pub partition_ns: u64,
+    /// COCO communication optimization (0 for baseline MTCG).
+    pub coco_ns: u64,
+    /// MTCG code generation.
+    pub mtcg_ns: u64,
+}
+
+impl CompileTimings {
+    /// Total compile time across all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.pdg_build_ns + self.partition_ns + self.coco_ns + self.mtcg_ns
+    }
+}
 
 /// Which partitioner to run.
 #[derive(Clone, Debug)]
@@ -68,12 +95,19 @@ impl Parallelizer {
     ///
     /// Propagates [`MtcgError`] from code generation.
     pub fn parallelize(&self, f: &Function, profile: &Profile) -> Result<Parallelized, MtcgError> {
+        let t = Instant::now();
         let pdg = Pdg::build(f);
+        let pdg_build_ns = t.elapsed().as_nanos() as u64;
+        let t = Instant::now();
         let partition = match &self.scheduler {
             Scheduler::Dswp(cfg) => dswp::partition(f, &pdg, profile, cfg),
             Scheduler::Gremio(cfg) => gremio::partition(f, &pdg, profile, cfg),
         };
-        self.parallelize_with_partition(f, profile, &pdg, partition)
+        let partition_ns = t.elapsed().as_nanos() as u64;
+        let mut out = self.parallelize_with_partition(f, profile, &pdg, partition)?;
+        out.timings.pdg_build_ns = pdg_build_ns;
+        out.timings.partition_ns = partition_ns;
+        Ok(out)
     }
 
     /// Parallelizes `f` with a caller-supplied partition (for custom
@@ -93,22 +127,29 @@ impl Parallelizer {
         if let Err(i) = partition.validate(f) {
             return Err(MtcgError::Unassigned(i));
         }
+        let mut timings = CompileTimings::default();
         let (output, coco_stats, baseline_plan) = match &self.coco {
             None => {
                 let plan = gmt_mtcg::baseline_plan(f, pdg, &partition);
+                let t = Instant::now();
                 let out =
                     gmt_mtcg::generate_with_plan_budgeted(f, &partition, plan, self.queue_budget)?;
+                timings.mtcg_ns = t.elapsed().as_nanos() as u64;
                 (out, None, None)
             }
             Some(cfg) => {
                 let baseline = gmt_mtcg::baseline_plan(f, pdg, &partition);
+                let t = Instant::now();
                 let (plan, stats) = optimize(f, pdg, &partition, profile, cfg);
+                timings.coco_ns = t.elapsed().as_nanos() as u64;
+                let t = Instant::now();
                 let out =
                     gmt_mtcg::generate_with_plan_budgeted(f, &partition, plan, self.queue_budget)?;
+                timings.mtcg_ns = t.elapsed().as_nanos() as u64;
                 (out, Some(stats), Some(baseline))
             }
         };
-        Ok(Parallelized { output, partition, coco_stats, baseline_plan })
+        Ok(Parallelized { output, partition, coco_stats, baseline_plan, timings })
     }
 }
 
@@ -123,6 +164,8 @@ pub struct Parallelized {
     pub coco_stats: Option<CocoStats>,
     /// The baseline plan (for comparison), if COCO ran.
     pub baseline_plan: Option<CommPlan>,
+    /// Wall-clock compile-phase timings for this run.
+    pub timings: CompileTimings,
 }
 
 impl Parallelized {

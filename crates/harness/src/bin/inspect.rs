@@ -11,17 +11,38 @@ fn main() {
         Some("dswp") => SchedulerKind::Dswp,
         _ => SchedulerKind::Gremio,
     };
-    let w = gmt_workloads::by_benchmark(bench).expect("known benchmark");
-    let train = w.run_train().unwrap();
+    let Some(w) = gmt_workloads::by_benchmark(bench) else {
+        let known: Vec<&str> =
+            gmt_workloads::catalog().iter().map(|w| w.benchmark).collect();
+        eprintln!("error: unknown benchmark {bench} (known: {})", known.join(", "));
+        std::process::exit(2);
+    };
+    let train = match w.run_train() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {bench}: train run failed: {e}");
+            std::process::exit(1);
+        }
+    };
     let f = &w.function;
 
-    let result = Parallelizer::new(kind.scheduler())
+    let result = match Parallelizer::new(kind.scheduler())
         .with_coco(CocoConfig::default())
         .parallelize(f, &train.profile)
-        .unwrap();
-    let base = Parallelizer::new(kind.scheduler())
-        .parallelize(f, &train.profile)
-        .unwrap();
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {bench}: coco parallelization failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let base = match Parallelizer::new(kind.scheduler()).parallelize(f, &train.profile) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {bench}: baseline parallelization failed: {e}");
+            std::process::exit(1);
+        }
+    };
 
     println!("== {} under {} ==", bench, kind.name());
     println!("blocks:");

@@ -1,22 +1,37 @@
 //! `repro` — regenerate the paper's figures from the command line.
 //!
 //! ```text
-//! repro --fig 1|6a|6b|7|8|all [--quick] [--scheduler gremio|dswp|both]
+//! repro --fig 1|6a|6b|7|8|scaling|all [--quick] [--scheduler gremio|dswp|both]
+//! repro --metrics [--quick] [--scheduler gremio|dswp|both]
 //! ```
+//!
+//! The experiment matrix runs on the `gmt-testkit` worker pool; set
+//! `GMT_JOBS=N` to pin the worker count (`GMT_JOBS=1` is the serial
+//! reference path — output is byte-identical either way).
+//!
+//! `--metrics` evaluates the full timed matrix and emits one JSON-line
+//! per (benchmark, scheduler, variant) — wall-clock, instruction and
+//! cycle counts, compile-phase timings — to stdout and to
+//! `BENCH_repro_metrics.json` (in `GMT_TESTKIT_BENCH_DIR`), then a
+//! summary table.
 
 use gmt_harness::figures;
-use gmt_harness::{Scale, SchedulerKind};
+use gmt_harness::{metrics_table, run_all_metrics, Scale, SchedulerKind};
+
+const KNOWN_FIGS: &[&str] = &["1", "6a", "6b", "7", "8", "scaling", "all"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fig = String::from("all");
     let mut scale = Scale::Full;
+    let mut metrics = false;
     let mut scheds = vec![SchedulerKind::Gremio, SchedulerKind::Dswp];
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--fig" => fig = it.next().cloned().unwrap_or_else(|| usage("missing figure id")),
             "--quick" => scale = Scale::Quick,
+            "--metrics" => metrics = true,
             "--scheduler" => {
                 scheds = match it.next().map(String::as_str) {
                     Some("gremio") => vec![SchedulerKind::Gremio],
@@ -28,6 +43,14 @@ fn main() {
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
         }
+    }
+    if !KNOWN_FIGS.contains(&fig.as_str()) {
+        usage(&format!("unknown figure id {fig} (known: {})", KNOWN_FIGS.join(", ")));
+    }
+
+    if metrics {
+        run_metrics(&scheds, scale);
+        return;
     }
 
     let want = |id: &str| fig == "all" || fig == id;
@@ -65,10 +88,42 @@ fn main() {
     }
 }
 
+/// The `--metrics` mode: full timed matrix, JSON-lines, summary table.
+fn run_metrics(scheds: &[SchedulerKind], scale: Scale) {
+    let jobs = gmt_testkit::num_jobs();
+    let mut records = Vec::new();
+    let mut failures = Vec::new();
+    for &k in scheds {
+        for outcome in run_all_metrics(k, true, scale, jobs) {
+            match outcome {
+                Ok(e) => records.extend(e.metrics),
+                Err(e) => failures.push(e),
+            }
+        }
+    }
+    for m in &records {
+        let line = m.to_json();
+        println!("{line}");
+        gmt_testkit::append_json_line("repro_metrics", &line);
+    }
+    println!();
+    print!("{}", metrics_table(&records));
+    for e in &failures {
+        eprintln!("error: {e}");
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: repro [--fig 1|6a|6b|7|8|scaling|all] [--quick] [--scheduler gremio|dswp|both]");
+    eprintln!(
+        "usage: repro [--fig 1|6a|6b|7|8|scaling|all] [--metrics] [--quick] \
+         [--scheduler gremio|dswp|both]\n\
+         env: GMT_JOBS=N pins the worker-pool size (default: available parallelism)"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -9,11 +9,25 @@
 //! machine model. Profiles are always collected on *train* inputs and
 //! measurements on *ref* inputs.
 //!
+//! The experiment matrix is embarrassingly parallel, so [`run_all`]
+//! fans the per-benchmark evaluations out over the
+//! [`gmt_testkit::par_map`] worker pool (`GMT_JOBS` workers, default
+//! available parallelism). Results come back in catalog order, so the
+//! rendered figures are byte-identical to a serial run. A failing
+//! workload produces a [`HarnessError`] naming the benchmark and the
+//! phase that failed; the remaining rows of the figure still print.
+//!
+//! Each evaluation also records per-run observability — wall-clock
+//! time, dynamic-instruction and cycle counts, and compile-phase
+//! timings (PDG build, partition, COCO, MTCG) — as [`RunMetrics`],
+//! emitted as JSON-lines by `repro --metrics`.
+//!
 //! The `repro` binary prints any of the figures:
 //!
 //! ```text
 //! repro --fig 7            # Figure 7 rows
 //! repro --fig all --quick  # everything, at reduced input sizes
+//! repro --metrics --quick  # per-run JSON-lines + summary table
 //! ```
 
 #![forbid(unsafe_code)]
@@ -24,6 +38,9 @@ use gmt_ir::interp::DynCounts;
 use gmt_ir::interp_mt::{run_mt, QueueConfig};
 use gmt_sim::{simulate, MachineConfig};
 use gmt_workloads::{catalog, exec_config, Workload};
+use std::time::Instant;
+
+pub use metrics::{metrics_table, RunMetrics};
 
 /// Which partitioner an experiment uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,6 +83,39 @@ impl SchedulerKind {
     }
 }
 
+/// A failure of one benchmark's evaluation: which benchmark, in which
+/// phase, and the underlying error rendered as text.
+///
+/// One failing kernel must not abort a whole figure, so every
+/// fallible step of [`evaluate`] maps into this type instead of
+/// panicking; [`run_all`] returns it per-slot and the figure renderers
+/// print a failure line in the benchmark's row position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HarnessError {
+    /// The benchmark whose evaluation failed.
+    pub benchmark: &'static str,
+    /// The phase that failed (e.g. `"train run"`, `"timed MTCG sim"`).
+    pub phase: &'static str,
+    /// The underlying error, rendered.
+    pub source: String,
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {} failed: {}", self.benchmark, self.phase, self.source)
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+/// `map_err` adapter tagging an error with its benchmark and phase.
+fn fail<E: std::fmt::Display>(
+    benchmark: &'static str,
+    phase: &'static str,
+) -> impl FnOnce(E) -> HarnessError {
+    move |e| HarnessError { benchmark, phase, source: e.to_string() }
+}
+
 /// Dynamic results of one parallelized variant of one kernel.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct VariantResult {
@@ -103,12 +153,17 @@ impl BenchResult {
     }
 
     /// Figure 8's first bar: MTCG speedup over single-threaded.
-    pub fn speedup_mtcg(&self) -> f64 {
+    ///
+    /// `None` when either side was not timed (cycle count 0) — a mixed
+    /// timed/untimed matrix must not fabricate `inf`/`0x` speedups.
+    pub fn speedup_mtcg(&self) -> Option<f64> {
         ratio(self.seq_cycles, self.mtcg.cycles)
     }
 
     /// Figure 8's second bar: MTCG+COCO speedup over single-threaded.
-    pub fn speedup_coco(&self) -> f64 {
+    ///
+    /// `None` when either side was not timed (cycle count 0).
+    pub fn speedup_coco(&self) -> Option<f64> {
         ratio(self.seq_cycles, self.coco.cycles)
     }
 
@@ -124,11 +179,13 @@ impl BenchResult {
     }
 }
 
-fn ratio(num: u64, den: u64) -> f64 {
-    if den == 0 {
-        0.0
+/// `num / den` as a speedup, or `None` when either count is 0 (an
+/// untimed run) — guards the accessors against `inf`/NaN.
+fn ratio(num: u64, den: u64) -> Option<f64> {
+    if num == 0 || den == 0 {
+        None
     } else {
-        num as f64 / den as f64
+        Some(num as f64 / den as f64)
     }
 }
 
@@ -141,41 +198,104 @@ pub enum Scale {
     Full,
 }
 
+/// One benchmark's full evaluation: the figure-facing [`BenchResult`]
+/// plus the per-variant [`RunMetrics`] observability records.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    /// The figure-facing measurement.
+    pub result: BenchResult,
+    /// One record per variant (baseline MTCG, then MTCG+COCO).
+    pub metrics: Vec<RunMetrics>,
+}
+
 /// Evaluates one workload under one scheduler: baseline MTCG and
 /// MTCG+COCO, functional counts, and (optionally) timed cycles.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if parallelization or execution fails — the catalog kernels
-/// are all expected to pass.
-pub fn evaluate(w: &Workload, kind: SchedulerKind, timed: bool, scale: Scale) -> BenchResult {
-    let train = w.run_train().expect("train run");
+/// Returns a [`HarnessError`] naming the benchmark and the failing
+/// phase if parallelization or execution fails.
+pub fn evaluate(
+    w: &Workload,
+    kind: SchedulerKind,
+    timed: bool,
+    scale: Scale,
+) -> Result<BenchResult, HarnessError> {
+    evaluate_full(w, kind, timed, scale).map(|e| e.result)
+}
+
+/// [`evaluate`], also returning the per-variant [`RunMetrics`].
+///
+/// # Errors
+///
+/// Returns a [`HarnessError`] naming the benchmark and the failing
+/// phase if parallelization or execution fails.
+pub fn evaluate_full(
+    w: &Workload,
+    kind: SchedulerKind,
+    timed: bool,
+    scale: Scale,
+) -> Result<Evaluation, HarnessError> {
+    let b = w.benchmark;
+    let train = w.run_train().map_err(fail(b, "train run"))?;
     let args: &[i64] = match scale {
         Scale::Quick => &w.train_args,
         Scale::Full => &w.ref_args,
     };
     let seq = gmt_ir::interp::run_with_memory(&w.function, args, w.init, &exec_config())
-        .expect("sequential run");
+        .map_err(fail(b, "sequential run"))?;
 
-    let (base, coco) = parallelize_pair(w, kind, &train.profile);
+    let (base, coco) = parallelize_pair(w, kind, &train.profile)?;
+
+    let t = Instant::now();
+    let mtcg_counts = measure_counts(w, &base, kind, args).map_err(fail(b, "MTCG run"))?;
+    let mut mtcg_run_ns = t.elapsed().as_nanos() as u64;
+    let t = Instant::now();
+    let coco_counts = measure_counts(w, &coco, kind, args).map_err(fail(b, "COCO run"))?;
+    let mut coco_run_ns = t.elapsed().as_nanos() as u64;
 
     let mut result = BenchResult {
-        benchmark: w.benchmark,
+        benchmark: b,
         seq_instrs: seq.counts.total(),
         seq_cycles: 0,
-        mtcg: measure_counts(w, &base, kind, args),
-        coco: measure_counts(w, &coco, kind, args),
+        mtcg: VariantResult { counts: mtcg_counts, cycles: 0 },
+        coco: VariantResult { counts: coco_counts, cycles: 0 },
     };
     if timed {
         let machine = MachineConfig::default();
-        let seq_sim =
-            simulate(std::slice::from_ref(&w.function), args, w.init, &machine)
-                .expect("sequential sim");
+        let seq_sim = simulate(std::slice::from_ref(&w.function), args, w.init, &machine)
+            .map_err(fail(b, "sequential sim"))?;
         result.seq_cycles = seq_sim.cycles;
-        result.mtcg.cycles = timed_cycles(w, &base, kind, args);
-        result.coco.cycles = timed_cycles(w, &coco, kind, args);
+        let t = Instant::now();
+        result.mtcg.cycles =
+            timed_cycles(w, &base, kind, args).map_err(fail(b, "timed MTCG sim"))?;
+        mtcg_run_ns += t.elapsed().as_nanos() as u64;
+        let t = Instant::now();
+        result.coco.cycles =
+            timed_cycles(w, &coco, kind, args).map_err(fail(b, "timed COCO sim"))?;
+        coco_run_ns += t.elapsed().as_nanos() as u64;
     }
-    result
+    let metrics = vec![
+        RunMetrics {
+            benchmark: b,
+            scheduler: kind.name(),
+            variant: "mtcg",
+            wall_ns: base.timings.total_ns() + mtcg_run_ns,
+            instrs: result.mtcg.counts.total(),
+            cycles: result.mtcg.cycles,
+            timings: base.timings,
+        },
+        RunMetrics {
+            benchmark: b,
+            scheduler: kind.name(),
+            variant: "coco",
+            wall_ns: coco.timings.total_ns() + coco_run_ns,
+            instrs: result.coco.counts.total(),
+            cycles: result.coco.cycles,
+            timings: coco.timings,
+        },
+    ];
+    Ok(Evaluation { result, metrics })
 }
 
 /// Produces the (baseline MTCG, MTCG+COCO) pair for one workload and
@@ -187,35 +307,31 @@ pub fn evaluate(w: &Workload, kind: SchedulerKind, timed: bool, scale: Scale) ->
 /// arbitrated by *timed runs of the generated (COCO) code on the train
 /// input*: profile-guided partition selection, with the single-threaded
 /// fallback guaranteeing the partitioner never degrades the program.
+/// A candidate that fails to compile simply loses the arbitration
+/// (probe cost `u64::MAX`); only a failure on the *chosen* partition
+/// surfaces as an error.
 fn parallelize_pair(
     w: &Workload,
     kind: SchedulerKind,
     profile: &gmt_ir::Profile,
-) -> (Parallelized, Parallelized) {
-    let pair_for = |partition: gmt_pdg::Partition| -> (Parallelized, Parallelized) {
-        let pdg = gmt_pdg::Pdg::build(&w.function);
-        let base = Parallelizer::new(kind.scheduler())
-            .parallelize_with_partition(&w.function, profile, &pdg, partition.clone())
-            .expect("baseline parallelization");
-        let coco = Parallelizer::new(kind.scheduler())
-            .with_coco(CocoConfig::default())
-            .parallelize_with_partition(&w.function, profile, &pdg, partition)
-            .expect("coco parallelization");
-        (base, coco)
-    };
+) -> Result<(Parallelized, Parallelized), HarnessError> {
+    let b = w.benchmark;
     match kind {
         SchedulerKind::Dswp => {
             let base = Parallelizer::new(kind.scheduler())
                 .parallelize(&w.function, profile)
-                .expect("baseline parallelization");
+                .map_err(fail(b, "baseline parallelization"))?;
             let coco = Parallelizer::new(kind.scheduler())
                 .with_coco(CocoConfig::default())
                 .parallelize(&w.function, profile)
-                .expect("coco parallelization");
-            (base, coco)
+                .map_err(fail(b, "coco parallelization"))?;
+            Ok((base, coco))
         }
         SchedulerKind::Gremio => {
+            let t = Instant::now();
             let pdg = gmt_pdg::Pdg::build(&w.function);
+            let pdg_build_ns = t.elapsed().as_nanos() as u64;
+            let t = Instant::now();
             let cfg = gmt_sched::gremio::GremioConfig::default();
             let candidates = gmt_sched::gremio::candidates(&w.function, &pdg, profile, &cfg);
             // GREMIO's own schedule: the analytically best genuinely-
@@ -229,11 +345,15 @@ fn parallelize_pair(
                 sizes.iter().filter(|&&s| s > 0).count() > 1
                     && sizes.iter().min().copied().unwrap_or(0) * 10 >= total
             };
+            // Timed arbitration probe: a candidate that fails to
+            // parallelize or simulate scores u64::MAX and loses.
             let cycles_probe = |partition: &gmt_pdg::Partition| -> u64 {
-                let coco = Parallelizer::new(kind.scheduler())
+                let Ok(coco) = Parallelizer::new(kind.scheduler())
                     .with_coco(CocoConfig::default())
                     .parallelize_with_partition(&w.function, profile, &pdg, partition.clone())
-                    .expect("coco parallelization");
+                else {
+                    return u64::MAX;
+                };
                 let machine = machine_for(&coco, kind);
                 simulate(coco.threads(), &w.train_args, w.init, &machine)
                     .map_or(u64::MAX, |r| r.cycles)
@@ -256,20 +376,28 @@ fn parallelize_pair(
             // schedule unless it clearly loses (>10% slower) to running
             // single-threaded — the partitioner must never degrade the
             // program.
-            let cycles_of = |partition: &gmt_pdg::Partition| -> u64 {
-                let coco = Parallelizer::new(kind.scheduler())
-                    .with_coco(CocoConfig::default())
-                    .parallelize_with_partition(&w.function, profile, &pdg, partition.clone())
-                    .expect("coco parallelization");
-                let machine = machine_for(&coco, kind);
-                simulate(coco.threads(), &w.train_args, w.init, &machine)
-                    .map_or(u64::MAX, |r| r.cycles)
-            };
             let chosen = match best_mt {
-                Some(mt) if cycles_of(&mt) as f64 <= cycles_of(&single) as f64 * 1.10 => mt,
+                Some(mt)
+                    if cycles_probe(&mt) as f64 <= cycles_probe(&single) as f64 * 1.10 =>
+                {
+                    mt
+                }
                 _ => single,
             };
-            pair_for(chosen)
+            let partition_ns = t.elapsed().as_nanos() as u64;
+
+            let mut base = Parallelizer::new(kind.scheduler())
+                .parallelize_with_partition(&w.function, profile, &pdg, chosen.clone())
+                .map_err(fail(b, "baseline parallelization"))?;
+            let mut coco = Parallelizer::new(kind.scheduler())
+                .with_coco(CocoConfig::default())
+                .parallelize_with_partition(&w.function, profile, &pdg, chosen)
+                .map_err(fail(b, "coco parallelization"))?;
+            for p in [&mut base, &mut coco] {
+                p.timings.pdg_build_ns = pdg_build_ns;
+                p.timings.partition_ns = partition_ns;
+            }
+            Ok((base, coco))
         }
     }
 }
@@ -289,7 +417,7 @@ fn measure_counts(
     p: &Parallelized,
     kind: SchedulerKind,
     args: &[i64],
-) -> VariantResult {
+) -> Result<DynCounts, gmt_ir::interp::ExecError> {
     let mt = run_mt(
         p.threads(),
         args,
@@ -299,39 +427,91 @@ fn measure_counts(
             capacity: kind.queue_depth(),
         },
         &exec_config(),
-    )
-    .expect("functional MT run");
-    VariantResult { counts: mt.totals(), cycles: 0 }
+    )?;
+    Ok(mt.totals())
 }
 
-fn timed_cycles(w: &Workload, p: &Parallelized, kind: SchedulerKind, args: &[i64]) -> u64 {
+fn timed_cycles(
+    w: &Workload,
+    p: &Parallelized,
+    kind: SchedulerKind,
+    args: &[i64],
+) -> Result<u64, gmt_ir::interp::ExecError> {
     let machine = machine_for(p, kind);
-    simulate(p.threads(), args, w.init, &machine)
-        .expect("timed MT run")
-        .cycles
+    simulate(p.threads(), args, w.init, &machine).map(|r| r.cycles)
 }
 
-/// Runs a whole figure's worth of measurements.
-pub fn run_all(kind: SchedulerKind, timed: bool, scale: Scale) -> Vec<BenchResult> {
-    catalog()
-        .iter()
-        .map(|w| evaluate(w, kind, timed, scale))
+/// Runs a whole figure's worth of measurements on the worker pool
+/// (`GMT_JOBS` workers, default available parallelism), in catalog
+/// order. A failing benchmark yields an `Err` in its slot; the
+/// remaining benchmarks still complete.
+pub fn run_all(
+    kind: SchedulerKind,
+    timed: bool,
+    scale: Scale,
+) -> Vec<Result<BenchResult, HarnessError>> {
+    run_all_jobs(kind, timed, scale, gmt_testkit::num_jobs())
+}
+
+/// [`run_all`] with an explicit worker count (1 = serial in-thread).
+pub fn run_all_jobs(
+    kind: SchedulerKind,
+    timed: bool,
+    scale: Scale,
+    jobs: usize,
+) -> Vec<Result<BenchResult, HarnessError>> {
+    run_workloads(catalog(), kind, timed, scale, jobs)
+        .into_iter()
+        .map(|r| r.map(|e| e.result))
         .collect()
+}
+
+/// Full evaluations (results + metrics) for the whole catalog, on
+/// `jobs` workers.
+pub fn run_all_metrics(
+    kind: SchedulerKind,
+    timed: bool,
+    scale: Scale,
+    jobs: usize,
+) -> Vec<Result<Evaluation, HarnessError>> {
+    run_workloads(catalog(), kind, timed, scale, jobs)
+}
+
+/// Evaluates an explicit workload list on `jobs` workers, preserving
+/// input order. The building block behind [`run_all`]; public so
+/// tests can inject synthetically failing workloads.
+pub fn run_workloads(
+    workloads: Vec<Workload>,
+    kind: SchedulerKind,
+    timed: bool,
+    scale: Scale,
+    jobs: usize,
+) -> Vec<Result<Evaluation, HarnessError>> {
+    gmt_testkit::par_map(workloads, jobs, |_i, w| evaluate_full(&w, kind, timed, scale))
 }
 
 /// The multi-thread extension study (the paper's conclusion: "we expect
 /// the benefits from COCO to be more pronounced when more threads are
 /// generated"): per benchmark, the communication fraction under
 /// baseline MTCG and the COCO reduction, as the thread count grows.
-pub fn thread_scaling(w: &Workload, kind: SchedulerKind, threads: &[u32]) -> Vec<ScalingPoint> {
-    let train = w.run_train().expect("train run");
+///
+/// # Errors
+///
+/// Returns a [`HarnessError`] naming the benchmark and failing phase.
+pub fn thread_scaling(
+    w: &Workload,
+    kind: SchedulerKind,
+    threads: &[u32],
+) -> Result<Vec<ScalingPoint>, HarnessError> {
+    let b = w.benchmark;
+    let train = w.run_train().map_err(fail(b, "train run"))?;
     let pdg = gmt_pdg::Pdg::build(&w.function);
     threads
         .iter()
         .map(|&n| {
             let base = Parallelizer::new(kind.scheduler_n(n))
                 .parallelize(&w.function, &train.profile)
-                .expect("baseline parallelization");
+                .map_err(fail(b, "baseline parallelization"))?;
             let coco = Parallelizer::new(kind.scheduler_n(n))
                 .with_coco(CocoConfig::default())
                 .parallelize_with_partition(
@@ -340,7 +520,7 @@ pub fn thread_scaling(w: &Workload, kind: SchedulerKind, threads: &[u32]) -> Vec
                     &pdg,
                     base.partition.clone(),
                 )
-                .expect("coco parallelization");
+                .map_err(fail(b, "coco parallelization"))?;
             let run = |p: &Parallelized| {
                 run_mt(
                     p.threads(),
@@ -352,17 +532,17 @@ pub fn thread_scaling(w: &Workload, kind: SchedulerKind, threads: &[u32]) -> Vec
                     },
                     &exec_config(),
                 )
-                .expect("mt run")
-                .totals()
+                .map(|r| r.totals())
+                .map_err(fail(b, "mt run"))
             };
-            let b = run(&base);
-            let c = run(&coco);
-            ScalingPoint {
+            let bt = run(&base)?;
+            let c = run(&coco)?;
+            Ok(ScalingPoint {
                 threads: n,
-                mtcg_comm: b.comm_total(),
+                mtcg_comm: bt.comm_total(),
                 coco_comm: c.comm_total(),
-                comm_fraction_pct: b.comm_total() as f64 * 100.0 / b.total().max(1) as f64,
-            }
+                comm_fraction_pct: bt.comm_total() as f64 * 100.0 / bt.total().max(1) as f64,
+            })
         })
         .collect()
 }
@@ -409,6 +589,7 @@ pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
 }
 
 pub mod figures;
+mod metrics;
 
 #[cfg(test)]
 mod tests {
@@ -425,7 +606,7 @@ mod tests {
     #[test]
     fn evaluate_one_quick() {
         let w = gmt_workloads::by_benchmark("ks").unwrap();
-        let r = evaluate(&w, SchedulerKind::Gremio, false, Scale::Quick);
+        let r = evaluate(&w, SchedulerKind::Gremio, false, Scale::Quick).expect("evaluates");
         assert!(r.mtcg.counts.total() > 0);
         assert!(r.relative_comm_pct() <= 100.0);
     }
@@ -433,9 +614,50 @@ mod tests {
     #[test]
     fn evaluate_timed_quick() {
         let w = gmt_workloads::by_benchmark("adpcmdec").unwrap();
-        let r = evaluate(&w, SchedulerKind::Dswp, true, Scale::Quick);
+        let r = evaluate(&w, SchedulerKind::Dswp, true, Scale::Quick).expect("evaluates");
         assert!(r.seq_cycles > 0);
         assert!(r.mtcg.cycles > 0);
         assert!(r.coco.cycles > 0);
+        assert!(r.speedup_mtcg().is_some());
+    }
+
+    #[test]
+    fn untimed_speedups_are_none_not_inf() {
+        let w = gmt_workloads::by_benchmark("ks").unwrap();
+        let r = evaluate(&w, SchedulerKind::Dswp, false, Scale::Quick).expect("evaluates");
+        assert_eq!(r.seq_cycles, 0);
+        assert_eq!(r.speedup_mtcg(), None);
+        assert_eq!(r.speedup_coco(), None);
+        // A mixed timed/untimed result must not fabricate a speedup
+        // either direction.
+        let mut mixed = r.clone();
+        mixed.seq_cycles = 1000;
+        assert_eq!(mixed.speedup_mtcg(), None, "untimed variant, timed seq");
+    }
+
+    #[test]
+    fn metrics_record_phases_and_wall_clock() {
+        let w = gmt_workloads::by_benchmark("adpcmdec").unwrap();
+        let e = evaluate_full(&w, SchedulerKind::Dswp, true, Scale::Quick).expect("evaluates");
+        assert_eq!(e.metrics.len(), 2);
+        let (m, c) = (&e.metrics[0], &e.metrics[1]);
+        assert_eq!((m.variant, c.variant), ("mtcg", "coco"));
+        assert_eq!(m.scheduler, "DSWP");
+        assert!(m.wall_ns > 0 && c.wall_ns > 0);
+        assert!(m.instrs > 0 && m.cycles > 0);
+        assert!(m.timings.mtcg_ns > 0, "MTCG codegen was timed");
+        assert_eq!(m.timings.coco_ns, 0, "baseline variant runs no COCO");
+        assert!(c.timings.coco_ns > 0, "COCO variant times the optimizer");
+        assert!(m.timings.pdg_build_ns > 0 && m.timings.partition_ns > 0);
+    }
+
+    #[test]
+    fn gremio_metrics_patch_shared_phases() {
+        let w = gmt_workloads::by_benchmark("ks").unwrap();
+        let e = evaluate_full(&w, SchedulerKind::Gremio, false, Scale::Quick).expect("evaluates");
+        for m in &e.metrics {
+            assert!(m.timings.pdg_build_ns > 0, "{}: pdg phase recorded", m.variant);
+            assert!(m.timings.partition_ns > 0, "{}: partition phase recorded", m.variant);
+        }
     }
 }

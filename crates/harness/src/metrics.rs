@@ -1,0 +1,143 @@
+//! Per-run observability records for the experiment matrix.
+//!
+//! Every (benchmark, scheduler, variant) evaluation produces one
+//! [`RunMetrics`]: wall-clock time, dynamic-instruction and cycle
+//! counts, and the compile-phase breakdown (PDG build, partition,
+//! COCO, MTCG) measured by `gmt-core`'s pipeline. `repro --metrics`
+//! prints the records as JSON-lines (and appends them to the
+//! `gmt-testkit` bench JSON sink) followed by a summary table.
+
+use gmt_core::CompileTimings;
+use gmt_testkit::json_escape;
+use std::fmt::Write as _;
+
+/// One (benchmark, scheduler, variant) evaluation's observability
+/// record.
+#[derive(Clone, Copy, Debug)]
+pub struct RunMetrics {
+    /// Benchmark name (Figure 6b).
+    pub benchmark: &'static str,
+    /// Scheduler display name (`"GREMIO"` / `"DSWP"`).
+    pub scheduler: &'static str,
+    /// Variant: `"mtcg"` (baseline) or `"coco"`.
+    pub variant: &'static str,
+    /// Wall-clock nanoseconds spent evaluating this variant (compile
+    /// phases + functional run + timed simulation when requested).
+    pub wall_ns: u64,
+    /// Dynamic instructions, summed over threads.
+    pub instrs: u64,
+    /// Cycle count from the machine model (0 if not timed).
+    pub cycles: u64,
+    /// Compile-phase wall-clock breakdown.
+    pub timings: CompileTimings,
+}
+
+impl RunMetrics {
+    /// The record as one JSON object (one JSON-line).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"benchmark\":\"{}\",\"scheduler\":\"{}\",\"variant\":\"{}\",\
+             \"wall_ns\":{},\"instrs\":{},\"cycles\":{},\"pdg_build_ns\":{},\
+             \"partition_ns\":{},\"coco_ns\":{},\"mtcg_ns\":{}}}",
+            json_escape(self.benchmark),
+            json_escape(self.scheduler),
+            json_escape(self.variant),
+            self.wall_ns,
+            self.instrs,
+            self.cycles,
+            self.timings.pdg_build_ns,
+            self.timings.partition_ns,
+            self.timings.coco_ns,
+            self.timings.mtcg_ns,
+        )
+    }
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+/// A human-readable summary table of a metrics batch (one row per
+/// record, milliseconds for all wall-clock columns).
+pub fn metrics_table(metrics: &[RunMetrics]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:<7} {:<7} {:>9} {:>12} {:>12} {:>8} {:>9} {:>8} {:>8}",
+        "benchmark", "sched", "variant", "wall ms", "instrs", "cycles", "pdg ms", "part ms", "coco ms", "mtcg ms"
+    );
+    for m in metrics {
+        let _ = writeln!(
+            out,
+            "{:<14} {:<7} {:<7} {:>9} {:>12} {:>12} {:>8} {:>9} {:>8} {:>8}",
+            m.benchmark,
+            m.scheduler,
+            m.variant,
+            fmt_ms(m.wall_ns),
+            m.instrs,
+            m.cycles,
+            fmt_ms(m.timings.pdg_build_ns),
+            fmt_ms(m.timings.partition_ns),
+            fmt_ms(m.timings.coco_ns),
+            fmt_ms(m.timings.mtcg_ns),
+        );
+    }
+    let total_ns: u64 = metrics.iter().map(|m| m.wall_ns).sum();
+    let _ = writeln!(
+        out,
+        "{:<14} {:<7} {:<7} {:>9}  ({} records)",
+        "total",
+        "",
+        "",
+        fmt_ms(total_ns),
+        metrics.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunMetrics {
+        RunMetrics {
+            benchmark: "ks",
+            scheduler: "GREMIO",
+            variant: "coco",
+            wall_ns: 1_500_000,
+            instrs: 1234,
+            cycles: 5678,
+            timings: CompileTimings {
+                pdg_build_ns: 100,
+                partition_ns: 200,
+                coco_ns: 300,
+                mtcg_ns: 400,
+            },
+        }
+    }
+
+    #[test]
+    fn json_line_shape() {
+        let line = sample().to_json();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"benchmark\":\"ks\""));
+        assert!(line.contains("\"scheduler\":\"GREMIO\""));
+        assert!(line.contains("\"variant\":\"coco\""));
+        assert!(line.contains("\"wall_ns\":1500000"));
+        assert!(line.contains("\"instrs\":1234"));
+        assert!(line.contains("\"cycles\":5678"));
+        assert!(line.contains("\"pdg_build_ns\":100"));
+        assert!(line.contains("\"partition_ns\":200"));
+        assert!(line.contains("\"coco_ns\":300"));
+        assert!(line.contains("\"mtcg_ns\":400"));
+        assert_eq!(line.matches('{').count(), 1, "flat object");
+    }
+
+    #[test]
+    fn table_has_row_per_record() {
+        let t = metrics_table(&[sample(), sample()]);
+        assert_eq!(t.lines().count(), 1 + 2 + 1, "header + rows + total");
+        assert!(t.contains("benchmark"));
+        assert!(t.contains("(2 records)"));
+    }
+}

@@ -65,6 +65,10 @@ impl BenchStats {
 
 /// Minimal JSON string escaping (names here are identifiers, but stay
 /// safe against quotes/backslashes).
+pub fn json_escape(s: &str) -> String {
+    escape(s)
+}
+
 fn escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -205,10 +209,18 @@ fn bench_target_name() -> String {
 }
 
 fn append_json(target: &str, stats: &BenchStats) {
+    append_json_line(target, &stats.to_json(target));
+}
+
+/// Appends one pre-formatted JSON line to `BENCH_<target>.json` in
+/// `GMT_TESTKIT_BENCH_DIR` (defaulting to the working directory) —
+/// the same sink the bench runner writes to, reusable by any producer
+/// of JSON-lines records (e.g. `repro --metrics`).
+pub fn append_json_line(target: &str, line: &str) {
     let dir = std::env::var("GMT_TESTKIT_BENCH_DIR").unwrap_or_else(|_| ".".into());
     let path = PathBuf::from(dir).join(format!("BENCH_{target}.json"));
     if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
-        let _ = writeln!(file, "{}", stats.to_json(target));
+        let _ = writeln!(file, "{line}");
     }
 }
 

@@ -14,6 +14,12 @@
 //!   and JSON-lines output to `BENCH_<target>.json` (replaces
 //!   `criterion`).
 //!
+//! It also hosts the workspace's parallel job runner: [`par_map`], a
+//! scoped-thread worker pool with a shared work queue and
+//! order-preserving results, sized by [`num_jobs`] (the `GMT_JOBS`
+//! environment override, defaulting to available parallelism). The
+//! experiment harness routes the paper's figure matrix through it.
+//!
 //! # Replaying a failure
 //!
 //! When a property fails, the runner shrinks the input, appends the
@@ -35,11 +41,13 @@
 mod bench;
 mod check;
 mod gen;
+mod pool;
 mod rng;
 mod shrink;
 
-pub use bench::{BenchGroup, BenchStats};
+pub use bench::{append_json_line, json_escape, BenchGroup, BenchStats};
 pub use check::{Checker, PropResult};
 pub use gen::{full_u64, one_of, ranged, recursive, vec_of, weighted, Gen};
+pub use pool::{num_jobs, par_map};
 pub use rng::TestRng;
 pub use shrink::Shrink;

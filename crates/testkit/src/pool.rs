@@ -1,0 +1,144 @@
+//! A zero-dependency scoped worker pool with a shared work queue.
+//!
+//! The experiment matrix behind the paper's figures is embarrassingly
+//! parallel — every (benchmark, scheduler, variant) evaluation is
+//! independent — so [`par_map`] fans a job list out over
+//! `std::thread::scope` workers pulling indices from a shared atomic
+//! counter. Results are written into per-index slots, so the returned
+//! vector is **always in input order**: callers that format results
+//! sequentially produce byte-identical output whether the map ran on
+//! one worker or sixteen.
+//!
+//! The worker count comes from [`num_jobs`]: the `GMT_JOBS` environment
+//! variable when set (and ≥ 1), otherwise
+//! [`std::thread::available_parallelism`]. `GMT_JOBS=1` degrades to a
+//! plain in-caller serial loop — the reference path the determinism
+//! tests compare against.
+//!
+//! Jobs that can fail should return `Result`: a failing job fills its
+//! own slot and the remaining queue keeps draining, so one bad job
+//! neither deadlocks the pool nor drops sibling results. (A *panicking*
+//! job is also safe — `std::thread::scope` joins every worker before
+//! propagating the panic — but turns the whole map into a panic;
+//! prefer `Result`.)
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The worker count: the `GMT_JOBS` environment variable when it parses
+/// to a positive integer, otherwise the machine's available
+/// parallelism (1 if that cannot be determined).
+pub fn num_jobs() -> usize {
+    std::env::var("GMT_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Applies `f` to every item on a pool of `jobs` workers and returns
+/// the results **in input order**.
+///
+/// `f` receives the item's index and the item. With `jobs <= 1` (or a
+/// single item) the map runs serially in the caller's thread with no
+/// pool at all — identical semantics, zero threading.
+pub fn par_map<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("pool slot poisoned")
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let r = f(i, item);
+                *results[i].lock().expect("pool result slot poisoned") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("pool result slot poisoned")
+                .expect("every claimed index stores a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(items, 8, |i, x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let f = |_i: usize, x: u64| x.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17);
+        let items: Vec<u64> = (0..257).collect();
+        let serial = par_map(items.clone(), 1, f);
+        let parallel = par_map(items, 13, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn erroring_jobs_keep_sibling_results() {
+        // A job failing mid-queue must neither deadlock the pool nor
+        // drop any sibling result: every slot comes back, errors where
+        // the failing jobs ran, values everywhere else.
+        let items: Vec<usize> = (0..64).collect();
+        let out: Vec<Result<usize, String>> = par_map(items, 4, |_i, x| {
+            if x % 7 == 3 {
+                Err(format!("job {x} failed"))
+            } else {
+                Ok(x + 1)
+            }
+        });
+        assert_eq!(out.len(), 64);
+        for (i, r) in out.iter().enumerate() {
+            if i % 7 == 3 {
+                assert_eq!(r.as_ref().unwrap_err(), &format!("job {i} failed"));
+            } else {
+                assert_eq!(*r, Ok(i + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let out = par_map(vec![1, 2, 3], 64, |_i, x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = par_map(Vec::<i32>::new(), 8, |_i, x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -261,7 +261,8 @@ fn coco_on_random_block_partitions_both_algos() {
 fn more_threads_more_communication() {
     for bench in ["ks", "adpcmdec", "458.sjeng"] {
         let w = gmt_workloads::by_benchmark(bench).unwrap();
-        let points = gmt_harness::thread_scaling(&w, gmt_harness::SchedulerKind::Dswp, &[2, 4]);
+        let points = gmt_harness::thread_scaling(&w, gmt_harness::SchedulerKind::Dswp, &[2, 4])
+            .expect("thread scaling");
         assert_eq!(points.len(), 2);
         assert!(
             points[1].comm_fraction_pct >= points[0].comm_fraction_pct * 0.8,
