@@ -15,3 +15,11 @@ GMT_JOBS=8 ./target/release/repro --quick --fig all > target/ci_repro_parallel.t
 GMT_JOBS=8 ./target/release/repro --quick --fig 7 > target/ci_fig7_parallel.txt
 GMT_JOBS=1 ./target/release/repro --quick --fig 7 > target/ci_fig7_serial.txt
 cmp target/ci_fig7_parallel.txt target/ci_fig7_serial.txt
+
+# Decoded-engine gate: the flat-stream executors must be observably
+# identical to the ID-walking reference executors, the throughput
+# bench must at least run, and the quick Figure 7 must match the
+# pinned golden output byte for byte.
+cargo test -q --offline -p gmt-integration-tests --test decoded_equivalence
+GMT_TESTKIT_BENCH_SMOKE=1 cargo bench --offline -p gmt-bench --bench exec_throughput
+cmp target/ci_fig7_parallel.txt tests/golden/fig7_quick.txt

@@ -66,9 +66,11 @@ mod flowgraph;
 mod pipeline;
 mod pos;
 mod safety;
+mod schedule_cache;
 
 pub use coco::{optimize, CocoConfig, CocoStats};
 pub use flowgraph::{Gf, GfBuilder, LiveMap};
 pub use pipeline::{CompileTimings, Parallelized, Parallelizer, Scheduler};
 pub use pos::{Pos, PosArc, PosGraph};
 pub use safety::Safety;
+pub use schedule_cache::{partition_key, program_key, ScheduleCache};

@@ -108,6 +108,14 @@ fn run_metrics(scheds: &[SchedulerKind], scale: Scale) {
     }
     println!();
     print!("{}", metrics_table(&records));
+    let probes: u64 = records.iter().map(|m| m.arb_probes).sum();
+    let hits: u64 = records.iter().map(|m| m.arb_hits).sum();
+    if probes > 0 {
+        println!(
+            "arbitration cache: {hits}/{probes} hits ({:.1}%)",
+            hits as f64 * 100.0 / probes as f64
+        );
+    }
     for e in &failures {
         eprintln!("error: {e}");
     }

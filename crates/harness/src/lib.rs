@@ -33,7 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use gmt_core::{CocoConfig, Parallelized, Parallelizer, Scheduler};
+use gmt_core::{CocoConfig, Parallelized, Parallelizer, ScheduleCache, Scheduler};
 use gmt_ir::interp::DynCounts;
 use gmt_ir::interp_mt::{run_mt, QueueConfig};
 use gmt_sim::{simulate, MachineConfig};
@@ -208,6 +208,16 @@ pub struct Evaluation {
     pub metrics: Vec<RunMetrics>,
 }
 
+/// Candidate-schedule cache statistics of one evaluation's partition
+/// arbitration (GREMIO only; zero for DSWP, which arbitrates nothing).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArbStats {
+    /// Timed candidate evaluations requested.
+    pub probes: u64,
+    /// Evaluations served from the schedule cache.
+    pub hits: u64,
+}
+
 /// Evaluates one workload under one scheduler: baseline MTCG and
 /// MTCG+COCO, functional counts, and (optionally) timed cycles.
 ///
@@ -245,7 +255,7 @@ pub fn evaluate_full(
     let seq = gmt_ir::interp::run_with_memory(&w.function, args, w.init, &exec_config())
         .map_err(fail(b, "sequential run"))?;
 
-    let (base, coco) = parallelize_pair(w, kind, &train.profile)?;
+    let (base, coco, arb) = parallelize_pair(w, kind, &train.profile)?;
 
     let t = Instant::now();
     let mtcg_counts = measure_counts(w, &base, kind, args).map_err(fail(b, "MTCG run"))?;
@@ -284,6 +294,8 @@ pub fn evaluate_full(
             instrs: result.mtcg.counts.total(),
             cycles: result.mtcg.cycles,
             timings: base.timings,
+            arb_probes: arb.probes,
+            arb_hits: arb.hits,
         },
         RunMetrics {
             benchmark: b,
@@ -293,6 +305,8 @@ pub fn evaluate_full(
             instrs: result.coco.counts.total(),
             cycles: result.coco.cycles,
             timings: coco.timings,
+            arb_probes: 0,
+            arb_hits: 0,
         },
     ];
     Ok(Evaluation { result, metrics })
@@ -310,11 +324,16 @@ pub fn evaluate_full(
 /// A candidate that fails to compile simply loses the arbitration
 /// (probe cost `u64::MAX`); only a failure on the *chosen* partition
 /// surfaces as an error.
+///
+/// Probe results are memoized in a [`ScheduleCache`], so the guard's
+/// re-probes of the winner (and any candidates that compile to
+/// identical decoded code) skip the recompile and resimulation; the
+/// returned [`ArbStats`] report the cache's probe/hit counts.
 fn parallelize_pair(
     w: &Workload,
     kind: SchedulerKind,
     profile: &gmt_ir::Profile,
-) -> Result<(Parallelized, Parallelized), HarnessError> {
+) -> Result<(Parallelized, Parallelized, ArbStats), HarnessError> {
     let b = w.benchmark;
     match kind {
         SchedulerKind::Dswp => {
@@ -325,7 +344,7 @@ fn parallelize_pair(
                 .with_coco(CocoConfig::default())
                 .parallelize(&w.function, profile)
                 .map_err(fail(b, "coco parallelization"))?;
-            Ok((base, coco))
+            Ok((base, coco, ArbStats::default()))
         }
         SchedulerKind::Gremio => {
             let t = Instant::now();
@@ -347,16 +366,39 @@ fn parallelize_pair(
             };
             // Timed arbitration probe: a candidate that fails to
             // parallelize or simulate scores u64::MAX and loses.
-            let cycles_probe = |partition: &gmt_pdg::Partition| -> u64 {
+            // Memoized two ways — by partition assignment, and by the
+            // structural hash of the generated decoded program mixed
+            // with the machine knobs that affect timing.
+            let mut cache = ScheduleCache::new();
+            let mut cycles_probe = |partition: &gmt_pdg::Partition| -> u64 {
+                let pkey = gmt_core::partition_key(&w.function, partition);
+                if let Some(cycles) = cache.probe_partition(&pkey) {
+                    return cycles;
+                }
                 let Ok(coco) = Parallelizer::new(kind.scheduler())
                     .with_coco(CocoConfig::default())
                     .parallelize_with_partition(&w.function, profile, &pdg, partition.clone())
                 else {
+                    cache.record_partition(pkey, u64::MAX);
                     return u64::MAX;
                 };
                 let machine = machine_for(&coco, kind);
-                simulate(coco.threads(), &w.train_args, w.init, &machine)
-                    .map_or(u64::MAX, |r| r.cycles)
+                let Ok(program) = gmt_ir::decoded::DecodedProgram::decode(coco.threads()) else {
+                    cache.record_partition(pkey, u64::MAX);
+                    return u64::MAX;
+                };
+                let gkey = gmt_core::program_key(
+                    program.structural_hash(),
+                    &[machine.sa.num_queues as u64, machine.sa.depth as u64],
+                );
+                if let Some(cycles) = cache.probe_program(gkey) {
+                    cache.record_partition(pkey, cycles);
+                    return cycles;
+                }
+                let cycles = gmt_sim::simulate_decoded(&program, &w.train_args, w.init, &machine)
+                    .map_or(u64::MAX, |r| r.cycles);
+                cache.record(pkey, gkey, cycles);
+                cycles
             };
             let best_mt = candidates
                 .iter()
@@ -385,6 +427,7 @@ fn parallelize_pair(
                 _ => single,
             };
             let partition_ns = t.elapsed().as_nanos() as u64;
+            let arb = ArbStats { probes: cache.probes(), hits: cache.hits() };
 
             let mut base = Parallelizer::new(kind.scheduler())
                 .parallelize_with_partition(&w.function, profile, &pdg, chosen.clone())
@@ -397,7 +440,7 @@ fn parallelize_pair(
                 p.timings.pdg_build_ns = pdg_build_ns;
                 p.timings.partition_ns = partition_ns;
             }
-            Ok((base, coco))
+            Ok((base, coco, arb))
         }
     }
 }

@@ -30,6 +30,12 @@ pub struct RunMetrics {
     pub cycles: u64,
     /// Compile-phase wall-clock breakdown.
     pub timings: CompileTimings,
+    /// Arbitration-cache probes (GREMIO candidate evaluations; carried
+    /// by the `mtcg` record, 0 elsewhere).
+    pub arb_probes: u64,
+    /// Arbitration-cache hits (evaluations served without recompiling
+    /// or resimulating the candidate).
+    pub arb_hits: u64,
 }
 
 impl RunMetrics {
@@ -38,7 +44,8 @@ impl RunMetrics {
         format!(
             "{{\"benchmark\":\"{}\",\"scheduler\":\"{}\",\"variant\":\"{}\",\
              \"wall_ns\":{},\"instrs\":{},\"cycles\":{},\"pdg_build_ns\":{},\
-             \"partition_ns\":{},\"coco_ns\":{},\"mtcg_ns\":{}}}",
+             \"partition_ns\":{},\"coco_ns\":{},\"mtcg_ns\":{},\
+             \"arb_probes\":{},\"arb_hits\":{}}}",
             json_escape(self.benchmark),
             json_escape(self.scheduler),
             json_escape(self.variant),
@@ -49,6 +56,8 @@ impl RunMetrics {
             self.timings.partition_ns,
             self.timings.coco_ns,
             self.timings.mtcg_ns,
+            self.arb_probes,
+            self.arb_hits,
         )
     }
 }
@@ -63,13 +72,13 @@ pub fn metrics_table(metrics: &[RunMetrics]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<14} {:<7} {:<7} {:>9} {:>12} {:>12} {:>8} {:>9} {:>8} {:>8}",
-        "benchmark", "sched", "variant", "wall ms", "instrs", "cycles", "pdg ms", "part ms", "coco ms", "mtcg ms"
+        "{:<14} {:<7} {:<7} {:>9} {:>12} {:>12} {:>8} {:>9} {:>8} {:>8} {:>9}",
+        "benchmark", "sched", "variant", "wall ms", "instrs", "cycles", "pdg ms", "part ms", "coco ms", "mtcg ms", "arb h/p"
     );
     for m in metrics {
         let _ = writeln!(
             out,
-            "{:<14} {:<7} {:<7} {:>9} {:>12} {:>12} {:>8} {:>9} {:>8} {:>8}",
+            "{:<14} {:<7} {:<7} {:>9} {:>12} {:>12} {:>8} {:>9} {:>8} {:>8} {:>9}",
             m.benchmark,
             m.scheduler,
             m.variant,
@@ -80,6 +89,7 @@ pub fn metrics_table(metrics: &[RunMetrics]) -> String {
             fmt_ms(m.timings.partition_ns),
             fmt_ms(m.timings.coco_ns),
             fmt_ms(m.timings.mtcg_ns),
+            format!("{}/{}", m.arb_hits, m.arb_probes),
         );
     }
     let total_ns: u64 = metrics.iter().map(|m| m.wall_ns).sum();
@@ -113,6 +123,8 @@ mod tests {
                 coco_ns: 300,
                 mtcg_ns: 400,
             },
+            arb_probes: 8,
+            arb_hits: 3,
         }
     }
 
@@ -130,6 +142,8 @@ mod tests {
         assert!(line.contains("\"partition_ns\":200"));
         assert!(line.contains("\"coco_ns\":300"));
         assert!(line.contains("\"mtcg_ns\":400"));
+        assert!(line.contains("\"arb_probes\":8"));
+        assert!(line.contains("\"arb_hits\":3"));
         assert_eq!(line.matches('{').count(), 1, "flat object");
     }
 
@@ -138,6 +152,8 @@ mod tests {
         let t = metrics_table(&[sample(), sample()]);
         assert_eq!(t.lines().count(), 1 + 2 + 1, "header + rows + total");
         assert!(t.contains("benchmark"));
+        assert!(t.contains("arb h/p"));
+        assert!(t.contains("3/8"));
         assert!(t.contains("(2 records)"));
     }
 }

@@ -1,0 +1,710 @@
+//! Pre-decoded flat instruction streams: the execution engine behind
+//! the interpreters and the cycle simulator.
+//!
+//! The ID-walking executors pay three indirections per dynamic
+//! instruction — `Function::block` to find the block, a bounds check to
+//! pick body vs terminator, and `Function::instr` to fetch the `Op` —
+//! plus per-issue `Op` clones and per-check `Op::uses` allocations in
+//! the simulator. [`DecodedFunction::decode`] pays all of that **once**
+//! per function: blocks are laid out into one dense `Vec<DecodedOp>`,
+//! branch/jump targets are resolved to flat stream indices (pcs),
+//! `lea`s are folded to absolute addresses against the memory layout,
+//! and every slot carries its pre-computed functional-unit class,
+//! execution latency, register-use slots, and communication kind, so
+//! the hot loops of `interp`, `interp_mt`, and `gmt-sim` are a single
+//! array index per step.
+//!
+//! Executors built on this module are behaviorally *identical* to the
+//! ID-walking reference paths (`interp::run_with_memory_reference`,
+//! `interp_mt::run_mt_reference`, `gmt_sim::simulate_reference`): same
+//! outputs, same counts, same cycle-level stall statistics. The
+//! `decoded_equivalence` integration tests pin that equivalence over
+//! random programs and the whole workload catalog.
+
+use crate::function::Function;
+use crate::instr::Op;
+use crate::interp::{ExecError, MemoryLayout};
+use crate::types::{AddrMode, BinOp, BlockId, InstrId, Operand, QueueId, Reg, UnOp};
+use std::hash::{Hash, Hasher};
+
+/// One pre-decoded instruction: operands inline, control-flow targets
+/// resolved to flat pcs, `lea` folded against the memory layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DecodedOp {
+    /// `dst = imm`.
+    Const(Reg, i64),
+    /// `dst = addr` — a `lea` with the object base already folded in.
+    LeaAbs(Reg, i64),
+    /// `dst = a <op> b`.
+    Bin(BinOp, Reg, Operand, Operand),
+    /// `dst = <op> a`.
+    Un(UnOp, Reg, Operand),
+    /// `dst = mem[addr]`.
+    Load(Reg, AddrMode),
+    /// `mem[addr] = value`.
+    Store(AddrMode, Operand),
+    /// Emit to the output trace.
+    Output(Operand),
+    /// Conditional branch to flat pcs. `backward` records whether the
+    /// taken target does not move forward in block order (the static
+    /// BTFN prediction the simulator models).
+    Branch {
+        /// Condition register.
+        cond: Reg,
+        /// Flat pc when `cond != 0`.
+        then_pc: u32,
+        /// Flat pc when `cond == 0`.
+        else_pc: u32,
+        /// Taken target is a back edge in block order.
+        backward: bool,
+    },
+    /// Unconditional jump to a flat pc.
+    Jump(u32),
+    /// Return with an optional value.
+    Ret(Option<Operand>),
+    /// Send into a queue.
+    Produce {
+        /// Destination queue.
+        queue: QueueId,
+        /// Value sent.
+        value: Operand,
+    },
+    /// Receive from a queue.
+    Consume {
+        /// Destination register.
+        dst: Reg,
+        /// Source queue.
+        queue: QueueId,
+    },
+    /// Send a synchronization token.
+    ProduceSync {
+        /// Destination queue.
+        queue: QueueId,
+    },
+    /// Receive a synchronization token.
+    ConsumeSync {
+        /// Source queue.
+        queue: QueueId,
+    },
+    /// No operation.
+    Nop,
+    /// Placeholder for a block left unterminated by its builder;
+    /// executing it panics exactly like the ID-walking path does.
+    Unterminated,
+}
+
+/// Functional-unit class of an instruction (the simulator's issue
+/// resources: ALU, memory port, FP unit, branch unit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecUnit {
+    /// Integer ALU.
+    Alu = 0,
+    /// Memory port (loads, stores, and all produce/consume traffic).
+    Mem = 1,
+    /// Floating-point unit.
+    Fp = 2,
+    /// Branch unit.
+    Branch = 3,
+}
+
+/// Dynamic-count classification of an instruction (the Figure 1
+/// split).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstrKind {
+    /// Original program instruction.
+    Computation,
+    /// `produce`/`consume` register communication.
+    Communication,
+    /// `produce.sync`/`consume.sync` memory synchronization.
+    Synchronization,
+}
+
+/// Sentinel for an unused register-use slot.
+pub const NO_USE: u32 = u32::MAX;
+
+/// A [`Function`] lowered once into a dense, contiguous instruction
+/// stream with all per-instruction metadata pre-computed.
+#[derive(Clone, Debug)]
+pub struct DecodedFunction {
+    params: Vec<Reg>,
+    num_regs: u32,
+    ops: Vec<DecodedOp>,
+    /// Source arena id per slot (error reporting).
+    src: Vec<InstrId>,
+    /// Containing block per slot (edge profiling).
+    block: Vec<BlockId>,
+    /// Functional-unit class per slot.
+    unit: Vec<ExecUnit>,
+    /// Execution latency per slot (cycles).
+    latency: Vec<u32>,
+    /// Register uses per slot (at most two; `NO_USE` fills the rest).
+    uses: Vec<[u32; 2]>,
+    entry_pc: u32,
+    layout: MemoryLayout,
+}
+
+/// Execution latency table (mirrored by the reference simulator).
+fn latency_of(op: &Op) -> u32 {
+    match op {
+        Op::Bin(b, ..) => match b {
+            BinOp::Mul => 3,
+            BinOp::Div | BinOp::Rem => 12,
+            BinOp::FAdd | BinOp::FSub | BinOp::FMul => 4,
+            BinOp::FDiv => 16,
+            _ => 1,
+        },
+        _ => 1,
+    }
+}
+
+/// Functional-unit table (mirrored by the reference simulator).
+fn unit_of(op: &Op) -> ExecUnit {
+    match op {
+        Op::Bin(b, ..) if b.is_float_class() => ExecUnit::Fp,
+        Op::Load(..)
+        | Op::Store(..)
+        | Op::Produce { .. }
+        | Op::Consume { .. }
+        | Op::ProduceSync { .. }
+        | Op::ConsumeSync { .. } => ExecUnit::Mem,
+        Op::Branch { .. } | Op::Jump(_) | Op::Ret(_) => ExecUnit::Branch,
+        _ => ExecUnit::Alu,
+    }
+}
+
+impl DecodedOp {
+    /// Dynamic-count classification of this op.
+    #[inline]
+    pub fn kind(&self) -> InstrKind {
+        match self {
+            DecodedOp::Produce { .. } | DecodedOp::Consume { .. } => InstrKind::Communication,
+            DecodedOp::ProduceSync { .. } | DecodedOp::ConsumeSync { .. } => {
+                InstrKind::Synchronization
+            }
+            _ => InstrKind::Computation,
+        }
+    }
+
+    /// Whether this op is a communication primitive (either kind).
+    #[inline]
+    pub fn is_communication(&self) -> bool {
+        !matches!(self.kind(), InstrKind::Computation)
+    }
+}
+
+impl DecodedFunction {
+    /// Decodes `f` against its own memory layout.
+    pub fn decode(f: &Function) -> DecodedFunction {
+        DecodedFunction::decode_with_layout(f, &MemoryLayout::of(f))
+    }
+
+    /// Decodes `f` against a caller-supplied layout (multi-threaded
+    /// runs lay memory out from thread 0's object table and share it).
+    pub fn decode_with_layout(f: &Function, layout: &MemoryLayout) -> DecodedFunction {
+        let nb = f.num_blocks();
+        let mut block_start = vec![0u32; nb];
+        let mut total = 0u32;
+        for b in f.blocks() {
+            block_start[b.index()] = total;
+            // Every block occupies body + exactly one terminator slot
+            // (a placeholder when unterminated).
+            total += f.block(b).instrs.len() as u32 + 1;
+        }
+
+        let n = total as usize;
+        let mut d = DecodedFunction {
+            params: f.params.clone(),
+            num_regs: f.num_regs(),
+            ops: Vec::with_capacity(n),
+            src: Vec::with_capacity(n),
+            block: Vec::with_capacity(n),
+            unit: Vec::with_capacity(n),
+            latency: Vec::with_capacity(n),
+            uses: Vec::with_capacity(n),
+            entry_pc: block_start[f.entry().index()],
+            layout: layout.clone(),
+        };
+
+        let mut use_buf = Vec::with_capacity(2);
+        for b in f.blocks() {
+            let blk = f.block(b);
+            for i in blk.all_instrs() {
+                let op = f.instr(i);
+                let lowered = lower(op, b, layout, &block_start);
+                use_buf.clear();
+                op.uses_into(&mut use_buf);
+                let mut u = [NO_USE; 2];
+                for (slot, r) in u.iter_mut().zip(&use_buf) {
+                    *slot = r.0;
+                }
+                d.ops.push(lowered);
+                d.src.push(i);
+                d.block.push(b);
+                d.unit.push(unit_of(op));
+                d.latency.push(latency_of(op));
+                d.uses.push(u);
+            }
+            if blk.terminator.is_none() {
+                d.ops.push(DecodedOp::Unterminated);
+                d.src.push(InstrId(u32::MAX));
+                d.block.push(b);
+                d.unit.push(ExecUnit::Branch);
+                d.latency.push(1);
+                d.uses.push([NO_USE; 2]);
+            }
+        }
+        d
+    }
+
+    /// Registers holding the arguments on entry.
+    pub fn params(&self) -> &[Reg] {
+        &self.params
+    }
+
+    /// Number of virtual registers.
+    pub fn num_regs(&self) -> u32 {
+        self.num_regs
+    }
+
+    /// Number of slots in the flat stream.
+    pub fn num_slots(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The pc of the entry block's first instruction.
+    pub fn entry_pc(&self) -> u32 {
+        self.entry_pc
+    }
+
+    /// The op at `pc`.
+    #[inline]
+    pub fn op(&self, pc: u32) -> DecodedOp {
+        self.ops[pc as usize]
+    }
+
+    /// The source arena id of the op at `pc`.
+    #[inline]
+    pub fn src(&self, pc: u32) -> InstrId {
+        self.src[pc as usize]
+    }
+
+    /// The block containing the op at `pc`.
+    #[inline]
+    pub fn block(&self, pc: u32) -> BlockId {
+        self.block[pc as usize]
+    }
+
+    /// The functional-unit class of the op at `pc`.
+    #[inline]
+    pub fn unit(&self, pc: u32) -> ExecUnit {
+        self.unit[pc as usize]
+    }
+
+    /// The execution latency of the op at `pc`.
+    #[inline]
+    pub fn latency(&self, pc: u32) -> u32 {
+        self.latency[pc as usize]
+    }
+
+    /// The register-use slots of the op at `pc` ([`NO_USE`]-padded).
+    #[inline]
+    pub fn uses(&self, pc: u32) -> [u32; 2] {
+        self.uses[pc as usize]
+    }
+
+    /// The memory layout the stream was decoded against.
+    pub fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    /// Checks that `args` covers the parameters, mirroring the
+    /// reference executors' argument check.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::MissingArguments`] when too few arguments are
+    /// supplied.
+    pub fn check_args(&self, args: &[i64]) -> Result<(), ExecError> {
+        if args.len() < self.params.len() {
+            return Err(ExecError::MissingArguments);
+        }
+        Ok(())
+    }
+
+    /// A structural fingerprint of the decoded program: ops, register
+    /// file size, parameters, and memory extent. Two functions with the
+    /// same hash execute identically (modulo 64-bit hash collisions),
+    /// which is what the candidate-schedule evaluation cache keys on.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.num_regs.hash(&mut h);
+        self.params.hash(&mut h);
+        self.layout.total_cells().hash(&mut h);
+        self.ops.hash(&mut h);
+        h.finish()
+    }
+}
+
+fn lower(op: &Op, b: BlockId, layout: &MemoryLayout, block_start: &[u32]) -> DecodedOp {
+    match *op {
+        Op::Const(d, v) => DecodedOp::Const(d, v),
+        Op::Lea(d, obj, off) => DecodedOp::LeaAbs(d, layout.base(obj) as i64 + off),
+        Op::Bin(o, d, x, y) => DecodedOp::Bin(o, d, x, y),
+        Op::Un(o, d, x) => DecodedOp::Un(o, d, x),
+        Op::Load(d, a) => DecodedOp::Load(d, a),
+        Op::Store(a, v) => DecodedOp::Store(a, v),
+        Op::Output(v) => DecodedOp::Output(v),
+        Op::Branch { cond, then_bb, else_bb } => DecodedOp::Branch {
+            cond,
+            then_pc: block_start[then_bb.index()],
+            else_pc: block_start[else_bb.index()],
+            backward: then_bb <= b,
+        },
+        Op::Jump(t) => DecodedOp::Jump(block_start[t.index()]),
+        Op::Ret(v) => DecodedOp::Ret(v),
+        Op::Produce { queue, value } => DecodedOp::Produce { queue, value },
+        Op::Consume { dst, queue } => DecodedOp::Consume { dst, queue },
+        Op::ProduceSync { queue } => DecodedOp::ProduceSync { queue },
+        Op::ConsumeSync { queue } => DecodedOp::ConsumeSync { queue },
+        Op::Nop => DecodedOp::Nop,
+    }
+}
+
+/// A set of per-thread decoded functions sharing one memory layout
+/// (thread 0's, the multi-threaded executors' convention).
+#[derive(Clone, Debug)]
+pub struct DecodedProgram {
+    threads: Vec<DecodedFunction>,
+    layout: MemoryLayout,
+}
+
+impl DecodedProgram {
+    /// Decodes every thread against thread 0's memory layout.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::InvalidConfig`] when `threads` is empty.
+    pub fn decode(threads: &[Function]) -> Result<DecodedProgram, ExecError> {
+        let first = threads
+            .first()
+            .ok_or_else(|| ExecError::InvalidConfig("at least one thread required".to_string()))?;
+        let layout = MemoryLayout::of(first);
+        let threads =
+            threads.iter().map(|f| DecodedFunction::decode_with_layout(f, &layout)).collect();
+        Ok(DecodedProgram { threads, layout })
+    }
+
+    /// The decoded threads.
+    pub fn threads(&self) -> &[DecodedFunction] {
+        &self.threads
+    }
+
+    /// Number of threads.
+    pub fn len(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Whether the program has no threads (never true for a decoded
+    /// program; kept for clippy symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.threads.is_empty()
+    }
+
+    /// The shared memory layout (thread 0's).
+    pub fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    /// Combined structural fingerprint over all threads, in order.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.threads.len().hash(&mut h);
+        for t in &self.threads {
+            t.structural_hash().hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+/// Architectural state of one thread executing a decoded stream: a
+/// register file and a flat pc. Used by both interpreters.
+pub(crate) struct DecodedThread {
+    pub(crate) regs: Vec<i64>,
+    pub(crate) pc: u32,
+}
+
+impl DecodedThread {
+    pub(crate) fn new(d: &DecodedFunction, args: &[i64]) -> Result<DecodedThread, ExecError> {
+        d.check_args(args)?;
+        let mut regs = vec![0i64; d.num_regs() as usize];
+        for (r, &v) in d.params().iter().zip(args) {
+            regs[r.index()] = v;
+        }
+        Ok(DecodedThread { regs, pc: d.entry_pc() })
+    }
+
+    #[inline]
+    fn operand(&self, o: Operand) -> i64 {
+        match o {
+            Operand::Reg(r) => self.regs[r.index()],
+            Operand::Imm(v) => v,
+        }
+    }
+
+    #[inline]
+    fn addr(&self, a: AddrMode) -> i64 {
+        self.regs[a.base.index()].wrapping_add(a.offset)
+    }
+
+    /// Executes one decoded instruction (or reports a queue block) —
+    /// the flat-stream mirror of `ThreadState::step`.
+    #[inline]
+    pub(crate) fn step(
+        &mut self,
+        d: &DecodedFunction,
+        memory: &mut crate::interp::Memory,
+        output: &mut Vec<i64>,
+        queues: &mut dyn crate::interp::QueueAccess,
+    ) -> Result<crate::interp::StepOutcome, ExecError> {
+        use crate::interp::StepOutcome;
+        match d.op(self.pc) {
+            DecodedOp::Const(dst, v) => {
+                self.regs[dst.index()] = v;
+                self.pc += 1;
+                Ok(StepOutcome::Continue)
+            }
+            DecodedOp::LeaAbs(dst, addr) => {
+                self.regs[dst.index()] = addr;
+                self.pc += 1;
+                Ok(StepOutcome::Continue)
+            }
+            DecodedOp::Bin(op, dst, a, b) => {
+                self.regs[dst.index()] = op.eval(self.operand(a), self.operand(b));
+                self.pc += 1;
+                Ok(StepOutcome::Continue)
+            }
+            DecodedOp::Un(op, dst, a) => {
+                self.regs[dst.index()] = op.eval(self.operand(a));
+                self.pc += 1;
+                Ok(StepOutcome::Continue)
+            }
+            DecodedOp::Load(dst, a) => {
+                self.regs[dst.index()] = memory.read(self.addr(a))?;
+                self.pc += 1;
+                Ok(StepOutcome::Continue)
+            }
+            DecodedOp::Store(a, v) => {
+                memory.write(self.addr(a), self.operand(v))?;
+                self.pc += 1;
+                Ok(StepOutcome::Continue)
+            }
+            DecodedOp::Output(v) => {
+                output.push(self.operand(v));
+                self.pc += 1;
+                Ok(StepOutcome::Continue)
+            }
+            DecodedOp::Branch { cond, then_pc, else_pc, .. } => {
+                let from = d.block(self.pc);
+                let to = if self.regs[cond.index()] != 0 { then_pc } else { else_pc };
+                self.pc = to;
+                Ok(StepOutcome::TookEdge(from, d.block(to)))
+            }
+            DecodedOp::Jump(t) => {
+                let from = d.block(self.pc);
+                self.pc = t;
+                Ok(StepOutcome::TookEdge(from, d.block(t)))
+            }
+            DecodedOp::Ret(v) => Ok(StepOutcome::Returned(v.map(|o| self.operand(o)))),
+            DecodedOp::Produce { queue, value } => {
+                let v = self.operand(value);
+                let instr = d.src(self.pc);
+                if queues.try_produce(queue.index(), v).map_err(|e| retag(e, instr))? {
+                    self.pc += 1;
+                    Ok(StepOutcome::Continue)
+                } else {
+                    Ok(StepOutcome::Blocked)
+                }
+            }
+            DecodedOp::Consume { dst, queue } => {
+                let instr = d.src(self.pc);
+                match queues.try_consume(queue.index()).map_err(|e| retag(e, instr))? {
+                    Some(v) => {
+                        self.regs[dst.index()] = v;
+                        self.pc += 1;
+                        Ok(StepOutcome::Continue)
+                    }
+                    None => Ok(StepOutcome::Blocked),
+                }
+            }
+            DecodedOp::ProduceSync { queue } => {
+                let instr = d.src(self.pc);
+                if queues.try_produce(queue.index(), 1).map_err(|e| retag(e, instr))? {
+                    self.pc += 1;
+                    Ok(StepOutcome::Continue)
+                } else {
+                    Ok(StepOutcome::Blocked)
+                }
+            }
+            DecodedOp::ConsumeSync { queue } => {
+                let instr = d.src(self.pc);
+                match queues.try_consume(queue.index()).map_err(|e| retag(e, instr))? {
+                    Some(_) => {
+                        self.pc += 1;
+                        Ok(StepOutcome::Continue)
+                    }
+                    None => Ok(StepOutcome::Blocked),
+                }
+            }
+            DecodedOp::Nop => {
+                self.pc += 1;
+                Ok(StepOutcome::Continue)
+            }
+            DecodedOp::Unterminated => panic!("verified function"),
+        }
+    }
+}
+
+fn retag(e: ExecError, instr: InstrId) -> ExecError {
+    match e {
+        ExecError::CommunicationOutsideMt(_) => ExecError::CommunicationOutsideMt(instr),
+        ExecError::BadQueue(_) => ExecError::BadQueue(instr),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    fn loop_fn() -> Function {
+        let mut b = FunctionBuilder::new("l");
+        let i = b.fresh_reg();
+        let header = b.block("h");
+        let body = b.block("b");
+        let exit = b.block("x");
+        b.const_into(i, 0);
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.bin(BinOp::Lt, i, 7i64);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.bin_into(BinOp::Add, i, i, 1i64);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn layout_is_dense_and_ordered() {
+        let f = loop_fn();
+        let d = DecodedFunction::decode(&f);
+        assert_eq!(d.num_slots(), f.placed_instr_count());
+        assert_eq!(d.entry_pc(), 0);
+        // Blocks appear contiguously in index order.
+        let mut last = d.block(0);
+        for pc in 1..d.num_slots() as u32 {
+            assert!(d.block(pc) >= last, "block order broken at pc {pc}");
+            last = d.block(pc);
+        }
+    }
+
+    #[test]
+    fn branch_targets_resolve_to_block_starts() {
+        let f = loop_fn();
+        let d = DecodedFunction::decode(&f);
+        for pc in 0..d.num_slots() as u32 {
+            if let DecodedOp::Branch { then_pc, else_pc, backward, .. } = d.op(pc) {
+                // Header branch: body (forward), exit (forward).
+                assert_eq!(d.block(then_pc), BlockId(2));
+                assert_eq!(d.block(else_pc), BlockId(3));
+                assert!(!backward);
+            }
+        }
+    }
+
+    #[test]
+    fn lea_folds_layout_base() {
+        let mut b = FunctionBuilder::new("lea");
+        let o1 = b.object("a", 4);
+        let o2 = b.object("c", 4);
+        let p = b.lea(o2, 2);
+        let _ = b.lea(o1, 0);
+        b.ret(Some(p.into()));
+        let f = b.finish().unwrap();
+        let layout = MemoryLayout::of(&f);
+        let d = DecodedFunction::decode(&f);
+        assert_eq!(d.op(0), DecodedOp::LeaAbs(Reg(0), layout.base(crate::types::ObjectId(1)) as i64 + 2));
+    }
+
+    #[test]
+    fn metadata_matches_op_tables() {
+        let f = loop_fn();
+        let d = DecodedFunction::decode(&f);
+        for pc in 0..d.num_slots() as u32 {
+            match d.op(pc) {
+                DecodedOp::Branch { .. } | DecodedOp::Jump(_) | DecodedOp::Ret(_) => {
+                    assert_eq!(d.unit(pc), ExecUnit::Branch)
+                }
+                DecodedOp::Bin(..) | DecodedOp::Const(..) => assert_eq!(d.unit(pc), ExecUnit::Alu),
+                _ => {}
+            }
+            assert_eq!(d.latency(pc), 1, "loop_fn has only unit-latency ops");
+        }
+    }
+
+    #[test]
+    fn structural_hash_distinguishes_programs() {
+        let f = loop_fn();
+        let d1 = DecodedFunction::decode(&f);
+        let d2 = DecodedFunction::decode(&f);
+        assert_eq!(d1.structural_hash(), d2.structural_hash(), "deterministic");
+        let mut b = FunctionBuilder::new("other");
+        b.output(3i64);
+        b.ret(None);
+        let g = b.finish().unwrap();
+        assert_ne!(
+            DecodedFunction::decode(&g).structural_hash(),
+            d1.structural_hash()
+        );
+    }
+
+    #[test]
+    fn decoded_program_shares_thread0_layout() {
+        let mut b = FunctionBuilder::new("t0");
+        let o = b.object("a", 8);
+        let p = b.lea(o, 0);
+        b.ret(Some(p.into()));
+        let t0 = b.finish().unwrap();
+        let mut b = FunctionBuilder::new("t1");
+        let o = b.object("a", 8);
+        let p = b.lea(o, 1);
+        b.ret(Some(p.into()));
+        let t1 = b.finish().unwrap();
+        let prog = DecodedProgram::decode(&[t0, t1]).unwrap();
+        assert_eq!(prog.len(), 2);
+        assert!(!prog.is_empty());
+        let base = prog.layout().base(crate::types::ObjectId(0)) as i64;
+        assert_eq!(prog.threads()[0].op(0), DecodedOp::LeaAbs(Reg(0), base));
+        assert_eq!(prog.threads()[1].op(0), DecodedOp::LeaAbs(Reg(0), base + 1));
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert!(matches!(
+            DecodedProgram::decode(&[]),
+            Err(ExecError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn unterminated_blocks_get_placeholder_slots() {
+        let mut f = Function::new("u");
+        let e = f.entry();
+        f.push_instr(e, Op::Nop);
+        let d = DecodedFunction::decode(&f);
+        assert_eq!(d.num_slots(), 2);
+        assert_eq!(d.op(1), DecodedOp::Unterminated);
+    }
+}

@@ -1,6 +1,12 @@
 //! A single-threaded interpreter: the functional reference semantics,
 //! the edge profiler, and the dynamic-instruction counter.
+//!
+//! [`run`] executes through the pre-decoded flat instruction stream
+//! ([`crate::decoded`]); [`run_reference`] keeps the original
+//! ID-walking execution loop, which the `decoded_equivalence` tests
+//! hold byte-identical to the decoded path.
 
+use crate::decoded::{DecodedFunction, DecodedThread};
 use crate::function::Function;
 use crate::instr::Op;
 use crate::profile::Profile;
@@ -220,6 +226,95 @@ pub fn run_with_memory(
     init: impl FnOnce(&MemoryLayout, &mut Memory),
     config: &ExecConfig,
 ) -> Result<RunResult, ExecError> {
+    let d = DecodedFunction::decode(f);
+    run_decoded_with_memory(&d, args, init, config)
+}
+
+/// Runs an already-decoded function to completion with zeroed memory.
+///
+/// # Errors
+///
+/// See [`ExecError`].
+pub fn run_decoded(
+    d: &DecodedFunction,
+    args: &[i64],
+    config: &ExecConfig,
+) -> Result<RunResult, ExecError> {
+    run_decoded_with_memory(d, args, |_, _| {}, config)
+}
+
+/// Runs an already-decoded function after letting `init` populate
+/// memory.
+///
+/// # Errors
+///
+/// See [`ExecError`].
+pub fn run_decoded_with_memory(
+    d: &DecodedFunction,
+    args: &[i64],
+    init: impl FnOnce(&MemoryLayout, &mut Memory),
+    config: &ExecConfig,
+) -> Result<RunResult, ExecError> {
+    let mut memory = Memory::for_layout(d.layout());
+    init(d.layout(), &mut memory);
+    let mut state = DecodedThread::new(d, args)?;
+    let mut profile = Profile::new();
+    profile.count_entry();
+    let mut output = Vec::new();
+    let mut counts = DynCounts::default();
+    let mut fuel = config.max_steps;
+
+    loop {
+        if fuel == 0 {
+            return Err(ExecError::OutOfFuel);
+        }
+        fuel -= 1;
+        match state.step(d, &mut memory, &mut output, &mut NoQueues)? {
+            StepOutcome::Continue => counts.computation += 1,
+            StepOutcome::Blocked => unreachable!("NoQueues never blocks"),
+            StepOutcome::TookEdge(from, to) => {
+                counts.computation += 1;
+                profile.count_edge(from, to);
+            }
+            StepOutcome::Returned(v) => {
+                counts.computation += 1;
+                return Ok(RunResult {
+                    return_value: v,
+                    output,
+                    counts,
+                    profile,
+                    memory,
+                });
+            }
+        }
+    }
+}
+
+/// The ID-walking reference executor ([`run`] without pre-decoding).
+/// Kept as the semantic oracle for the decoded engine.
+///
+/// # Errors
+///
+/// See [`ExecError`].
+pub fn run_reference(
+    f: &Function,
+    args: &[i64],
+    config: &ExecConfig,
+) -> Result<RunResult, ExecError> {
+    run_with_memory_reference(f, args, |_, _| {}, config)
+}
+
+/// [`run_with_memory`] on the ID-walking reference path.
+///
+/// # Errors
+///
+/// See [`ExecError`].
+pub fn run_with_memory_reference(
+    f: &Function,
+    args: &[i64],
+    init: impl FnOnce(&MemoryLayout, &mut Memory),
+    config: &ExecConfig,
+) -> Result<RunResult, ExecError> {
     let layout = MemoryLayout::of(f);
     let mut memory = Memory::for_layout(&layout);
     init(&layout, &mut memory);
@@ -289,21 +384,22 @@ pub(crate) enum StepOutcome {
     Returned(Option<i64>),
 }
 
-/// Architectural state of one thread.
-pub(crate) struct ThreadState {
+/// Architectural state of one thread. Borrows the run's shared
+/// [`MemoryLayout`] rather than cloning it per thread.
+pub(crate) struct ThreadState<'a> {
     regs: Vec<i64>,
     block: crate::types::BlockId,
     /// Index into the block: `< len` body, `== len` terminator.
     pos: usize,
-    layout: MemoryLayout,
+    layout: &'a MemoryLayout,
 }
 
-impl ThreadState {
+impl<'a> ThreadState<'a> {
     pub(crate) fn new(
         f: &Function,
         args: &[i64],
-        layout: &MemoryLayout,
-    ) -> Result<ThreadState, ExecError> {
+        layout: &'a MemoryLayout,
+    ) -> Result<ThreadState<'a>, ExecError> {
         if args.len() < f.params.len() {
             return Err(ExecError::MissingArguments);
         }
@@ -311,7 +407,7 @@ impl ThreadState {
         for (r, &v) in f.params.iter().zip(args) {
             regs[r.index()] = v;
         }
-        Ok(ThreadState { regs, block: f.entry(), pos: 0, layout: layout.clone() })
+        Ok(ThreadState { regs, block: f.entry(), pos: 0, layout })
     }
 
     fn reg(&self, r: Reg) -> i64 {

@@ -12,6 +12,7 @@
 //! produces the same memory/output/return results under every
 //! interleaving; determinism here just makes tests reproducible.
 
+use crate::decoded::{DecodedProgram, DecodedThread, InstrKind};
 use crate::function::Function;
 use crate::interp::{
     DynCounts, ExecConfig, ExecError, Memory, MemoryLayout, QueueAccess, StepOutcome, ThreadState,
@@ -100,6 +101,100 @@ impl MtRunResult {
 ///   `config.max_steps`.
 /// - Any per-instruction fault ([`ExecError::MemoryFault`], ...).
 pub fn run_mt(
+    threads: &[Function],
+    args: &[i64],
+    init: impl FnOnce(&MemoryLayout, &mut Memory),
+    queue_config: &QueueConfig,
+    config: &ExecConfig,
+) -> Result<MtRunResult, ExecError> {
+    let program = DecodedProgram::decode(threads)?;
+    run_mt_decoded(&program, args, init, queue_config, config)
+}
+
+/// [`run_mt`] on an already-decoded program.
+///
+/// # Errors
+///
+/// See [`run_mt`].
+pub fn run_mt_decoded(
+    program: &DecodedProgram,
+    args: &[i64],
+    init: impl FnOnce(&MemoryLayout, &mut Memory),
+    queue_config: &QueueConfig,
+    config: &ExecConfig,
+) -> Result<MtRunResult, ExecError> {
+    let threads = program.threads();
+    if threads.is_empty() {
+        return Err(ExecError::InvalidConfig("at least one thread required".to_string()));
+    }
+    let layout = program.layout();
+    let mut memory = Memory::for_layout(layout);
+    init(layout, &mut memory);
+
+    let mut states: Vec<DecodedThread> = threads
+        .iter()
+        .map(|d| DecodedThread::new(d, args))
+        .collect::<Result<_, _>>()?;
+    let mut finished: Vec<bool> = vec![false; threads.len()];
+    let mut per_thread = vec![DynCounts::default(); threads.len()];
+    let mut queues = Queues {
+        queues: vec![VecDeque::new(); queue_config.num_queues],
+        capacity: queue_config.capacity.max(1),
+    };
+    let mut output = Vec::new();
+    let mut return_value = None;
+    let mut fuel = config.max_steps;
+
+    loop {
+        if finished.iter().all(|&f| f) {
+            return Ok(MtRunResult { return_value, output, per_thread, memory });
+        }
+        let mut any_progress = false;
+        for t in 0..threads.len() {
+            if finished[t] {
+                continue;
+            }
+            if fuel == 0 {
+                return Err(ExecError::OutOfFuel);
+            }
+            fuel -= 1;
+            let d = &threads[t];
+            let kind = d.op(states[t].pc).kind();
+            match states[t].step(d, &mut memory, &mut output, &mut queues)? {
+                StepOutcome::Blocked => {
+                    fuel += 1; // blocked polls don't consume the budget
+                }
+                StepOutcome::Returned(v) => {
+                    finished[t] = true;
+                    any_progress = true;
+                    per_thread[t].computation += 1;
+                    if v.is_some() {
+                        return_value = v;
+                    }
+                }
+                StepOutcome::Continue | StepOutcome::TookEdge(..) => {
+                    any_progress = true;
+                    match kind {
+                        InstrKind::Synchronization => per_thread[t].synchronization += 1,
+                        InstrKind::Communication => per_thread[t].communication += 1,
+                        InstrKind::Computation => per_thread[t].computation += 1,
+                    }
+                }
+            }
+        }
+        if !any_progress {
+            return Err(ExecError::Deadlock);
+        }
+    }
+}
+
+/// The ID-walking reference executor ([`run_mt`] without pre-decoding).
+/// Kept as the semantic oracle for the decoded engine.
+///
+/// # Errors
+///
+/// See [`run_mt`].
+pub fn run_mt_reference(
     threads: &[Function],
     args: &[i64],
     init: impl FnOnce(&MemoryLayout, &mut Memory),

@@ -55,6 +55,7 @@ mod transform;
 mod types;
 mod verify;
 
+pub mod decoded;
 pub mod interp;
 pub mod interp_mt;
 

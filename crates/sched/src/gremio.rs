@@ -301,6 +301,15 @@ fn schedule(
     };
     let mut current = build(&assignment);
     let mut current_score = score(f, pdg, weights, cdeps, &current, config);
+    // Score memo keyed by the cluster→thread assignment. The climb
+    // revisits the same assignments across passes of the outer loop
+    // (every non-improving move is retried each round); `score` is a
+    // pure function of the assignment, so a hit skips both the
+    // partition rebuild and the rescoring without changing any
+    // decision.
+    let memo_key = |a: &[ThreadId]| a.iter().map(|t| t.0).collect::<Vec<u32>>();
+    let mut memo: HashMap<Vec<u32>, u64> = HashMap::new();
+    memo.insert(memo_key(&assignment), current_score);
     let mut improved = true;
     while improved {
         improved = false;
@@ -312,11 +321,19 @@ fn schedule(
                     continue;
                 }
                 assignment[c] = t;
-                let candidate = build(&assignment);
-                let s = score(f, pdg, weights, cdeps, &candidate, config);
+                let key = memo_key(&assignment);
+                let s = match memo.get(&key) {
+                    Some(&s) => s,
+                    None => {
+                        let candidate = build(&assignment);
+                        let s = score(f, pdg, weights, cdeps, &candidate, config);
+                        memo.insert(key, s);
+                        s
+                    }
+                };
                 if s < current_score {
                     current_score = s;
-                    current = candidate;
+                    current = build(&assignment);
                     improved = true;
                 } else {
                     assignment[c] = original;

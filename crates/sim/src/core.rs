@@ -71,9 +71,10 @@ impl CoreStats {
     }
 }
 
-/// Architectural + microarchitectural state of one core.
+/// Architectural + microarchitectural state of one core. Borrows the
+/// run's shared [`MemoryLayout`] rather than cloning it per core.
 #[derive(Clone, Debug)]
-pub struct Core {
+pub struct Core<'a> {
     /// Register values.
     pub regs: Vec<i64>,
     /// Cycle at which each register's value becomes usable;
@@ -96,12 +97,12 @@ pub struct Core {
     pub fetch_stalled_until: u64,
     /// Statistics.
     pub stats: CoreStats,
-    layout: MemoryLayout,
+    layout: &'a MemoryLayout,
 }
 
-impl Core {
+impl<'a> Core<'a> {
     /// A core about to execute `f` with the given arguments.
-    pub fn new(f: &Function, args: &[i64], layout: &MemoryLayout) -> Core {
+    pub fn new(f: &Function, args: &[i64], layout: &'a MemoryLayout) -> Core<'a> {
         let n = f.num_regs() as usize;
         let mut regs = vec![0i64; n];
         for (r, &v) in f.params.iter().zip(args) {
@@ -118,7 +119,7 @@ impl Core {
             inflight_loads: Vec::new(),
             fetch_stalled_until: 0,
             stats: CoreStats::default(),
-            layout: layout.clone(),
+            layout,
         }
     }
 

@@ -1,96 +1,31 @@
-//! The cycle-level simulation driver.
+//! The pre-decoded cycle-level simulation engine.
+//!
+//! [`simulate`] lowers the thread functions once into flat
+//! [`DecodedProgram`] streams and then runs the same in-order,
+//! multi-issue, stall-on-use machine model as
+//! [`simulate_reference`](crate::simulate_reference) — without the
+//! per-issue `Op` clone, the per-check `Op::uses` allocation, or the
+//! block/instruction ID indirection of the reference path. The
+//! `decoded_equivalence` integration tests hold the two engines
+//! byte-identical (cycles, outputs, stall and hit statistics).
 
 use crate::cache::{Hierarchy, HitLevel};
 use crate::config::MachineConfig;
-use crate::core::{Core, CoreStats, StallReason};
+use crate::core::{CoreStats, StallReason};
 use crate::sa::{PendingConsume, SyncArray};
+use crate::sim::SimResult;
+use gmt_ir::decoded::{DecodedFunction, DecodedOp, DecodedProgram, NO_USE};
 use gmt_ir::interp::{ExecError, Memory, MemoryLayout};
-use gmt_ir::{BinOp, Function, Op};
+use gmt_ir::{Function, Operand, Reg};
 
-/// The result of a timed simulation.
-#[derive(Clone, Debug)]
-pub struct SimResult {
-    /// Total cycles until the last core retired.
-    pub cycles: u64,
-    /// Per-core statistics.
-    pub cores: Vec<CoreStats>,
-    /// The observable output trace.
-    pub output: Vec<i64>,
-    /// The returned value, if any thread returned one.
-    pub return_value: Option<i64>,
-    /// Cache accesses served per level, across all cores.
-    pub hits_l1: u64,
-    /// See [`SimResult::hits_l1`].
-    pub hits_l2: u64,
-    /// See [`SimResult::hits_l1`].
-    pub hits_l3: u64,
-    /// Accesses served by main memory.
-    pub hits_mem: u64,
-}
-
-impl SimResult {
-    /// Instructions per cycle, across all cores.
-    pub fn ipc(&self) -> f64 {
-        let instrs: u64 = self.cores.iter().map(CoreStats::total_instrs).sum();
-        instrs as f64 / self.cycles.max(1) as f64
-    }
-}
-
-/// How an instruction classifies for issue resources.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Unit {
-    Alu,
-    Mem,
-    Fp,
-    Branch,
-}
-
-fn unit_of(op: &Op) -> Unit {
-    match op {
-        Op::Bin(b, ..) if b.is_float_class() => Unit::Fp,
-        Op::Load(..)
-        | Op::Store(..)
-        | Op::Produce { .. }
-        | Op::Consume { .. }
-        | Op::ProduceSync { .. }
-        | Op::ConsumeSync { .. } => Unit::Mem,
-        Op::Branch { .. } | Op::Jump(_) | Op::Ret(_) => Unit::Branch,
-        _ => Unit::Alu,
-    }
-}
-
-fn exec_latency(op: &Op) -> u64 {
-    match op {
-        Op::Bin(b, ..) => match b {
-            BinOp::Mul => 3,
-            BinOp::Div | BinOp::Rem => 12,
-            BinOp::FAdd | BinOp::FSub | BinOp::FMul => 4,
-            BinOp::FDiv => 16,
-            _ => 1,
-        },
-        _ => 1,
-    }
-}
-
-/// Runs `threads` (one per core) to completion on the machine through
-/// the ID-walking reference engine.
-///
-/// This is the semantic oracle for the pre-decoded engine
-/// ([`simulate`](crate::simulate)), which produces byte-identical
-/// results without the per-issue `Op` clone and ID indirection.
-///
-/// All cores receive the same `args`; memory is laid out from
-/// `threads[0]`'s object table and initialized by `init`.
+/// Runs `threads` (one per core) to completion on the machine, through
+/// the pre-decoded engine. Drop-in replacement for the reference
+/// simulator — same results, same errors.
 ///
 /// # Errors
 ///
-/// - [`ExecError::InvalidConfig`] when `threads` is empty or
-///   [`MachineConfig::validate`] rejects the machine;
-/// - [`ExecError::Deadlock`] when no core makes progress for an entire
-///   no-progress window (every latency in the machine is far smaller);
-/// - [`ExecError::OutOfFuel`] when `config.max_cycles` elapses;
-/// - [`ExecError::MemoryFault`] on wild accesses.
-pub fn simulate_reference(
+/// See [`simulate_reference`](crate::simulate_reference).
+pub fn simulate(
     threads: &[Function],
     args: &[i64],
     init: impl FnOnce(&MemoryLayout, &mut Memory),
@@ -100,16 +35,34 @@ pub fn simulate_reference(
         return Err(ExecError::InvalidConfig("at least one thread required".to_string()));
     }
     config.validate().map_err(ExecError::InvalidConfig)?;
-    let layout = MemoryLayout::of(&threads[0]);
-    let mut memory = Memory::for_layout(&layout);
-    init(&layout, &mut memory);
+    let program = DecodedProgram::decode(threads)?;
+    simulate_decoded(&program, args, init, config)
+}
+
+/// [`simulate`] on an already-decoded program (what GREMIO arbitration
+/// uses to avoid re-decoding candidate schedules).
+///
+/// # Errors
+///
+/// See [`simulate_reference`](crate::simulate_reference).
+pub fn simulate_decoded(
+    program: &DecodedProgram,
+    args: &[i64],
+    init: impl FnOnce(&MemoryLayout, &mut Memory),
+    config: &MachineConfig,
+) -> Result<SimResult, ExecError> {
+    let threads = program.threads();
+    if threads.is_empty() {
+        return Err(ExecError::InvalidConfig("at least one thread required".to_string()));
+    }
+    config.validate().map_err(ExecError::InvalidConfig)?;
+    let mut memory = Memory::for_layout(program.layout());
+    init(program.layout(), &mut memory);
 
     let ncores = threads.len();
-    let mut cores: Vec<Core> = threads.iter().map(|f| Core::new(f, args, &layout)).collect();
-    for (f, _) in threads.iter().zip(&cores) {
-        if args.len() < f.params.len() {
-            return Err(ExecError::MissingArguments);
-        }
+    let mut cores: Vec<DCore> = threads.iter().map(|d| DCore::new(d, args)).collect();
+    for d in threads {
+        d.check_args(args)?;
     }
     let mut hierarchy = Hierarchy::new(ncores, config);
     let mut sa = SyncArray::new(config.sa.num_queues, config.sa.depth, config.sa.latency);
@@ -170,13 +123,113 @@ fn sa_overflow() -> String {
     "synchronization array produce overran the configured queue depth".to_string()
 }
 
+/// Core state for the decoded engine: same microarchitectural model as
+/// [`Core`](crate::Core), with the block/pos cursor replaced by a flat
+/// pc and no per-core layout (leas are pre-folded at decode time).
+struct DCore {
+    regs: Vec<i64>,
+    /// Cycle at which each register's value becomes usable;
+    /// `u64::MAX` marks a pending (outstanding consume) register.
+    ready: Vec<u64>,
+    /// Monotonic write token per register, guarding late consume
+    /// deliveries against intervening redefinitions.
+    token: Vec<u64>,
+    next_token: u64,
+    pc: u32,
+    finished: bool,
+    /// Loads still in flight (dest not yet ready); pruned on every
+    /// [`DCore::outstanding_loads`] query so it stays O(outstanding).
+    inflight_loads: Vec<u64>,
+    fetch_stalled_until: u64,
+    stats: CoreStats,
+}
+
+impl DCore {
+    fn new(d: &DecodedFunction, args: &[i64]) -> DCore {
+        let n = d.num_regs() as usize;
+        let mut regs = vec![0i64; n];
+        for (r, &v) in d.params().iter().zip(args) {
+            regs[r.index()] = v;
+        }
+        DCore {
+            regs,
+            ready: vec![0; n],
+            token: vec![0; n],
+            next_token: 1,
+            pc: d.entry_pc(),
+            finished: false,
+            inflight_loads: Vec::new(),
+            fetch_stalled_until: 0,
+            stats: CoreStats::default(),
+        }
+    }
+
+    #[inline]
+    fn operands_ready(&self, uses: [u32; 2], now: u64) -> bool {
+        uses.iter().all(|&u| u == NO_USE || self.ready[u as usize] <= now)
+    }
+
+    #[inline]
+    fn operand(&self, o: Operand) -> i64 {
+        match o {
+            Operand::Reg(r) => self.regs[r.index()],
+            Operand::Imm(v) => v,
+        }
+    }
+
+    #[inline]
+    fn cell_addr(&self, a: gmt_ir::AddrMode) -> i64 {
+        self.regs[a.base.index()].wrapping_add(a.offset)
+    }
+
+    #[inline]
+    fn byte_addr(&self, a: gmt_ir::AddrMode) -> i64 {
+        self.cell_addr(a).wrapping_mul(8)
+    }
+
+    #[inline]
+    fn write(&mut self, dst: Reg, value: i64, ready_at: u64) -> u64 {
+        self.regs[dst.index()] = value;
+        self.ready[dst.index()] = ready_at;
+        let t = self.next_token;
+        self.next_token += 1;
+        self.token[dst.index()] = t;
+        t
+    }
+
+    #[inline]
+    fn mark_pending(&mut self, dst: Reg) -> u64 {
+        self.ready[dst.index()] = u64::MAX;
+        let t = self.next_token;
+        self.next_token += 1;
+        self.token[dst.index()] = t;
+        t
+    }
+
+    #[inline]
+    fn deliver(&mut self, dst: Reg, token: u64, value: i64, ready_at: u64) {
+        if self.token[dst.index()] == token {
+            self.regs[dst.index()] = value;
+            self.ready[dst.index()] = ready_at;
+        }
+    }
+
+    #[inline]
+    fn outstanding_loads(&mut self, now: u64) -> usize {
+        self.inflight_loads.retain(|&t| t > now);
+        self.inflight_loads.len()
+    }
+}
+
 /// Issues as many instructions as possible on core `ci` this cycle;
-/// returns whether at least one instruction issued.
+/// returns whether at least one instruction issued. Mirrors the
+/// reference `issue_core` decision-for-decision (stall order, stat
+/// updates, issue-group breaks).
 #[allow(clippy::too_many_arguments)]
 fn issue_core(
     ci: usize,
-    cores: &mut [Core],
-    threads: &[Function],
+    cores: &mut [DCore],
+    threads: &[DecodedFunction],
     memory: &mut Memory,
     hierarchy: &mut Hierarchy,
     sa: &mut SyncArray,
@@ -187,7 +240,7 @@ fn issue_core(
     config: &MachineConfig,
     now: u64,
 ) -> Result<bool, ExecError> {
-    let f = &threads[ci];
+    let d = &threads[ci];
     if cores[ci].fetch_stalled_until > now {
         cores[ci].stats.record_stall(StallReason::Mispredict);
         return Ok(false);
@@ -198,15 +251,14 @@ fn issue_core(
     let mut progressed = false;
 
     while !cores[ci].finished && issued < config.issue_width {
-        let instr = cores[ci].current_instr(f);
-        let op = f.instr(instr).clone();
-        let unit = unit_of(&op);
-        let ui = unit as usize;
+        let pc = cores[ci].pc;
+        let op = d.op(pc);
+        let ui = d.unit(pc) as usize;
         if used[ui] >= limits[ui] {
             cores[ci].stats.record_stall(StallReason::Structural);
             break;
         }
-        if !cores[ci].operands_ready(&op, now) {
+        if !cores[ci].operands_ready(d.uses(pc), now) {
             cores[ci].stats.record_stall(StallReason::Operand);
             break;
         }
@@ -218,27 +270,26 @@ fn issue_core(
             }
         let mut end_group = false;
         match op {
-            Op::Const(d, v) => {
-                cores[ci].write(d, v, now + 1);
-                cores[ci].advance();
+            DecodedOp::Const(dst, v) => {
+                cores[ci].write(dst, v, now + 1);
+                cores[ci].pc += 1;
             }
-            Op::Lea(d, obj, off) => {
-                let v = cores[ci].lea(obj, off);
-                cores[ci].write(d, v, now + 1);
-                cores[ci].advance();
+            DecodedOp::LeaAbs(dst, addr) => {
+                cores[ci].write(dst, addr, now + 1);
+                cores[ci].pc += 1;
             }
-            Op::Bin(b, d, x, y) => {
+            DecodedOp::Bin(b, dst, x, y) => {
                 let v = b.eval(cores[ci].operand(x), cores[ci].operand(y));
-                let lat = exec_latency(&op);
-                cores[ci].write(d, v, now + lat);
-                cores[ci].advance();
+                let lat = d.latency(pc) as u64;
+                cores[ci].write(dst, v, now + lat);
+                cores[ci].pc += 1;
             }
-            Op::Un(u, d, x) => {
+            DecodedOp::Un(u, dst, x) => {
                 let v = u.eval(cores[ci].operand(x));
-                cores[ci].write(d, v, now + 1);
-                cores[ci].advance();
+                cores[ci].write(dst, v, now + 1);
+                cores[ci].pc += 1;
             }
-            Op::Load(d, a) => {
+            DecodedOp::Load(dst, a) => {
                 if cores[ci].outstanding_loads(now) >= 16 {
                     cores[ci].stats.record_stall(StallReason::LoadLimit);
                     break;
@@ -253,24 +304,24 @@ fn issue_core(
                     HitLevel::Memory => 3,
                 }] += 1;
                 let ready = now + lat;
-                cores[ci].write(d, v, ready);
+                cores[ci].write(dst, v, ready);
                 cores[ci].inflight_loads.push(ready);
-                cores[ci].advance();
+                cores[ci].pc += 1;
             }
-            Op::Store(a, v) => {
+            DecodedOp::Store(a, v) => {
                 let cell = cores[ci].cell_addr(a);
                 let value = cores[ci].operand(v);
                 memory.write(cell, value)?;
                 let _ = hierarchy.store(ci, cores[ci].byte_addr(a) as u64);
-                cores[ci].advance();
+                cores[ci].pc += 1;
             }
-            Op::Output(v) => {
+            DecodedOp::Output(v) => {
                 output.push(cores[ci].operand(v));
-                cores[ci].advance();
+                cores[ci].pc += 1;
             }
-            Op::Produce { queue, value } => {
+            DecodedOp::Produce { queue, value } => {
                 if queue.index() >= sa.len() {
-                    return Err(ExecError::BadQueue(instr));
+                    return Err(ExecError::BadQueue(d.src(pc)));
                 }
                 if !sa.can_produce(queue.index()) {
                     cores[ci].stats.record_stall(StallReason::QueueFull);
@@ -279,10 +330,10 @@ fn issue_core(
                 *sa_ports_left -= 1;
                 let v = cores[ci].operand(value);
                 match sa.produce(queue.index(), v, now) {
-                    Ok(Some(d)) => {
-                        if let Some(dst) = d.pending.dst {
-                            cores[d.pending.core]
-                                .deliver(dst, d.pending.token, d.value, d.ready_at);
+                    Ok(Some(del)) => {
+                        if let Some(dst) = del.pending.dst {
+                            cores[del.pending.core]
+                                .deliver(dst, del.pending.token, del.value, del.ready_at);
                         }
                     }
                     Ok(None) => {}
@@ -291,15 +342,15 @@ fn issue_core(
                     Err(_) => return Err(ExecError::InvalidConfig(sa_overflow())),
                 }
                 cores[ci].stats.communication += 1;
-                cores[ci].advance();
+                cores[ci].pc += 1;
                 issued += 1;
                 used[ui] += 1;
                 progressed = true;
                 continue;
             }
-            Op::Consume { dst, queue } => {
+            DecodedOp::Consume { dst, queue } => {
                 if queue.index() >= sa.len() {
-                    return Err(ExecError::BadQueue(instr));
+                    return Err(ExecError::BadQueue(d.src(pc)));
                 }
                 *sa_ports_left -= 1;
                 let token = cores[ci].mark_pending(dst);
@@ -308,15 +359,15 @@ fn issue_core(
                     cores[ci].deliver(dst, token, v, ready);
                 }
                 cores[ci].stats.communication += 1;
-                cores[ci].advance();
+                cores[ci].pc += 1;
                 issued += 1;
                 used[ui] += 1;
                 progressed = true;
                 continue;
             }
-            Op::ProduceSync { queue } => {
+            DecodedOp::ProduceSync { queue } => {
                 if queue.index() >= sa.len() {
-                    return Err(ExecError::BadQueue(instr));
+                    return Err(ExecError::BadQueue(d.src(pc)));
                 }
                 if !sa.can_produce(queue.index()) {
                     cores[ci].stats.record_stall(StallReason::QueueFull);
@@ -327,15 +378,15 @@ fn issue_core(
                     return Err(ExecError::InvalidConfig(sa_overflow()));
                 }
                 cores[ci].stats.synchronization += 1;
-                cores[ci].advance();
+                cores[ci].pc += 1;
                 issued += 1;
                 used[ui] += 1;
                 progressed = true;
                 continue;
             }
-            Op::ConsumeSync { queue } => {
+            DecodedOp::ConsumeSync { queue } => {
                 if queue.index() >= sa.len() {
-                    return Err(ExecError::BadQueue(instr));
+                    return Err(ExecError::BadQueue(d.src(pc)));
                 }
                 // Acquire semantics: block issue until the token is
                 // visible.
@@ -348,32 +399,33 @@ fn issue_core(
                 // harmless but counts as no token consumed.
                 let _ = sa.pop_token(queue.index(), now);
                 cores[ci].stats.synchronization += 1;
-                cores[ci].advance();
+                cores[ci].pc += 1;
                 issued += 1;
                 used[ui] += 1;
                 progressed = true;
                 continue;
             }
-            Op::Branch { cond, then_bb, else_bb } => {
+            DecodedOp::Branch { cond, then_pc, else_pc, backward } => {
                 let taken = cores[ci].regs[cond.index()] != 0;
                 // Static backward-taken/forward-not-taken prediction:
                 // predict taken iff the taken target does not move
-                // forward in block order (a loop back edge).
+                // forward in block order (a loop back edge) — folded
+                // into `backward` at decode time.
                 if let crate::config::BranchModel::StaticBtfn { penalty } = config.branch_model {
-                    let predict_taken = then_bb <= cores[ci].block;
+                    let predict_taken = backward;
                     if predict_taken != taken {
                         cores[ci].stats.mispredicts += 1;
                         cores[ci].fetch_stalled_until = now + penalty;
                     }
                 }
-                cores[ci].jump_to(if taken { then_bb } else { else_bb });
+                cores[ci].pc = if taken { then_pc } else { else_pc };
                 end_group = true;
             }
-            Op::Jump(t) => {
-                cores[ci].jump_to(t);
+            DecodedOp::Jump(t) => {
+                cores[ci].pc = t;
                 end_group = true;
             }
-            Op::Ret(v) => {
+            DecodedOp::Ret(v) => {
                 if let Some(v) = v {
                     *return_value = Some(cores[ci].operand(v));
                 }
@@ -381,9 +433,10 @@ fn issue_core(
                 cores[ci].stats.finished_at = now + 1;
                 end_group = true;
             }
-            Op::Nop => {
-                cores[ci].advance();
+            DecodedOp::Nop => {
+                cores[ci].pc += 1;
             }
+            DecodedOp::Unterminated => panic!("verified function"),
         }
         cores[ci].stats.computation += 1;
         issued += 1;

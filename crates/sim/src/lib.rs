@@ -45,11 +45,13 @@
 mod cache;
 mod config;
 mod core;
+mod engine;
 mod sa;
 mod sim;
 
 pub use cache::{Cache, Hierarchy, HitLevel};
 pub use config::{BranchModel, CacheConfig, MachineConfig, SaConfig};
 pub use core::{Core, CoreStats, StallReason};
+pub use engine::{simulate, simulate_decoded};
 pub use sa::{Delivery, PendingConsume, QueueFull, SyncArray};
-pub use sim::{simulate, SimResult};
+pub use sim::{simulate_reference, SimResult};

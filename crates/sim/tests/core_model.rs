@@ -245,3 +245,44 @@ fn static_predictor_charges_mispredicts() {
     );
     assert!(real.cycles >= ideal.cycles);
 }
+
+#[test]
+fn inflight_loads_are_pruned_not_accumulated() {
+    // The outstanding-load window must count only loads still in
+    // flight: completions at or before `now` are pruned, so the list
+    // is bounded by the limit rather than growing for the whole run.
+    use gmt_ir::interp::MemoryLayout;
+    let mut b = FunctionBuilder::new("l");
+    b.ret(None);
+    let f = b.finish().unwrap();
+    let layout = MemoryLayout::of(&f);
+    let mut core = gmt_sim::Core::new(&f, &[], &layout);
+    core.inflight_loads.extend([5u64, 10, 10, 20]);
+    assert_eq!(core.outstanding_loads(0), 4);
+    // A completion time of exactly `now` is no longer outstanding.
+    assert_eq!(core.outstanding_loads(10), 1);
+    assert_eq!(core.inflight_loads, vec![20], "pruned in place");
+    assert_eq!(core.outstanding_loads(20), 0);
+    assert!(core.inflight_loads.is_empty());
+}
+
+#[test]
+fn load_limit_stalls_then_drains() {
+    // 64 independent cold loads: the 16-load window fills (LoadLimit
+    // stalls observed), then drains as loads complete — the run
+    // terminates with every load issued instead of wedging once the
+    // window first fills.
+    let mut b = FunctionBuilder::new("many_loads");
+    let obj = b.object("a", 512);
+    let p = b.lea(obj, 0);
+    for k in 0..64 {
+        // One cell per cache line (64-byte lines, 8-byte cells), so
+        // every load is a cold long-latency miss.
+        b.load(p, k * 8);
+    }
+    b.ret(None);
+    let f = b.finish().unwrap();
+    let r = simulate(&[f], &[], |_, _| {}, &MachineConfig::default()).unwrap();
+    assert!(r.cores[0].stall_load_limit > 0, "{:?}", r.cores[0]);
+    assert_eq!(r.hits_l1 + r.hits_l2 + r.hits_l3 + r.hits_mem, 64, "all loads issued");
+}

@@ -1,0 +1,177 @@
+//! The pre-decoded execution engine must be observably identical to
+//! the ID-walking reference executors — not just same answers, but
+//! same dynamic counts, same profiles, same cycle counts, and same
+//! per-core stall/hit statistics. The figure pipeline runs entirely on
+//! the decoded engine, so any divergence here would silently corrupt
+//! the reproduced results.
+//!
+//! Three layers are checked, each against its `*_reference` twin:
+//! the single-threaded interpreter, the multi-threaded interpreter
+//! (over MTCG-generated thread programs), and the cycle-level machine
+//! model (single-threaded and multi-threaded, under the default
+//! machine and a stressed one: narrow issue, static branch prediction,
+//! single-element queues). A final regression sweeps every catalog
+//! kernel on its train input.
+
+use gmt_integration_tests::{compile, program_gen, seeded_partition, Stmt};
+use gmt_ir::decoded::{DecodedFunction, DecodedProgram};
+use gmt_ir::interp::{run_decoded, run_reference, ExecConfig};
+use gmt_ir::interp_mt::{run_mt_decoded, run_mt_reference, QueueConfig};
+use gmt_pdg::Pdg;
+use gmt_sim::{simulate_decoded, simulate_reference, BranchModel, MachineConfig, SimResult};
+use gmt_testkit::{full_u64, prop_assert_eq, ranged, Checker, Gen};
+
+fn exec() -> ExecConfig {
+    ExecConfig { max_steps: 5_000_000 }
+}
+
+/// A stressed machine: narrow issue, static branch prediction, and
+/// single-element queues, so structural, mispredict, and queue stalls
+/// all fire.
+fn stress_machine() -> MachineConfig {
+    let mut m = MachineConfig::default().with_queue_depth(1);
+    m.issue_width = 2;
+    m.branch_model = BranchModel::StaticBtfn { penalty: 3 };
+    m
+}
+
+fn assert_sim_eq(a: &SimResult, b: &SimResult) -> Result<(), String> {
+    prop_assert_eq!(a.cycles, b.cycles);
+    prop_assert_eq!(a.return_value, b.return_value);
+    prop_assert_eq!(&a.output, &b.output);
+    prop_assert_eq!(&a.cores, &b.cores, "per-core stall/issue stats");
+    prop_assert_eq!(
+        (a.hits_l1, a.hits_l2, a.hits_l3, a.hits_mem),
+        (b.hits_l1, b.hits_l2, b.hits_l3, b.hits_mem)
+    );
+    Ok(())
+}
+
+/// Single-threaded interpreter: the decoded path reproduces the
+/// reference byte for byte — return value, output trace, dynamic
+/// counts, edge profile, and final memory.
+#[test]
+fn st_interpreter_matches_reference() {
+    Checker::new("decoded_equivalence::st_interpreter_matches_reference").cases(64).run(
+        &program_gen(),
+        |program| {
+            let f = compile(program);
+            let reference = run_reference(&f, &[], &exec()).expect("reference run");
+            let d = DecodedFunction::decode(&f);
+            let decoded = run_decoded(&d, &[], &exec()).expect("decoded run");
+            prop_assert_eq!(decoded.return_value, reference.return_value);
+            prop_assert_eq!(&decoded.output, &reference.output);
+            prop_assert_eq!(decoded.counts, reference.counts);
+            prop_assert_eq!(&decoded.profile, &reference.profile);
+            prop_assert_eq!(decoded.memory.cells(), reference.memory.cells());
+            Ok(())
+        },
+    );
+}
+
+/// Multi-threaded interpreter over MTCG-generated threads: identical
+/// results, per-thread counts, and memory at both queue depths.
+#[test]
+fn mt_interpreter_matches_reference() {
+    let gen: Gen<(Vec<Stmt>, u64, u32)> =
+        program_gen().zip(full_u64()).zip(ranged(2u32, 4)).map(|((p, s), n)| (p, s, n));
+    Checker::new("decoded_equivalence::mt_interpreter_matches_reference").cases(48).run(
+        &gen,
+        |(program, seed, n)| {
+            let f = compile(program);
+            let partition = seeded_partition(&f, *n, *seed);
+            let pdg = Pdg::build(&f);
+            let out = gmt_mtcg::generate(&f, &pdg, &partition).expect("mtcg");
+            let program = DecodedProgram::decode(&out.threads).expect("decode");
+            for cap in [1usize, 32] {
+                let qc =
+                    QueueConfig { num_queues: out.num_queues.max(1) as usize, capacity: cap };
+                let reference = run_mt_reference(&out.threads, &[], |_, _| {}, &qc, &exec())
+                    .expect("reference mt run");
+                let decoded = run_mt_decoded(&program, &[], |_, _| {}, &qc, &exec())
+                    .expect("decoded mt run");
+                prop_assert_eq!(decoded.return_value, reference.return_value);
+                prop_assert_eq!(&decoded.output, &reference.output);
+                prop_assert_eq!(&decoded.per_thread, &reference.per_thread);
+                prop_assert_eq!(decoded.memory.cells(), reference.memory.cells());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Cycle simulator: the decoded engine reproduces cycle counts, core
+/// statistics, and cache hit counters exactly — single-threaded and on
+/// MTCG-generated thread pairs, under the default and the stressed
+/// machine.
+#[test]
+fn simulator_matches_reference() {
+    let gen: Gen<(Vec<Stmt>, u64)> = program_gen().zip(full_u64());
+    Checker::new("decoded_equivalence::simulator_matches_reference").cases(32).run(
+        &gen,
+        |(program, seed)| {
+            let f = compile(program);
+            let partition = seeded_partition(&f, 2, *seed);
+            let pdg = Pdg::build(&f);
+            let out = gmt_mtcg::generate(&f, &pdg, &partition).expect("mtcg");
+            for machine in [MachineConfig::default(), stress_machine()] {
+                let mut machine = machine;
+                if out.num_queues as usize > machine.sa.num_queues {
+                    machine.sa.num_queues = out.num_queues as usize;
+                }
+                // Single-threaded.
+                let st = std::slice::from_ref(&f);
+                let reference =
+                    simulate_reference(st, &[], |_, _| {}, &machine).expect("reference sim");
+                let program = DecodedProgram::decode(st).expect("decode");
+                let decoded =
+                    simulate_decoded(&program, &[], |_, _| {}, &machine).expect("decoded sim");
+                assert_sim_eq(&decoded, &reference)?;
+                // Multi-threaded.
+                let reference = simulate_reference(&out.threads, &[], |_, _| {}, &machine)
+                    .expect("reference mt sim");
+                let program = DecodedProgram::decode(&out.threads).expect("decode");
+                let decoded = simulate_decoded(&program, &[], |_, _| {}, &machine)
+                    .expect("decoded mt sim");
+                assert_sim_eq(&decoded, &reference)?;
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Regression: every catalog kernel, on its train input, is bit-equal
+/// between the decoded and reference paths for both the interpreter
+/// and the simulator.
+#[test]
+fn catalog_kernels_match_reference() {
+    for w in gmt_workloads::catalog() {
+        let cfg = gmt_workloads::exec_config();
+        let reference = gmt_ir::interp::run_with_memory_reference(
+            &w.function,
+            &w.train_args,
+            w.init,
+            &cfg,
+        )
+        .unwrap_or_else(|e| panic!("{}: reference run: {e}", w.benchmark));
+        let d = DecodedFunction::decode(&w.function);
+        let decoded = gmt_ir::interp::run_decoded_with_memory(&d, &w.train_args, w.init, &cfg)
+            .unwrap_or_else(|e| panic!("{}: decoded run: {e}", w.benchmark));
+        assert_eq!(decoded.return_value, reference.return_value, "{}", w.benchmark);
+        assert_eq!(decoded.output, reference.output, "{}", w.benchmark);
+        assert_eq!(decoded.counts, reference.counts, "{}", w.benchmark);
+        assert_eq!(decoded.profile, reference.profile, "{}", w.benchmark);
+        assert_eq!(decoded.memory.cells(), reference.memory.cells(), "{}", w.benchmark);
+
+        let machine = MachineConfig::default();
+        let st = std::slice::from_ref(&w.function);
+        let ref_sim = simulate_reference(st, &w.train_args, w.init, &machine)
+            .unwrap_or_else(|e| panic!("{}: reference sim: {e}", w.benchmark));
+        let program = DecodedProgram::decode(st).expect("decode");
+        let dec_sim = simulate_decoded(&program, &w.train_args, w.init, &machine)
+            .unwrap_or_else(|e| panic!("{}: decoded sim: {e}", w.benchmark));
+        if let Err(msg) = assert_sim_eq(&dec_sim, &ref_sim) {
+            panic!("{}: {msg}", w.benchmark);
+        }
+    }
+}
