@@ -23,3 +23,26 @@ cmp target/ci_fig7_parallel.txt target/ci_fig7_serial.txt
 cargo test -q --offline -p gmt-integration-tests --test decoded_equivalence
 GMT_TESTKIT_BENCH_SMOKE=1 cargo bench --offline -p gmt-bench --bench exec_throughput
 cmp target/ci_fig7_parallel.txt tests/golden/fig7_quick.txt
+
+# Tracing smoke: one traced cell must produce the pinned attribution
+# and per-queue tables, and Chrome-trace JSON that parses and carries
+# the expected schema (core spans on pid 1, queue counters on pid 2,
+# a cycle count). Then re-run the no-sink figure path and re-diff the
+# golden — attaching a sink must never perturb the untraced numbers.
+./target/release/repro --trace target/ci_trace.json --bench adpcmdec \
+    --scheduler dswp --quick > target/ci_trace_summary_raw.txt
+sed 's|target/ci_trace.json|TRACE_PATH|' target/ci_trace_summary_raw.txt \
+    > target/ci_trace_summary.txt
+cmp target/ci_trace_summary.txt tests/golden/trace_adpcmdec_dswp_quick.txt
+python3 - target/ci_trace.json <<'EOF'
+import json, sys
+t = json.load(open(sys.argv[1]))
+ev = t["traceEvents"]
+assert t["otherData"]["cycles"] > 0, "cycle count recorded"
+assert any(e["ph"] == "X" and e["pid"] == 1 for e in ev), "core spans"
+assert any(e["ph"] == "C" and e["pid"] == 2 for e in ev), "queue counters"
+names = {e["args"]["name"] for e in ev if e["ph"] == "M" and e["name"] == "process_name"}
+assert names == {"cores", "sa queues"}, names
+EOF
+GMT_JOBS=8 ./target/release/repro --quick --fig 7 > target/ci_fig7_posttrace.txt
+cmp target/ci_fig7_posttrace.txt tests/golden/fig7_quick.txt

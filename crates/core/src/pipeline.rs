@@ -178,4 +178,10 @@ impl Parallelized {
     pub fn num_queues(&self) -> u32 {
         self.output.num_queues
     }
+
+    /// Static labels for the allocated SA queues (one per scheduled
+    /// communication occurrence; see [`gmt_mtcg::QueueLabel`]).
+    pub fn queue_labels(&self) -> &[gmt_mtcg::QueueLabel] {
+        &self.output.queue_labels
+    }
 }

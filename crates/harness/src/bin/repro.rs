@@ -3,49 +3,135 @@
 //! ```text
 //! repro --fig 1|6a|6b|7|8|scaling|all [--quick] [--scheduler gremio|dswp|both]
 //! repro --metrics [--quick] [--scheduler gremio|dswp|both]
+//! repro --trace out.json [--bench ks] [--scheduler gremio|dswp] \
+//!       [--variant mtcg|coco] [--quick]
 //! ```
 //!
-//! The experiment matrix runs on the `gmt-testkit` worker pool; set
-//! `GMT_JOBS=N` to pin the worker count (`GMT_JOBS=1` is the serial
-//! reference path — output is byte-identical either way).
+//! The three modes are mutually exclusive; conflicting or repeated
+//! flags exit 2 with usage. The experiment matrix runs on the
+//! `gmt-testkit` worker pool; set `GMT_JOBS=N` to pin the worker count
+//! (`GMT_JOBS=1` is the serial reference path — output is
+//! byte-identical either way).
 //!
 //! `--metrics` evaluates the full timed matrix and emits one JSON-line
 //! per (benchmark, scheduler, variant) — wall-clock, instruction and
-//! cycle counts, compile-phase timings — to stdout and to
-//! `BENCH_repro_metrics.json` (in `GMT_TESTKIT_BENCH_DIR`), then a
-//! summary table.
+//! cycle counts, compile-phase timings, per-reason stall cycles — to
+//! stdout and to `BENCH_repro_metrics.json` (in
+//! `GMT_TESTKIT_BENCH_DIR`), then summary and stall-breakdown tables.
+//!
+//! `--trace` runs one kernel × scheduler × variant cell on the decoded
+//! engine with tracing attached, writes Chrome-trace-format JSON (open
+//! in `chrome://tracing` or Perfetto; one track per core, one counter
+//! track per SA queue, 1 µs = 1 cycle) to the given path, and prints
+//! the comm-attribution and per-queue communication tables (see
+//! EXPERIMENTS.md).
 
 use gmt_harness::figures;
-use gmt_harness::{metrics_table, run_all_metrics, Scale, SchedulerKind};
+use gmt_harness::{
+    comm_attribution_table, metrics_table, queue_comm_table, run_all_metrics, stall_table,
+    trace_cell, Scale, SchedulerKind,
+};
+use std::collections::HashSet;
 
 const KNOWN_FIGS: &[&str] = &["1", "6a", "6b", "7", "8", "scaling", "all"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut fig = String::from("all");
+    let mut fig: Option<String> = None;
     let mut scale = Scale::Full;
     let mut metrics = false;
-    let mut scheds = vec![SchedulerKind::Gremio, SchedulerKind::Dswp];
+    let mut trace: Option<String> = None;
+    let mut bench: Option<String> = None;
+    let mut variant: Option<String> = None;
+    let mut scheds: Option<Vec<SchedulerKind>> = None;
+    let mut seen: HashSet<&'static str> = HashSet::new();
+    // Every option may appear at most once — a repeated flag is a
+    // typo or a mangled invocation, not a request.
+    let mut once = |flag: &'static str| {
+        if !seen.insert(flag) {
+            usage(&format!("duplicate flag {flag}"));
+        }
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--fig" => fig = it.next().cloned().unwrap_or_else(|| usage("missing figure id")),
-            "--quick" => scale = Scale::Quick,
-            "--metrics" => metrics = true,
+            "--fig" => {
+                once("--fig");
+                fig = Some(it.next().cloned().unwrap_or_else(|| usage("missing figure id")));
+            }
+            "--quick" => {
+                once("--quick");
+                scale = Scale::Quick;
+            }
+            "--metrics" => {
+                once("--metrics");
+                metrics = true;
+            }
+            "--trace" => {
+                once("--trace");
+                trace =
+                    Some(it.next().cloned().unwrap_or_else(|| usage("missing --trace path")));
+            }
+            "--bench" => {
+                once("--bench");
+                bench =
+                    Some(it.next().cloned().unwrap_or_else(|| usage("missing benchmark name")));
+            }
+            "--variant" => {
+                once("--variant");
+                variant = Some(it.next().cloned().unwrap_or_else(|| usage("missing variant")));
+            }
             "--scheduler" => {
+                once("--scheduler");
                 scheds = match it.next().map(String::as_str) {
-                    Some("gremio") => vec![SchedulerKind::Gremio],
-                    Some("dswp") => vec![SchedulerKind::Dswp],
-                    Some("both") => vec![SchedulerKind::Gremio, SchedulerKind::Dswp],
+                    Some("gremio") => Some(vec![SchedulerKind::Gremio]),
+                    Some("dswp") => Some(vec![SchedulerKind::Dswp]),
+                    Some("both") => Some(vec![SchedulerKind::Gremio, SchedulerKind::Dswp]),
                     other => usage(&format!("bad scheduler {other:?}")),
-                }
+                };
             }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
         }
     }
-    if !KNOWN_FIGS.contains(&fig.as_str()) {
-        usage(&format!("unknown figure id {fig} (known: {})", KNOWN_FIGS.join(", ")));
+    // Mode conflicts: --fig / --metrics / --trace are mutually
+    // exclusive; --bench and --variant only mean something under
+    // --trace.
+    if metrics && fig.is_some() {
+        usage("--fig conflicts with --metrics");
+    }
+    if trace.is_some() && (metrics || fig.is_some()) {
+        usage("--trace conflicts with --fig and --metrics");
+    }
+    if trace.is_none() && (bench.is_some() || variant.is_some()) {
+        usage("--bench/--variant require --trace");
+    }
+    // Default scheduler set: gremio alone under --trace (one cell),
+    // both for the figure/metrics matrix.
+    let scheds = scheds.unwrap_or_else(|| {
+        if trace.is_some() {
+            vec![SchedulerKind::Gremio]
+        } else {
+            vec![SchedulerKind::Gremio, SchedulerKind::Dswp]
+        }
+    });
+    if let Some(f) = &fig {
+        if !KNOWN_FIGS.contains(&f.as_str()) {
+            usage(&format!("unknown figure id {f} (known: {})", KNOWN_FIGS.join(", ")));
+        }
+    }
+
+    if let Some(path) = trace {
+        if scheds.len() != 1 {
+            usage("--trace needs a single --scheduler (gremio or dswp)");
+        }
+        let coco = match variant.as_deref() {
+            None | Some("coco") => true,
+            Some("mtcg") => false,
+            Some(v) => usage(&format!("bad variant {v} (known: mtcg, coco)")),
+        };
+        run_trace(&path, bench.as_deref().unwrap_or("ks"), scheds[0], coco, scale);
+        return;
     }
 
     if metrics {
@@ -53,6 +139,7 @@ fn main() {
         return;
     }
 
+    let fig = fig.unwrap_or_else(|| String::from("all"));
     let want = |id: &str| fig == "all" || fig == id;
     if want("6a") {
         print!("{}", figures::figure6a());
@@ -88,6 +175,29 @@ fn main() {
     }
 }
 
+/// The `--trace` mode: one traced cell, Chrome JSON to `path`, tables
+/// to stdout.
+fn run_trace(path: &str, bench: &str, kind: SchedulerKind, coco: bool, scale: Scale) {
+    let Some(w) = gmt_workloads::by_benchmark(bench) else {
+        usage(&format!("unknown benchmark {bench}"));
+    };
+    let cell = match trace_cell(&w, kind, coco, scale) {
+        Ok(cell) => cell,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(path, &cell.chrome_json) {
+        eprintln!("error: writing {path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{}", comm_attribution_table(&cell));
+    println!();
+    print!("{}", queue_comm_table(&cell));
+    println!("trace written to {path}");
+}
+
 /// The `--metrics` mode: full timed matrix, JSON-lines, summary table.
 fn run_metrics(scheds: &[SchedulerKind], scale: Scale) {
     let jobs = gmt_testkit::num_jobs();
@@ -108,6 +218,8 @@ fn run_metrics(scheds: &[SchedulerKind], scale: Scale) {
     }
     println!();
     print!("{}", metrics_table(&records));
+    println!();
+    print!("{}", stall_table(&records));
     let probes: u64 = records.iter().map(|m| m.arb_probes).sum();
     let hits: u64 = records.iter().map(|m| m.arb_hits).sum();
     if probes > 0 {
@@ -131,6 +243,10 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [--fig 1|6a|6b|7|8|scaling|all] [--metrics] [--quick] \
          [--scheduler gremio|dswp|both]\n\
+         \x20      repro --trace <out.json> [--bench NAME] [--scheduler gremio|dswp] \
+         [--variant mtcg|coco] [--quick]\n\
+         modes --fig / --metrics / --trace are mutually exclusive; \
+         each flag may appear once\n\
          env: GMT_JOBS=N pins the worker-pool size (default: available parallelism)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -40,7 +40,10 @@ use gmt_sim::{simulate, MachineConfig};
 use gmt_workloads::{catalog, exec_config, Workload};
 use std::time::Instant;
 
-pub use metrics::{metrics_table, RunMetrics};
+pub use metrics::{metrics_table, stall_table, RunMetrics, StallBreakdown};
+pub use trace_report::{
+    comm_attribution_table, queue_comm_table, trace_cell, TracedCell, TRACE_RING_CAPACITY,
+};
 
 /// Which partitioner an experiment uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -271,18 +274,22 @@ pub fn evaluate_full(
         mtcg: VariantResult { counts: mtcg_counts, cycles: 0 },
         coco: VariantResult { counts: coco_counts, cycles: 0 },
     };
+    let mut mtcg_stalls = StallBreakdown::default();
+    let mut coco_stalls = StallBreakdown::default();
     if timed {
         let machine = MachineConfig::default();
         let seq_sim = simulate(std::slice::from_ref(&w.function), args, w.init, &machine)
             .map_err(fail(b, "sequential sim"))?;
         result.seq_cycles = seq_sim.cycles;
         let t = Instant::now();
-        result.mtcg.cycles =
-            timed_cycles(w, &base, kind, args).map_err(fail(b, "timed MTCG sim"))?;
+        let sim = timed_sim(w, &base, kind, args).map_err(fail(b, "timed MTCG sim"))?;
+        result.mtcg.cycles = sim.cycles;
+        mtcg_stalls = StallBreakdown::from_cores(&sim.cores);
         mtcg_run_ns += t.elapsed().as_nanos() as u64;
         let t = Instant::now();
-        result.coco.cycles =
-            timed_cycles(w, &coco, kind, args).map_err(fail(b, "timed COCO sim"))?;
+        let sim = timed_sim(w, &coco, kind, args).map_err(fail(b, "timed COCO sim"))?;
+        result.coco.cycles = sim.cycles;
+        coco_stalls = StallBreakdown::from_cores(&sim.cores);
         coco_run_ns += t.elapsed().as_nanos() as u64;
     }
     let metrics = vec![
@@ -296,6 +303,7 @@ pub fn evaluate_full(
             timings: base.timings,
             arb_probes: arb.probes,
             arb_hits: arb.hits,
+            stalls: mtcg_stalls,
         },
         RunMetrics {
             benchmark: b,
@@ -307,6 +315,7 @@ pub fn evaluate_full(
             timings: coco.timings,
             arb_probes: 0,
             arb_hits: 0,
+            stalls: coco_stalls,
         },
     ];
     Ok(Evaluation { result, metrics })
@@ -474,14 +483,14 @@ fn measure_counts(
     Ok(mt.totals())
 }
 
-fn timed_cycles(
+fn timed_sim(
     w: &Workload,
     p: &Parallelized,
     kind: SchedulerKind,
     args: &[i64],
-) -> Result<u64, gmt_ir::interp::ExecError> {
+) -> Result<gmt_sim::SimResult, gmt_ir::interp::ExecError> {
     let machine = machine_for(p, kind);
-    simulate(p.threads(), args, w.init, &machine).map(|r| r.cycles)
+    simulate(p.threads(), args, w.init, &machine)
 }
 
 /// Runs a whole figure's worth of measurements on the worker pool
@@ -633,6 +642,7 @@ pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
 
 pub mod figures;
 mod metrics;
+pub mod trace_report;
 
 #[cfg(test)]
 mod tests {

@@ -8,8 +8,60 @@
 //! `gmt-testkit` bench JSON sink) followed by a summary table.
 
 use gmt_core::CompileTimings;
+use gmt_sim::CoreStats;
 use gmt_testkit::json_escape;
 use std::fmt::Write as _;
+
+/// Stall cycles by [`gmt_sim::StallReason`], summed over a run's
+/// cores. Unlike [`gmt_sim::CycleAttribution`] these are the engine's
+/// raw stall counters (a cycle that both issued and then stalled counts
+/// here), so they need no trace sink — `repro --metrics` gets them for
+/// free from the timed simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Stall-on-use operand waits.
+    pub operand: u64,
+    /// Issue-slot / FU exhaustion.
+    pub structural: u64,
+    /// SA request-port contention.
+    pub sa_port: u64,
+    /// Produce backpressure (full queue).
+    pub queue_full: u64,
+    /// `consume.sync` token waits (empty queue).
+    pub queue_empty: u64,
+    /// Outstanding-load limit.
+    pub load_limit: u64,
+    /// Front-end refill after a mispredict.
+    pub mispredict: u64,
+}
+
+impl StallBreakdown {
+    /// Sums the per-core stall counters of one run.
+    pub fn from_cores(cores: &[CoreStats]) -> StallBreakdown {
+        let mut b = StallBreakdown::default();
+        for c in cores {
+            b.operand += c.stall_operand;
+            b.structural += c.stall_structural;
+            b.sa_port += c.stall_sa_port;
+            b.queue_full += c.stall_queue_full;
+            b.queue_empty += c.stall_queue_empty;
+            b.load_limit += c.stall_load_limit;
+            b.mispredict += c.stall_mispredict;
+        }
+        b
+    }
+
+    /// All stall cycles.
+    pub fn total(&self) -> u64 {
+        self.operand
+            + self.structural
+            + self.sa_port
+            + self.queue_full
+            + self.queue_empty
+            + self.load_limit
+            + self.mispredict
+    }
+}
 
 /// One (benchmark, scheduler, variant) evaluation's observability
 /// record.
@@ -36,6 +88,9 @@ pub struct RunMetrics {
     /// Arbitration-cache hits (evaluations served without recompiling
     /// or resimulating the candidate).
     pub arb_hits: u64,
+    /// Per-reason stall cycles summed over cores (all zero if not
+    /// timed).
+    pub stalls: StallBreakdown,
 }
 
 impl RunMetrics {
@@ -45,7 +100,10 @@ impl RunMetrics {
             "{{\"benchmark\":\"{}\",\"scheduler\":\"{}\",\"variant\":\"{}\",\
              \"wall_ns\":{},\"instrs\":{},\"cycles\":{},\"pdg_build_ns\":{},\
              \"partition_ns\":{},\"coco_ns\":{},\"mtcg_ns\":{},\
-             \"arb_probes\":{},\"arb_hits\":{}}}",
+             \"arb_probes\":{},\"arb_hits\":{},\
+             \"stall_operand\":{},\"stall_structural\":{},\"stall_sa_port\":{},\
+             \"stall_queue_full\":{},\"stall_queue_empty\":{},\
+             \"stall_load_limit\":{},\"stall_mispredict\":{}}}",
             json_escape(self.benchmark),
             json_escape(self.scheduler),
             json_escape(self.variant),
@@ -58,8 +116,45 @@ impl RunMetrics {
             self.timings.mtcg_ns,
             self.arb_probes,
             self.arb_hits,
+            self.stalls.operand,
+            self.stalls.structural,
+            self.stalls.sa_port,
+            self.stalls.queue_full,
+            self.stalls.queue_empty,
+            self.stalls.load_limit,
+            self.stalls.mispredict,
         )
     }
+}
+
+/// A per-kernel stall-breakdown table (one row per record, cycles per
+/// [`gmt_sim::StallReason`]); printed by `repro --metrics` after the
+/// main summary table. All-zero on untimed runs.
+pub fn stall_table(metrics: &[RunMetrics]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:<7} {:<7} {:>10} {:>10} {:>8} {:>10} {:>10} {:>9} {:>9}",
+        "benchmark", "sched", "variant", "operand", "struct", "sa-port", "q-full", "q-empty", "load-lim", "mispred"
+    );
+    for m in metrics {
+        let s = m.stalls;
+        let _ = writeln!(
+            out,
+            "{:<14} {:<7} {:<7} {:>10} {:>10} {:>8} {:>10} {:>10} {:>9} {:>9}",
+            m.benchmark,
+            m.scheduler,
+            m.variant,
+            s.operand,
+            s.structural,
+            s.sa_port,
+            s.queue_full,
+            s.queue_empty,
+            s.load_limit,
+            s.mispredict,
+        );
+    }
+    out
 }
 
 fn fmt_ms(ns: u64) -> String {
@@ -125,6 +220,15 @@ mod tests {
             },
             arb_probes: 8,
             arb_hits: 3,
+            stalls: StallBreakdown {
+                operand: 11,
+                structural: 12,
+                sa_port: 13,
+                queue_full: 14,
+                queue_empty: 15,
+                load_limit: 16,
+                mispredict: 17,
+            },
         }
     }
 
@@ -144,7 +248,34 @@ mod tests {
         assert!(line.contains("\"mtcg_ns\":400"));
         assert!(line.contains("\"arb_probes\":8"));
         assert!(line.contains("\"arb_hits\":3"));
+        assert!(line.contains("\"stall_operand\":11"));
+        assert!(line.contains("\"stall_queue_full\":14"));
+        assert!(line.contains("\"stall_mispredict\":17"));
         assert_eq!(line.matches('{').count(), 1, "flat object");
+    }
+
+    #[test]
+    fn stall_table_has_row_per_record() {
+        let t = stall_table(&[sample()]);
+        assert_eq!(t.lines().count(), 2, "header + row");
+        assert!(t.contains("q-full"));
+        assert!(t.contains("14"));
+        assert!(t.contains("15"));
+    }
+
+    #[test]
+    fn stall_breakdown_sums_cores() {
+        let mut a = gmt_sim::CoreStats::default();
+        a.stall_operand = 2;
+        a.stall_queue_empty = 3;
+        let mut b = gmt_sim::CoreStats::default();
+        b.stall_operand = 5;
+        b.stall_queue_full = 7;
+        let s = StallBreakdown::from_cores(&[a, b]);
+        assert_eq!(s.operand, 7);
+        assert_eq!(s.queue_full, 7);
+        assert_eq!(s.queue_empty, 3);
+        assert_eq!(s.total(), 17);
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! Traced evaluation of one kernel × scheduler cell (`repro --trace`).
+//!
+//! Compiles one workload under one scheduler, runs the chosen variant
+//! on the decoded engine with both shipped sinks attached
+//! ([`TraceAggregator`] + [`ChromeTraceSink`]), and packages the result
+//! as a [`TracedCell`]: the Chrome-trace JSON, the per-thread cycle
+//! attribution (compute / per-[`StallReason`] / idle — the exact
+//! decomposition needed to evaluate a COCO cut), and the per-queue
+//! communication counters tied back to `gmt-mtcg`'s [`QueueLabel`]s.
+//!
+//! The attribution invariant — every thread's decomposition sums to the
+//! run's total cycle count — is checked by
+//! [`gmt_sim::check_attribution`] on every traced run; a violation is
+//! an engine bug and surfaces as a [`HarnessError`].
+//!
+//! [`StallReason`]: gmt_sim::StallReason
+
+use crate::{fail, machine_for, parallelize_pair, HarnessError, Scale, SchedulerKind};
+use gmt_mtcg::{CommKind, CommPoint, QueueLabel};
+use gmt_sim::{
+    check_attribution, simulate_decoded_traced, ChromeTraceSink, CycleAttribution,
+    QueueTraceStats, TraceAggregator,
+};
+use gmt_workloads::Workload;
+use std::fmt::Write as _;
+
+/// Raw events kept by the aggregator's ring buffer (the summary tables
+/// cover the whole run regardless).
+pub const TRACE_RING_CAPACITY: usize = 4096;
+
+/// Everything one traced run produces.
+#[derive(Clone, Debug)]
+pub struct TracedCell {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Scheduler display name.
+    pub scheduler: &'static str,
+    /// Variant traced: `"mtcg"` or `"coco"`.
+    pub variant: &'static str,
+    /// Total cycles of the traced run.
+    pub cycles: u64,
+    /// Per-thread cycle decomposition; each entry sums to `cycles`.
+    pub attribution: Vec<CycleAttribution>,
+    /// Per-queue communication counters (indexed by queue id).
+    pub queues: Vec<QueueTraceStats>,
+    /// Static queue labels from MTCG (one per scheduled occurrence).
+    pub labels: Vec<QueueLabel>,
+    /// The run as Chrome-trace-format JSON.
+    pub chrome_json: String,
+}
+
+/// Runs one kernel × scheduler × variant cell with tracing attached.
+///
+/// # Errors
+///
+/// Returns a [`HarnessError`] naming the benchmark and failing phase —
+/// including an attribution-invariant violation, which would mean the
+/// engine emitted an inconsistent event stream.
+pub fn trace_cell(
+    w: &Workload,
+    kind: SchedulerKind,
+    coco: bool,
+    scale: Scale,
+) -> Result<TracedCell, HarnessError> {
+    let b = w.benchmark;
+    let train = w.run_train().map_err(fail(b, "train run"))?;
+    let (base, opt, _arb) = parallelize_pair(w, kind, &train.profile)?;
+    let p = if coco { &opt } else { &base };
+    let machine = machine_for(p, kind);
+    let program =
+        gmt_ir::decoded::DecodedProgram::decode(p.threads()).map_err(fail(b, "decode"))?;
+    let args: &[i64] = match scale {
+        Scale::Quick => &w.train_args,
+        Scale::Full => &w.ref_args,
+    };
+    let ncores = p.threads().len();
+    let nqueues = machine.sa.num_queues;
+    let mut sink = (
+        TraceAggregator::new(ncores, nqueues, TRACE_RING_CAPACITY),
+        ChromeTraceSink::new(ncores, nqueues),
+    );
+    let result = simulate_decoded_traced(&program, args, w.init, &machine, &mut sink)
+        .map_err(fail(b, "traced sim"))?;
+    check_attribution(&sink.0, &result).map_err(fail(b, "attribution check"))?;
+    Ok(TracedCell {
+        benchmark: b,
+        scheduler: kind.name(),
+        variant: if coco { "coco" } else { "mtcg" },
+        cycles: result.cycles,
+        attribution: sink.0.core_attribution(),
+        queues: sink.0.queue_stats().to_vec(),
+        labels: p.queue_labels().to_vec(),
+        chrome_json: sink.1.into_json(),
+    })
+}
+
+/// The comm-attribution report: one row per thread splitting the run's
+/// total cycles into compute / operand-stall / queue-full / queue-empty
+/// / other stalls / idle. Rows sum to the total cycle count — compare
+/// the mtcg and coco variants of a cell to see exactly which stall
+/// bucket a COCO cut reclaimed.
+pub fn comm_attribution_table(cell: &TracedCell) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "comm attribution: {} / {} / {} ({} cycles)",
+        cell.benchmark, cell.scheduler, cell.variant, cell.cycles
+    );
+    let _ = writeln!(
+        out,
+        "{:<7} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "thread", "compute", "operand", "q-full", "q-empty", "other", "idle", "total"
+    );
+    for (t, a) in cell.attribution.iter().enumerate() {
+        let other = a.structural + a.sa_port + a.load_limit + a.mispredict;
+        let _ = writeln!(
+            out,
+            "{:<7} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            t, a.compute, a.operand, a.queue_full, a.queue_empty, other, a.idle,
+            a.total()
+        );
+    }
+    out
+}
+
+/// Renders one queue label compactly: what travels, between which
+/// threads, at which original-CFG point.
+fn label_text(l: &QueueLabel) -> String {
+    let what = match l.kind {
+        CommKind::Register(r) => format!("r{}", r.0),
+        CommKind::Memory => "sync".to_string(),
+    };
+    let at = match l.point {
+        CommPoint::Before(i) => format!("before i{}", i.0),
+        CommPoint::After(i) => format!("after i{}", i.0),
+        CommPoint::BlockStart(b) => format!("start B{}", b.index()),
+    };
+    format!("{what} t{}->t{} {at}", l.from.0, l.to.0)
+}
+
+/// The per-queue communication table: dynamic produce/consume counts,
+/// stall pressure, and occupancy high-water mark per active queue, each
+/// tied back to the plan occurrence(s) MTCG assigned to it.
+pub fn queue_comm_table(cell: &TracedCell) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<6} {:>9} {:>9} {:>9} {:>11} {:>11} {:>8}  {}",
+        "queue", "produces", "consumes", "deferred", "full-stall", "empty-stall", "max-occ",
+        "plan"
+    );
+    let mut any = false;
+    for (q, qs) in cell.queues.iter().enumerate() {
+        if !qs.is_active() {
+            continue;
+        }
+        any = true;
+        let labels: Vec<String> = cell
+            .labels
+            .iter()
+            .filter(|l| l.queue.0 as usize == q)
+            .map(label_text)
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:<6} {:>9} {:>9} {:>9} {:>11} {:>11} {:>8}  {}",
+            format!("q{q}"),
+            qs.produces,
+            qs.consumes,
+            qs.deferred_consumes,
+            qs.full_stall_cycles,
+            qs.empty_stall_cycles,
+            qs.max_occupancy,
+            labels.join("; "),
+        );
+    }
+    if !any {
+        let _ = writeln!(out, "(no queue traffic)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traced(kind: SchedulerKind, coco: bool) -> TracedCell {
+        let w = gmt_workloads::by_benchmark("ks").unwrap();
+        trace_cell(&w, kind, coco, Scale::Quick).expect("traces")
+    }
+
+    #[test]
+    fn attribution_rows_sum_to_total_cycles() {
+        let cell = traced(SchedulerKind::Dswp, true);
+        assert!(cell.cycles > 0);
+        assert!(!cell.attribution.is_empty());
+        for a in &cell.attribution {
+            assert_eq!(a.total(), cell.cycles, "decomposition covers every cycle");
+        }
+        let table = comm_attribution_table(&cell);
+        assert!(table.contains("thread"));
+        assert!(table.contains(&cell.cycles.to_string()));
+    }
+
+    #[test]
+    fn traced_cycles_match_untraced_run() {
+        let w = gmt_workloads::by_benchmark("ks").unwrap();
+        let cell = trace_cell(&w, SchedulerKind::Dswp, false, Scale::Quick).unwrap();
+        let r = crate::evaluate(&w, SchedulerKind::Dswp, true, Scale::Quick).unwrap();
+        assert_eq!(cell.cycles, r.mtcg.cycles, "observer effect: tracing changed timing");
+    }
+
+    #[test]
+    fn chrome_json_has_core_and_queue_tracks() {
+        let cell = traced(SchedulerKind::Dswp, true);
+        let json = &cell.chrome_json;
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"compute\""));
+        assert!(json.contains("\"name\":\"core 0\""));
+        assert!(json.contains("\"name\":\"core 1\""));
+        assert!(json.contains("\"ph\":\"C\""), "queue counter track present");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn queue_table_ties_traffic_to_plan_labels() {
+        let cell = traced(SchedulerKind::Gremio, false);
+        let active: Vec<usize> = cell
+            .queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.produces > 0)
+            .map(|(i, _)| i)
+            .collect();
+        if active.is_empty() {
+            return; // single-threaded arbitration outcome: no traffic
+        }
+        let table = queue_comm_table(&cell);
+        for q in active {
+            assert!(table.contains(&format!("q{q}")), "active queue {q} has a row");
+            assert!(
+                cell.labels.iter().any(|l| l.queue.0 as usize == q),
+                "active queue {q} is labeled by the plan"
+            );
+        }
+        assert!(table.contains("->"), "labels name the thread pair");
+    }
+}

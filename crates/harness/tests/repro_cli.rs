@@ -1,0 +1,130 @@
+//! Bin-level tests of the `repro` CLI contract: conflicting, repeated,
+//! and malformed invocations exit 2 with usage on stderr; valid ones
+//! succeed. Every case here runs the real binary
+//! (`CARGO_BIN_EXE_repro`), so the tests cover argument parsing,
+//! `GMT_JOBS` validation, and the `--trace` pipeline end to end.
+//!
+//! Regression tests for the PR-4 CLI fixes: pre-fix, `--fig 7
+//! --metrics` silently ignored the figure, a repeated `--scheduler`
+//! silently kept the last value, and `GMT_JOBS=0` silently ran at full
+//! parallelism.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .env_remove("GMT_JOBS")
+        .output()
+        .expect("repro runs")
+}
+
+fn assert_usage_exit(out: &Output, needle: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "exit 2 expected; stderr: {stderr}");
+    assert!(stderr.contains("usage:"), "usage on stderr: {stderr}");
+    assert!(stderr.contains(needle), "diagnosis names the problem (`{needle}`): {stderr}");
+}
+
+#[test]
+fn help_exits_zero_with_usage() {
+    let out = repro(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn unknown_argument_exits_2() {
+    assert_usage_exit(&repro(&["--fig", "7", "trailing-junk"]), "trailing-junk");
+    assert_usage_exit(&repro(&["--bogus"]), "--bogus");
+}
+
+#[test]
+fn unknown_figure_exits_2() {
+    assert_usage_exit(&repro(&["--fig", "9"]), "unknown figure id 9");
+}
+
+#[test]
+fn conflicting_modes_exit_2() {
+    assert_usage_exit(&repro(&["--fig", "7", "--metrics"]), "--fig conflicts with --metrics");
+    assert_usage_exit(&repro(&["--trace", "/tmp/x.json", "--metrics"]), "--trace conflicts");
+    assert_usage_exit(&repro(&["--trace", "/tmp/x.json", "--fig", "7"]), "--trace conflicts");
+}
+
+#[test]
+fn repeated_flags_exit_2() {
+    assert_usage_exit(
+        &repro(&["--scheduler", "gremio", "--scheduler", "dswp"]),
+        "duplicate flag --scheduler",
+    );
+    assert_usage_exit(&repro(&["--fig", "7", "--fig", "8"]), "duplicate flag --fig");
+    assert_usage_exit(&repro(&["--quick", "--quick"]), "duplicate flag --quick");
+}
+
+#[test]
+fn trace_option_validation_exits_2() {
+    assert_usage_exit(&repro(&["--bench", "ks"]), "--bench/--variant require --trace");
+    assert_usage_exit(
+        &repro(&["--trace", "/tmp/x.json", "--scheduler", "both"]),
+        "single --scheduler",
+    );
+    assert_usage_exit(
+        &repro(&["--trace", "/tmp/x.json", "--variant", "fast"]),
+        "bad variant fast",
+    );
+    assert_usage_exit(
+        &repro(&["--trace", "/tmp/x.json", "--bench", "nosuch"]),
+        "unknown benchmark nosuch",
+    );
+    assert_usage_exit(&repro(&["--trace"]), "missing --trace path");
+}
+
+#[test]
+fn invalid_gmt_jobs_exits_2_before_any_work() {
+    for bad in ["0", "zero", "-1"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(["--metrics", "--quick"])
+            .env("GMT_JOBS", bad)
+            .output()
+            .expect("repro runs");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(2), "GMT_JOBS={bad}: {stderr}");
+        assert!(stderr.contains("GMT_JOBS"), "names the variable: {stderr}");
+        assert!(
+            out.stdout.is_empty(),
+            "rejected before producing output: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+#[test]
+fn trace_cell_writes_chrome_json_and_attribution() {
+    let dir = std::env::temp_dir().join("gmt_repro_cli_trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    let out = repro(&[
+        "--trace",
+        path.to_str().unwrap(),
+        "--bench",
+        "adpcmdec",
+        "--scheduler",
+        "dswp",
+        "--quick",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("comm attribution"), "{stdout}");
+    assert!(stdout.contains("thread"), "{stdout}");
+    assert!(stdout.contains("queue"), "{stdout}");
+    let json = std::fs::read_to_string(&path).expect("trace file written");
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"ph\":\"X\""), "core spans present");
+    assert!(json.contains("\"ph\":\"C\""), "queue counters present");
+    std::fs::remove_file(&path).ok();
+}

@@ -29,6 +29,14 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
     Err(ParseError { line, message: message.into() })
 }
 
+/// Caps on parsed block and register indices. Block declarations are
+/// materialized eagerly (`B5:` creates blocks 1..=5) and the register
+/// count sizes the interpreter's register file, so an adversarial
+/// `B99999999999:` or `r4294967295 = ...` would otherwise turn one
+/// input line into a multi-gigabyte allocation.
+const MAX_PARSE_BLOCKS: usize = 1 << 20;
+const MAX_PARSE_REGS: u32 = 1 << 20;
+
 /// Parses the textual form produced by [`display`](crate::display)
 /// back into a [`Function`]. The result is verified.
 ///
@@ -116,6 +124,9 @@ pub fn parse(text: &str) -> Result<Function, ParseError> {
             let idx: usize = bid_str[1..]
                 .parse()
                 .map_err(|_| ParseError { line: ln, message: "block id".into() })?;
+            if idx >= MAX_PARSE_BLOCKS {
+                return err(ln, format!("block id B{idx} exceeds the {MAX_PARSE_BLOCKS} limit"));
+            }
             while declared_blocks <= idx {
                 f.add_block("");
                 declared_blocks += 1;
@@ -135,10 +146,21 @@ pub fn parse(text: &str) -> Result<Function, ParseError> {
         let Some(block) = current else {
             return err(ln, "instruction before any block header");
         };
+        // A second terminator (or any instruction after one) would trip
+        // `Function`'s construction asserts — diagnose it here instead.
+        if f.block(block).terminator.is_some() {
+            return err(ln, format!("block B{} already has a terminator", block.index()));
+        }
         let op = parse_instr(line, ln, &mut f)?;
         if op.is_terminator() {
             // Targets may reference not-yet-declared blocks.
             for t in op.successors() {
+                if t.index() >= MAX_PARSE_BLOCKS {
+                    return err(
+                        ln,
+                        format!("block id B{} exceeds the {MAX_PARSE_BLOCKS} limit", t.index()),
+                    );
+                }
                 while declared_blocks <= t.index() {
                     f.add_block("");
                     declared_blocks += 1;
@@ -155,10 +177,15 @@ pub fn parse(text: &str) -> Result<Function, ParseError> {
 }
 
 fn parse_reg(s: &str, line: usize) -> Result<Reg, ParseError> {
-    s.strip_prefix('r')
+    let r = s
+        .strip_prefix('r')
         .and_then(|n| n.parse().ok())
         .map(Reg)
-        .ok_or(ParseError { line, message: format!("expected register, got `{s}`") })
+        .ok_or(ParseError { line, message: format!("expected register, got `{s}`") })?;
+    if r.0 >= MAX_PARSE_REGS {
+        return err(line, format!("register r{} exceeds the {MAX_PARSE_REGS} limit", r.0));
+    }
+    Ok(r)
 }
 
 fn parse_operand(s: &str, line: usize) -> Result<Operand, ParseError> {
@@ -417,6 +444,31 @@ mod tests {
         assert!(parse("").is_err());
         assert!(parse("func f()\nB0:\n    garbage here\n").is_err());
         assert!(parse("nope").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_double_terminator_without_panicking() {
+        // Pre-fix this tripped `Function::set_terminator`'s assert.
+        let e = parse("func f()\nB0:\n    ret\n    ret\n").unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("already has a terminator"), "{e}");
+        // Same guard for a plain instruction after the terminator.
+        let e = parse("func f()\nB0:\n    ret\n    nop\n").unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("already has a terminator"), "{e}");
+    }
+
+    #[test]
+    fn parse_caps_block_and_register_indices() {
+        // Pre-fix these two were allocation bombs: a block header (or a
+        // jump target) materializes every block up to its index, and a
+        // register definition sizes the register file.
+        let e = parse("func f()\nB99999999999:\n    ret\n").unwrap_err();
+        assert!(e.message.contains("block id"), "{e}");
+        let e = parse("func f()\nB0:\n    jump B4000000000\n").unwrap_err();
+        assert!(e.message.contains("block id"), "{e}");
+        let e = parse("func f()\nB0:\n    r4294967295 = const 1\n    ret\n").unwrap_err();
+        assert!(e.message.contains("register"), "{e}");
     }
 
     #[test]

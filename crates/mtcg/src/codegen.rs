@@ -23,6 +23,29 @@ pub struct MtcgOutput {
     pub num_queues: u32,
     /// The plan that was realized (baseline or COCO-optimized).
     pub plan: CommPlan,
+    /// One label per scheduled communication occurrence, in queue
+    /// allocation order: which queue the occurrence uses, at which
+    /// point of the original CFG, carrying what, between which
+    /// threads. A queue reused under a tight budget appears in several
+    /// labels; trace consumers group by [`QueueLabel::queue`].
+    pub queue_labels: Vec<QueueLabel>,
+}
+
+/// Static description of one scheduled communication occurrence — the
+/// metadata a trace consumer needs to attribute per-queue dynamic
+/// produce/consume counts back to the [`CommPlan`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueLabel {
+    /// The SA queue the occurrence was assigned.
+    pub queue: QueueId,
+    /// The original-CFG point the pair was placed at.
+    pub point: CommPoint,
+    /// What is communicated (register value or memory token).
+    pub kind: CommKind,
+    /// Producing thread.
+    pub from: ThreadId,
+    /// Consuming thread.
+    pub to: ThreadId,
 }
 
 impl MtcgOutput {
@@ -191,20 +214,18 @@ pub fn generate_with_plan_budgeted(
         .collect();
     let (queue_of, num_queues) = crate::queues::allocate(&pairs, budget);
     let mut comm_at: BTreeMap<CommPoint, Vec<Scheduled>> = BTreeMap::new();
+    let mut queue_labels = Vec::with_capacity(ordered_occurrences.len());
     for (k, (p, kind, from, to)) in ordered_occurrences.into_iter().enumerate() {
-        comm_at.entry(p).or_default().push(Scheduled {
-            queue: QueueId(queue_of[k]),
-            kind,
-            from,
-            to,
-        });
+        let queue = QueueId(queue_of[k]);
+        queue_labels.push(QueueLabel { queue, point: p, kind, from, to });
+        comm_at.entry(p).or_default().push(Scheduled { queue, kind, from, to });
     }
 
     let mut threads = Vec::with_capacity(partition.num_threads() as usize);
     for t in partition.threads() {
         threads.push(generate_thread(f, partition, &plan, &pdom, &comm_at, t)?);
     }
-    Ok(MtcgOutput { threads, num_queues, plan })
+    Ok(MtcgOutput { threads, num_queues, plan, queue_labels })
 }
 
 fn generate_thread(

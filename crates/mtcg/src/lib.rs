@@ -55,7 +55,7 @@ pub mod queues;
 mod relevance;
 
 pub use codegen::{
-    generate, generate_with_plan, generate_with_plan_budgeted, MtcgError, MtcgOutput,
+    generate, generate_with_plan, generate_with_plan_budgeted, MtcgError, MtcgOutput, QueueLabel,
 };
 pub use plan::{CommItem, CommKind, CommPlan, CommPoint};
 pub use queues::QueueBudget;

@@ -152,6 +152,12 @@ impl MachineConfig {
                 return Err(format!("{name} must be at least 1"));
             }
         }
+        // A depth-0 queue can never accept a produce: the producing
+        // core would spin on queue-full stalls until `max_cycles` —
+        // a 2-billion-cycle hang, not a simulation.
+        if self.sa.num_queues > 0 && self.sa.depth == 0 {
+            return Err("sa.depth must be at least 1".to_string());
+        }
         for (name, c) in [("l1d", self.l1d), ("l2", self.l2), ("l3", self.l3)] {
             c.validate().map_err(|e| format!("{name}: {e}"))?;
         }
@@ -241,6 +247,14 @@ mod tests {
         let mut m = MachineConfig::default();
         m.sa.ports = 0;
         assert!(m.validate().unwrap_err().contains("sa.ports"));
+
+        // Depth 0 would hang every produce on queue-full; queue-less
+        // machines (pure single-thread) legitimately have no depth.
+        let mut m = MachineConfig::default();
+        m.sa.depth = 0;
+        assert!(m.validate().unwrap_err().contains("sa.depth"));
+        m.sa.num_queues = 0;
+        assert_eq!(m.validate(), Ok(()));
     }
 
     #[test]

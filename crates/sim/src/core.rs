@@ -22,6 +22,21 @@ pub enum StallReason {
     Mispredict,
 }
 
+impl StallReason {
+    /// Stable kebab-case label used in trace output and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallReason::Operand => "operand",
+            StallReason::Structural => "structural",
+            StallReason::SaPort => "sa-port",
+            StallReason::QueueFull => "queue-full",
+            StallReason::QueueEmpty => "queue-empty",
+            StallReason::LoadLimit => "load-limit",
+            StallReason::Mispredict => "mispredict",
+        }
+    }
+}
+
 /// Issue statistics of one core.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CoreStats {

@@ -14,6 +14,7 @@ use crate::config::MachineConfig;
 use crate::core::{CoreStats, StallReason};
 use crate::sa::{PendingConsume, SyncArray};
 use crate::sim::SimResult;
+use crate::trace::{NoTrace, TraceEvent, TraceSink};
 use gmt_ir::decoded::{DecodedFunction, DecodedOp, DecodedProgram, NO_USE};
 use gmt_ir::interp::{ExecError, Memory, MemoryLayout};
 use gmt_ir::{Function, Operand, Reg};
@@ -39,6 +40,24 @@ pub fn simulate(
     simulate_decoded(&program, args, init, config)
 }
 
+/// [`simulate_decoded`] with a [`TraceSink`] observing every issue,
+/// stall, and queue operation (see [`crate::trace`]). The sink is
+/// statically dispatched; passing [`NoTrace`] is exactly
+/// [`simulate_decoded`].
+///
+/// # Errors
+///
+/// See [`simulate_reference`](crate::simulate_reference).
+pub fn simulate_decoded_traced<S: TraceSink>(
+    program: &DecodedProgram,
+    args: &[i64],
+    init: impl FnOnce(&MemoryLayout, &mut Memory),
+    config: &MachineConfig,
+    sink: &mut S,
+) -> Result<SimResult, ExecError> {
+    run_engine(program, args, init, config, sink)
+}
+
 /// [`simulate`] on an already-decoded program (what GREMIO arbitration
 /// uses to avoid re-decoding candidate schedules).
 ///
@@ -50,6 +69,16 @@ pub fn simulate_decoded(
     args: &[i64],
     init: impl FnOnce(&MemoryLayout, &mut Memory),
     config: &MachineConfig,
+) -> Result<SimResult, ExecError> {
+    run_engine(program, args, init, config, &mut NoTrace)
+}
+
+fn run_engine<S: TraceSink>(
+    program: &DecodedProgram,
+    args: &[i64],
+    init: impl FnOnce(&MemoryLayout, &mut Memory),
+    config: &MachineConfig,
+    sink: &mut S,
 ) -> Result<SimResult, ExecError> {
     let threads = program.threads();
     if threads.is_empty() {
@@ -98,6 +127,7 @@ pub fn simulate_decoded(
                 &mut hits,
                 config,
                 cycle,
+                sink,
             )?;
             if progressed {
                 last_progress = cycle;
@@ -107,6 +137,9 @@ pub fn simulate_decoded(
     }
 
     let cycles = cores.iter().map(|c| c.stats.finished_at).max().unwrap_or(cycle);
+    if S::ENABLED {
+        sink.run_end(cycles);
+    }
     Ok(SimResult {
         cycles,
         cores: cores.into_iter().map(|c| c.stats).collect(),
@@ -226,7 +259,7 @@ impl DCore {
 /// reference `issue_core` decision-for-decision (stall order, stat
 /// updates, issue-group breaks).
 #[allow(clippy::too_many_arguments)]
-fn issue_core(
+fn issue_core<S: TraceSink>(
     ci: usize,
     cores: &mut [DCore],
     threads: &[DecodedFunction],
@@ -239,10 +272,21 @@ fn issue_core(
     hits: &mut [u64; 4],
     config: &MachineConfig,
     now: u64,
+    sink: &mut S,
 ) -> Result<bool, ExecError> {
     let d = &threads[ci];
+    // Event emission is gated on the sink's compile-time switch, so
+    // the NoTrace instantiation carries no tracing code at all.
+    macro_rules! trace {
+        ($ev:expr) => {
+            if S::ENABLED {
+                sink.event(&$ev);
+            }
+        };
+    }
     if cores[ci].fetch_stalled_until > now {
         cores[ci].stats.record_stall(StallReason::Mispredict);
+        trace!(TraceEvent::Stall { cycle: now, core: ci, reason: StallReason::Mispredict, queue: None });
         return Ok(false);
     }
     let mut issued = 0usize;
@@ -256,16 +300,19 @@ fn issue_core(
         let ui = d.unit(pc) as usize;
         if used[ui] >= limits[ui] {
             cores[ci].stats.record_stall(StallReason::Structural);
+            trace!(TraceEvent::Stall { cycle: now, core: ci, reason: StallReason::Structural, queue: None });
             break;
         }
         if !cores[ci].operands_ready(d.uses(pc), now) {
             cores[ci].stats.record_stall(StallReason::Operand);
+            trace!(TraceEvent::Stall { cycle: now, core: ci, reason: StallReason::Operand, queue: None });
             break;
         }
         // SA port check for communication instructions.
         if op.is_communication()
             && *sa_ports_left == 0 {
                 cores[ci].stats.record_stall(StallReason::SaPort);
+                trace!(TraceEvent::Stall { cycle: now, core: ci, reason: StallReason::SaPort, queue: None });
                 break;
             }
         let mut end_group = false;
@@ -292,6 +339,7 @@ fn issue_core(
             DecodedOp::Load(dst, a) => {
                 if cores[ci].outstanding_loads(now) >= 16 {
                     cores[ci].stats.record_stall(StallReason::LoadLimit);
+                    trace!(TraceEvent::Stall { cycle: now, core: ci, reason: StallReason::LoadLimit, queue: None });
                     break;
                 }
                 let cell = cores[ci].cell_addr(a);
@@ -325,6 +373,7 @@ fn issue_core(
                 }
                 if !sa.can_produce(queue.index()) {
                     cores[ci].stats.record_stall(StallReason::QueueFull);
+                    trace!(TraceEvent::Stall { cycle: now, core: ci, reason: StallReason::QueueFull, queue: Some(queue.0) });
                     break;
                 }
                 *sa_ports_left -= 1;
@@ -341,6 +390,8 @@ fn issue_core(
                     // would corrupt the run, so refuse to continue.
                     Err(_) => return Err(ExecError::InvalidConfig(sa_overflow())),
                 }
+                trace!(TraceEvent::Issue { cycle: now, core: ci, src: d.src(pc) });
+                trace!(TraceEvent::Produce { cycle: now, core: ci, queue: queue.0, occupancy: sa.occupancy(queue.index()) });
                 cores[ci].stats.communication += 1;
                 cores[ci].pc += 1;
                 issued += 1;
@@ -355,9 +406,13 @@ fn issue_core(
                 *sa_ports_left -= 1;
                 let token = cores[ci].mark_pending(dst);
                 let pending = PendingConsume { core: ci, dst: Some(dst), token };
+                let mut deferred = true;
                 if let Ok((v, ready)) = sa.consume(queue.index(), now, pending) {
                     cores[ci].deliver(dst, token, v, ready);
+                    deferred = false;
                 }
+                trace!(TraceEvent::Issue { cycle: now, core: ci, src: d.src(pc) });
+                trace!(TraceEvent::Consume { cycle: now, core: ci, queue: queue.0, occupancy: sa.occupancy(queue.index()), deferred });
                 cores[ci].stats.communication += 1;
                 cores[ci].pc += 1;
                 issued += 1;
@@ -371,12 +426,15 @@ fn issue_core(
                 }
                 if !sa.can_produce(queue.index()) {
                     cores[ci].stats.record_stall(StallReason::QueueFull);
+                    trace!(TraceEvent::Stall { cycle: now, core: ci, reason: StallReason::QueueFull, queue: Some(queue.0) });
                     break;
                 }
                 *sa_ports_left -= 1;
                 if sa.produce(queue.index(), 1, now).is_err() {
                     return Err(ExecError::InvalidConfig(sa_overflow()));
                 }
+                trace!(TraceEvent::Issue { cycle: now, core: ci, src: d.src(pc) });
+                trace!(TraceEvent::Produce { cycle: now, core: ci, queue: queue.0, occupancy: sa.occupancy(queue.index()) });
                 cores[ci].stats.synchronization += 1;
                 cores[ci].pc += 1;
                 issued += 1;
@@ -392,12 +450,15 @@ fn issue_core(
                 // visible.
                 if !sa.has_visible_entry(queue.index(), now) {
                     cores[ci].stats.record_stall(StallReason::QueueEmpty);
+                    trace!(TraceEvent::Stall { cycle: now, core: ci, reason: StallReason::QueueEmpty, queue: Some(queue.0) });
                     break;
                 }
                 *sa_ports_left -= 1;
                 // Gated on `has_visible_entry` above; an empty pop is
                 // harmless but counts as no token consumed.
                 let _ = sa.pop_token(queue.index(), now);
+                trace!(TraceEvent::Issue { cycle: now, core: ci, src: d.src(pc) });
+                trace!(TraceEvent::Consume { cycle: now, core: ci, queue: queue.0, occupancy: sa.occupancy(queue.index()), deferred: false });
                 cores[ci].stats.synchronization += 1;
                 cores[ci].pc += 1;
                 issued += 1;
@@ -431,6 +492,7 @@ fn issue_core(
                 }
                 cores[ci].finished = true;
                 cores[ci].stats.finished_at = now + 1;
+                trace!(TraceEvent::Finish { cycle: now, core: ci });
                 end_group = true;
             }
             DecodedOp::Nop => {
@@ -438,6 +500,7 @@ fn issue_core(
             }
             DecodedOp::Unterminated => panic!("verified function"),
         }
+        trace!(TraceEvent::Issue { cycle: now, core: ci, src: d.src(pc) });
         cores[ci].stats.computation += 1;
         issued += 1;
         used[ui] += 1;

@@ -48,10 +48,15 @@ mod core;
 mod engine;
 mod sa;
 mod sim;
+pub mod trace;
 
 pub use cache::{Cache, Hierarchy, HitLevel};
 pub use config::{BranchModel, CacheConfig, MachineConfig, SaConfig};
 pub use core::{Core, CoreStats, StallReason};
-pub use engine::{simulate, simulate_decoded};
+pub use engine::{simulate, simulate_decoded, simulate_decoded_traced};
 pub use sa::{Delivery, PendingConsume, QueueFull, SyncArray};
 pub use sim::{simulate_reference, SimResult};
+pub use trace::{
+    check_attribution, ChromeTraceSink, CycleAttribution, NoTrace, QueueTraceStats,
+    TraceAggregator, TraceEvent, TraceSink,
+};

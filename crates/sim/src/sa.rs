@@ -129,6 +129,12 @@ impl SyncArray {
         Some(e.avail.max(now))
     }
 
+    /// Entries currently buffered in queue `q` (delivered or still in
+    /// flight; pending consumes do not count).
+    pub fn occupancy(&self, q: usize) -> usize {
+        self.queues[q].entries.len()
+    }
+
     /// Number of queues.
     pub fn len(&self) -> usize {
         self.queues.len()

@@ -48,6 +48,6 @@ mod shrink;
 pub use bench::{append_json_line, json_escape, BenchGroup, BenchStats};
 pub use check::{Checker, PropResult};
 pub use gen::{full_u64, one_of, ranged, recursive, vec_of, weighted, Gen};
-pub use pool::{num_jobs, par_map};
+pub use pool::{num_jobs, num_jobs_checked, par_map, parse_jobs};
 pub use rng::TestRng;
 pub use shrink::Shrink;

@@ -10,10 +10,15 @@
 //! one worker or sixteen.
 //!
 //! The worker count comes from [`num_jobs`]: the `GMT_JOBS` environment
-//! variable when set (and ≥ 1), otherwise
+//! variable when set, otherwise
 //! [`std::thread::available_parallelism`]. `GMT_JOBS=1` degrades to a
 //! plain in-caller serial loop — the reference path the determinism
-//! tests compare against.
+//! tests compare against. A set-but-invalid `GMT_JOBS` (0, garbage,
+//! non-UTF-8) is a configuration error, not a request for the default:
+//! [`num_jobs`] prints the problem to stderr and exits 2, so a typo in
+//! a CI pipeline cannot silently fan out to full parallelism (see
+//! [`parse_jobs`] for the contract and [`num_jobs_checked`] for the
+//! non-exiting form).
 //!
 //! Jobs that can fail should return `Result`: a failing job fills its
 //! own slot and the remaining queue keeps draining, so one bad job
@@ -25,15 +30,55 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// The worker count: the `GMT_JOBS` environment variable when it parses
-/// to a positive integer, otherwise the machine's available
-/// parallelism (1 if that cannot be determined).
+/// Parses a `GMT_JOBS` value into a worker count.
+///
+/// The contract: a worker count is a positive decimal integer
+/// (surrounding whitespace tolerated). `0` is rejected — a pool with
+/// no workers can never drain its queue — and so is anything that does
+/// not parse; the caller asked for an explicit count, so a typo must
+/// not silently become "whatever the machine has".
+///
+/// # Errors
+///
+/// Returns a human-readable description of the rejected value.
+pub fn parse_jobs(value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "GMT_JOBS must be at least 1, got `{value}` (unset it to use available parallelism)"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("GMT_JOBS must be a positive integer, got `{value}`")),
+    }
+}
+
+/// The worker count: [`parse_jobs`] of the `GMT_JOBS` environment
+/// variable when set, otherwise the machine's available parallelism
+/// (1 if that cannot be determined).
+///
+/// # Errors
+///
+/// Returns the [`parse_jobs`] rejection for a set-but-invalid
+/// `GMT_JOBS` (including non-UTF-8 values).
+pub fn num_jobs_checked() -> Result<usize, String> {
+    match std::env::var("GMT_JOBS") {
+        Ok(v) => parse_jobs(&v),
+        Err(std::env::VarError::NotPresent) => {
+            Ok(std::thread::available_parallelism().map_or(1, |n| n.get()))
+        }
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err("GMT_JOBS is set but is not valid UTF-8".to_string())
+        }
+    }
+}
+
+/// [`num_jobs_checked`], exiting with status 2 on an invalid
+/// `GMT_JOBS` after printing the problem to stderr — the behavior every
+/// `GMT_JOBS`-reading binary (`repro`, the bench runners) wants.
 pub fn num_jobs() -> usize {
-    std::env::var("GMT_JOBS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    num_jobs_checked().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// Applies `f` to every item on a pool of `jobs` workers and returns
@@ -140,5 +185,37 @@ mod tests {
     fn empty_input() {
         let out: Vec<i32> = par_map(Vec::<i32>::new(), 8, |_i, x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parse_jobs_contract() {
+        assert_eq!(parse_jobs("1"), Ok(1));
+        assert_eq!(parse_jobs("16"), Ok(16));
+        assert_eq!(parse_jobs(" 4 "), Ok(4), "surrounding whitespace tolerated");
+        // Pre-fix, all of these silently fell back to full parallelism.
+        assert!(parse_jobs("0").unwrap_err().contains("at least 1"));
+        assert!(parse_jobs("").unwrap_err().contains("positive integer"));
+        assert!(parse_jobs("lots").unwrap_err().contains("positive integer"));
+        assert!(parse_jobs("-3").unwrap_err().contains("positive integer"));
+        assert!(parse_jobs("1.5").unwrap_err().contains("positive integer"));
+    }
+
+    #[test]
+    fn num_jobs_checked_reads_env() {
+        // Env mutation is process-global; keep every case in one test
+        // so parallel test threads cannot interleave observations.
+        let saved = std::env::var("GMT_JOBS").ok();
+        std::env::set_var("GMT_JOBS", "3");
+        assert_eq!(num_jobs_checked(), Ok(3));
+        std::env::set_var("GMT_JOBS", "0");
+        assert!(num_jobs_checked().is_err(), "explicit zero is rejected, not defaulted");
+        std::env::set_var("GMT_JOBS", "garbage");
+        assert!(num_jobs_checked().is_err());
+        std::env::remove_var("GMT_JOBS");
+        assert!(num_jobs_checked().unwrap() >= 1);
+        match saved {
+            Some(v) => std::env::set_var("GMT_JOBS", v),
+            None => std::env::remove_var("GMT_JOBS"),
+        }
     }
 }

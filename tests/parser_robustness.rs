@@ -1,0 +1,168 @@
+//! Property: `gmt_ir::parse` is total — it returns `Ok` or a
+//! [`ParseError`] on *any* input, never panicking and never blowing up
+//! memory. The generator prints structurally valid functions and then
+//! mangles the text (dropped/duplicated/swapped lines, truncations,
+//! spliced junk tokens, digit inflation), which is exactly the shape of
+//! input a hand-edited fixture or a corrupted dump produces.
+//!
+//! Regression test for the PR-4 parser fixes: pre-fix, a duplicated
+//! `ret` line tripped `Function::set_terminator`'s assert, and an
+//! inflated block/register index (`B99999999999:`) turned one line
+//! into a multi-gigabyte allocation.
+
+use gmt_integration_tests::{compile, program_gen, Stmt};
+use gmt_ir::{display, parse};
+use gmt_testkit::{full_u64, prop_assert, Checker, Gen, TestRng};
+
+/// One random text edit. Keeps everything on char boundaries; the
+/// printer only emits ASCII, but the mutations themselves may splice
+/// multi-byte junk, so later edits must stay boundary-safe.
+fn mutate_once(text: &str, rng: &mut TestRng) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    match rng.range_usize(0, 6) {
+        // Drop a random line (loses headers, terminators, `func`).
+        0 if !lines.is_empty() => {
+            let k = rng.range_usize(0, lines.len() - 1);
+            lines
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != k)
+                .map(|(_, l)| *l)
+                .collect::<Vec<_>>()
+                .join("\n")
+        }
+        // Duplicate a random line (double terminators, double headers).
+        1 if !lines.is_empty() => {
+            let k = rng.range_usize(0, lines.len() - 1);
+            let mut out: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+            for (i, l) in lines.iter().enumerate() {
+                out.push(l);
+                if i == k {
+                    out.push(l);
+                }
+            }
+            out.join("\n")
+        }
+        // Swap two lines (instructions before headers, late `func`).
+        2 if lines.len() >= 2 => {
+            let a = rng.range_usize(0, lines.len() - 1);
+            let b = rng.range_usize(0, lines.len() - 1);
+            let mut out: Vec<&str> = lines.clone();
+            out.swap(a, b);
+            out.join("\n")
+        }
+        // Truncate at an arbitrary char boundary (mid-token cuts).
+        3 if !text.is_empty() => {
+            let mut cut = rng.range_usize(0, text.len());
+            while !text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            text[..cut].to_string()
+        }
+        // Splice a junk token into a random line.
+        4 => {
+            let junk = [
+                "ret",
+                "B99999999999:",
+                "r4294967295 = const 1",
+                "jump B4000000000",
+                "produce q0 =",
+                "br ? :",
+                "store [ =",
+                "r1 = Mul r0,",
+                "\u{fffd}",
+            ];
+            let j = junk[rng.range_usize(0, junk.len() - 1)];
+            if lines.is_empty() {
+                j.to_string()
+            } else {
+                let k = rng.range_usize(0, lines.len() - 1);
+                let mut out: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+                for (i, l) in lines.iter().enumerate() {
+                    out.push(l);
+                    if i == k {
+                        out.push(j);
+                    }
+                }
+                out.join("\n")
+            }
+        }
+        // Inflate the first digit-run on a random line — huge block
+        // ids, register numbers, offsets, trip counts.
+        _ => {
+            if lines.is_empty() {
+                return String::new();
+            }
+            let k = rng.range_usize(0, lines.len() - 1);
+            let mut out = String::new();
+            for (i, l) in lines.iter().enumerate() {
+                if i > 0 {
+                    out.push('\n');
+                }
+                if i == k {
+                    let mut replaced = false;
+                    for (ci, ch) in l.char_indices() {
+                        if !replaced && ch.is_ascii_digit() {
+                            out.push_str(&l[..ci]);
+                            out.push_str("99999999999");
+                            out.push_str(l[ci..].trim_start_matches(|c: char| c.is_ascii_digit()));
+                            replaced = true;
+                            break;
+                        }
+                    }
+                    if !replaced {
+                        out.push_str(l);
+                    }
+                } else {
+                    out.push_str(l);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Printed functions survive a round trip before any mangling.
+#[test]
+fn printed_functions_reparse() {
+    Checker::new("parser_robustness::printed_functions_reparse").cases(32).run(
+        &program_gen(),
+        |program: &Vec<Stmt>| {
+            let f = compile(program);
+            let text = display(&f).to_string();
+            let g = parse(&text).map_err(|e| format!("roundtrip parse failed: {e}"))?;
+            prop_assert!(g.num_blocks() == f.num_blocks(), "block count survives");
+            Ok(())
+        },
+    );
+}
+
+/// Parse never panics on mangled text. The property body calls `parse`
+/// on 1–4 stacked mutations of a printed function; any panic (assert,
+/// overflow, OOM-by-allocation-bomb aborts too slowly to observe — the
+/// index caps turn those into errors) fails the test.
+#[test]
+fn parse_never_panics_on_mangled_text() {
+    let gen: Gen<(Vec<Stmt>, u64)> = program_gen().zip(full_u64());
+    Checker::new("parser_robustness::parse_never_panics_on_mangled_text").cases(192).run(
+        &gen,
+        |(program, seed)| {
+            let f = compile(program);
+            let mut text = display(&f).to_string();
+            let mut rng = TestRng::new(*seed);
+            for _ in 0..rng.range_usize(1, 4) {
+                text = mutate_once(&text, &mut rng);
+                // Totality: Ok or Err, never a panic. A successful
+                // parse must itself survive re-printing and re-parsing.
+                if let Ok(g) = parse(&text) {
+                    let again = display(&g).to_string();
+                    prop_assert!(
+                        parse(&again).is_ok(),
+                        "accepted text must round-trip: {again}"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
