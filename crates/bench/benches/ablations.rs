@@ -25,7 +25,7 @@ fn dynamic_comm(w: &gmt_workloads::Workload, config: &CocoConfig) -> u64 {
         &pdg,
         &train.profile,
         &gmt_sched::gremio::GremioConfig::default(),
-    );
+    ).unwrap();
     let (plan, _) = optimize(&w.function, &pdg, &partition, &train.profile, config);
     let out = gmt_mtcg::generate_with_plan(&w.function, &partition, plan).unwrap();
     run_mt(
@@ -66,7 +66,7 @@ fn print_tables_once() {
             &pdg,
             &train.profile,
             &gmt_sched::gremio::GremioConfig::default(),
-        );
+        ).unwrap();
         let out = gmt_mtcg::generate(&w.function, &pdg, &partition).unwrap();
         let base = run_mt(
             &out.threads,
@@ -96,8 +96,8 @@ fn print_tables_once() {
             &pdg,
             &train.profile,
             &gmt_sched::dswp::DswpConfig { num_threads: 4, comm_latency: 1 },
-        );
-        let plan = gmt_mtcg::baseline_plan(&w.function, &pdg, &partition);
+        ).unwrap();
+        let plan = gmt_mtcg::baseline_plan(&w.function, &pdg, &partition).unwrap();
         let points = plan.total_points();
         let unlimited = gmt_mtcg::generate_with_plan_budgeted(
             &w.function,

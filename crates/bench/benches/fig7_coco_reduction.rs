@@ -30,7 +30,7 @@ fn main() {
             &pdg,
             &train.profile,
             &gmt_sched::dswp::DswpConfig::default(),
-        );
+        ).unwrap();
         group.bench(bench, || {
             black_box(gmt_core::optimize(
                 &w.function,

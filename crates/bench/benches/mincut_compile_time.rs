@@ -63,7 +63,7 @@ fn coco_compile_time() {
                     &pdg,
                     &train.profile,
                     &gmt_sched::dswp::DswpConfig::default(),
-                );
+                ).unwrap();
                 (w, train.profile, pdg, partition)
             })
             .collect();

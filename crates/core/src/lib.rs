@@ -63,6 +63,7 @@
 
 mod coco;
 mod flowgraph;
+pub mod mtverify;
 mod pipeline;
 mod pos;
 mod safety;
@@ -70,7 +71,8 @@ mod schedule_cache;
 
 pub use coco::{optimize, CocoConfig, CocoStats};
 pub use flowgraph::{Gf, GfBuilder, LiveMap};
-pub use pipeline::{CompileTimings, Parallelized, Parallelizer, Scheduler};
+pub use mtverify::{verify_mt, MtVerifyError, WaitStep};
+pub use pipeline::{CompileTimings, Parallelized, Parallelizer, PipelineError, Scheduler};
 pub use pos::{Pos, PosArc, PosGraph};
 pub use safety::Safety;
 pub use schedule_cache::{partition_key, program_key, ScheduleCache};

@@ -6,8 +6,48 @@ use crate::coco::{optimize, CocoConfig, CocoStats};
 use gmt_ir::{Function, Profile};
 use gmt_mtcg::{CommPlan, MtcgError, MtcgOutput, QueueBudget};
 use gmt_pdg::{Partition, Pdg};
-use gmt_sched::{dswp, gremio};
+use gmt_sched::{dswp, gremio, SchedError};
 use std::time::Instant;
+
+/// A failure of the end-to-end pipeline: either the partitioner or the
+/// code generator rejected its input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The partitioner failed (e.g. a zero-thread configuration).
+    Sched(SchedError),
+    /// Code generation failed.
+    Mtcg(MtcgError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Sched(e) => write!(f, "partitioner: {e}"),
+            PipelineError::Mtcg(e) => write!(f, "code generation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Sched(e) => Some(e),
+            PipelineError::Mtcg(e) => Some(e),
+        }
+    }
+}
+
+impl From<SchedError> for PipelineError {
+    fn from(e: SchedError) -> PipelineError {
+        PipelineError::Sched(e)
+    }
+}
+
+impl From<MtcgError> for PipelineError {
+    fn from(e: MtcgError) -> PipelineError {
+        PipelineError::Mtcg(e)
+    }
+}
 
 /// Wall-clock nanoseconds spent in each compile phase of one
 /// parallelization run (the §4 compile-time breakdown).
@@ -93,15 +133,20 @@ impl Parallelizer {
     ///
     /// # Errors
     ///
-    /// Propagates [`MtcgError`] from code generation.
-    pub fn parallelize(&self, f: &Function, profile: &Profile) -> Result<Parallelized, MtcgError> {
+    /// Propagates [`SchedError`] from the partitioner and [`MtcgError`]
+    /// from code generation.
+    pub fn parallelize(
+        &self,
+        f: &Function,
+        profile: &Profile,
+    ) -> Result<Parallelized, PipelineError> {
         let t = Instant::now();
         let pdg = Pdg::build(f);
         let pdg_build_ns = t.elapsed().as_nanos() as u64;
         let t = Instant::now();
         let partition = match &self.scheduler {
-            Scheduler::Dswp(cfg) => dswp::partition(f, &pdg, profile, cfg),
-            Scheduler::Gremio(cfg) => gremio::partition(f, &pdg, profile, cfg),
+            Scheduler::Dswp(cfg) => dswp::partition(f, &pdg, profile, cfg)?,
+            Scheduler::Gremio(cfg) => gremio::partition(f, &pdg, profile, cfg)?,
         };
         let partition_ns = t.elapsed().as_nanos() as u64;
         let mut out = self.parallelize_with_partition(f, profile, &pdg, partition)?;
@@ -130,7 +175,7 @@ impl Parallelizer {
         let mut timings = CompileTimings::default();
         let (output, coco_stats, baseline_plan) = match &self.coco {
             None => {
-                let plan = gmt_mtcg::baseline_plan(f, pdg, &partition);
+                let plan = gmt_mtcg::baseline_plan(f, pdg, &partition)?;
                 let t = Instant::now();
                 let out =
                     gmt_mtcg::generate_with_plan_budgeted(f, &partition, plan, self.queue_budget)?;
@@ -138,7 +183,7 @@ impl Parallelizer {
                 (out, None, None)
             }
             Some(cfg) => {
-                let baseline = gmt_mtcg::baseline_plan(f, pdg, &partition);
+                let baseline = gmt_mtcg::baseline_plan(f, pdg, &partition)?;
                 let t = Instant::now();
                 let (plan, stats) = optimize(f, pdg, &partition, profile, cfg);
                 timings.coco_ns = t.elapsed().as_nanos() as u64;
@@ -149,6 +194,17 @@ impl Parallelizer {
                 (out, Some(stats), Some(baseline))
             }
         };
+        // Debug builds statically validate the queue protocol of every
+        // generated program at the most conservative depth (1) — MTCG
+        // output must be correct for any queue depth >= 1.
+        #[cfg(debug_assertions)]
+        {
+            let violations = crate::mtverify::verify_mt(f, &partition, pdg, &output, 1);
+            debug_assert!(
+                violations.is_empty(),
+                "generated code violates the queue protocol: {violations:?}"
+            );
+        }
         Ok(Parallelized { output, partition, coco_stats, baseline_plan, timings })
     }
 }

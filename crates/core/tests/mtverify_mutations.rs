@@ -1,0 +1,277 @@
+//! Validator soundness, mutation-tested: seed known-bad MT programs /
+//! plans (swapped produce/consume endpoints, off-by-one queue, dropped
+//! control duplication, depth-sensitive deadlock, stale register
+//! placement, uncovered memory dependence) and assert [`verify_mt`]
+//! catches each class with a queue-level witness — and stays silent on
+//! the unmutated output.
+
+use gmt_core::{verify_mt, MtVerifyError};
+use gmt_ir::{BinOp, Function, FunctionBuilder, InstrId, Op, QueueId};
+use gmt_mtcg::{CommKind, CommPlan, CommPoint, MtcgOutput, QueueLabel};
+use gmt_pdg::{Partition, Pdg, ThreadId};
+use std::collections::BTreeMap;
+
+/// A branchy two-thread kernel with a register dep (y: T0 -> T1), a
+/// condition delivery, and a memory dep (output -> output).
+fn kernel() -> (Function, Partition) {
+    let mut b = FunctionBuilder::new("k");
+    let x = b.param();
+    let y = b.fresh_reg();
+    let b1 = b.block("b1");
+    let b2 = b.block("b2");
+    b.bin_into(BinOp::Mul, y, x, 2i64); // i1: y = x*2        (T0)
+    let c = b.bin(BinOp::Lt, x, 10i64); // i2                  (T0)
+    b.branch(c, b1, b2); // i3                                 (T0)
+    b.switch_to(b1);
+    b.bin_into(BinOp::Add, y, y, 1i64); // i4: y += 1          (T0)
+    b.jump(b2); // i5
+    b.switch_to(b2);
+    b.output(x); // i6                                          (T0)
+    b.output(y); // i7                                          (T1)
+    b.ret(None); // i8
+    let f = b.finish().unwrap();
+    let mut p = Partition::new(2);
+    for i in f.all_instrs() {
+        p.assign(i, ThreadId(0));
+    }
+    let consumer = f
+        .all_instrs()
+        .filter(|&i| matches!(f.instr(i), Op::Output(_)))
+        .nth(1)
+        .unwrap();
+    p.assign(consumer, ThreadId(1));
+    (f, p)
+}
+
+fn generate(f: &Function, p: &Partition) -> (Pdg, MtcgOutput) {
+    let pdg = Pdg::build(f);
+    let out = gmt_mtcg::generate(f, &pdg, p).unwrap();
+    (pdg, out)
+}
+
+#[test]
+fn clean_output_verifies() {
+    let (f, p) = kernel();
+    let (pdg, out) = generate(&f, &p);
+    for depth in [1, 32] {
+        let errs = verify_mt(&f, &p, &pdg, &out, depth);
+        assert!(errs.is_empty(), "clean output flagged at depth {depth}: {errs:?}");
+    }
+}
+
+#[test]
+fn swapped_produce_consume_caught() {
+    let (f, p) = kernel();
+    let (pdg, mut out) = generate(&f, &p);
+    // Turn the consumer's first consume into a produce on the same
+    // queue: the queue's label says this thread is the consuming end.
+    let tf = &mut out.threads[1];
+    let i = tf
+        .all_instrs()
+        .find(|&i| matches!(tf.instr(i), Op::Consume { .. }))
+        .expect("consumer thread has a consume");
+    let Op::Consume { dst, queue } = *tf.instr(i) else { unreachable!() };
+    *tf.instr_mut(i) = Op::Produce { queue, value: dst.into() };
+    let errs = verify_mt(&f, &p, &pdg, &out, 1);
+    assert!(
+        errs.iter().any(|e| matches!(
+            e,
+            MtVerifyError::EndpointViolation { thread: ThreadId(1), label, .. }
+                if label.queue == queue
+        )),
+        "swap not caught: {errs:?}"
+    );
+}
+
+#[test]
+fn off_by_one_queue_caught() {
+    let (f, p) = kernel();
+    let (pdg, mut out) = generate(&f, &p);
+    assert!(out.num_queues >= 2, "kernel must allocate several queues");
+    let tf = &mut out.threads[1];
+    let i = tf
+        .all_instrs()
+        .find(|&i| matches!(tf.instr(i), Op::Consume { .. }))
+        .unwrap();
+    let Op::Consume { dst, queue } = *tf.instr(i) else { unreachable!() };
+    let wrong = QueueId((queue.0 + 1) % out.num_queues);
+    *tf.instr_mut(i) = Op::Consume { dst, queue: wrong };
+    let errs = verify_mt(&f, &p, &pdg, &out, 1);
+    assert!(
+        errs.iter().any(|e| matches!(
+            e,
+            MtVerifyError::SequenceMismatch { produced, consumed, .. }
+                if produced != consumed
+        ) || matches!(e, MtVerifyError::UnlabeledQueue { .. })),
+        "queue shift not caught: {errs:?}"
+    );
+}
+
+#[test]
+fn dropped_control_duplication_caught() {
+    let (f, p) = kernel();
+    let (pdg, mut out) = generate(&f, &p);
+    let branch = f.all_instrs().find(|&i| f.instr(i).is_branch()).unwrap();
+    assert!(
+        out.plan.relevant_branches(ThreadId(1)).contains(&branch),
+        "kernel must make T1 duplicate the branch"
+    );
+    // Rebuild the plan, dropping T1's duplication of the branch.
+    let mut stripped = CommPlan::new(2);
+    for item in out.plan.items() {
+        stripped.set_points(item.kind, item.from, item.to, item.points);
+    }
+    for (t_idx, brs) in out.plan.all_relevant_branches().iter().enumerate() {
+        for &br in brs {
+            if !(t_idx == 1 && br == branch) {
+                stripped.add_relevant_branch(ThreadId(t_idx as u32), br);
+            }
+        }
+    }
+    out.plan = stripped;
+    let errs = verify_mt(&f, &p, &pdg, &out, 1);
+    assert!(
+        errs.iter().any(|e| matches!(
+            e,
+            MtVerifyError::MissingControlDuplication { thread: ThreadId(1), branch: b }
+                if *b == branch
+        )),
+        "dropped duplication not caught: {errs:?}"
+    );
+}
+
+#[test]
+fn stale_register_placement_caught() {
+    let (f, p) = kernel();
+    let (pdg, mut out) = generate(&f, &p);
+    // Move one of y's communication points from after its redefinition
+    // to before it: the consumer can now read the pre-increment value.
+    let y = gmt_ir::Reg(1);
+    let redef = f
+        .all_instrs()
+        .find(|&i| f.instr(i).def() == Some(y) && matches!(f.instr(i), Op::Bin(BinOp::Add, ..)))
+        .expect("y += 1 exists");
+    let mut pts = out.plan.points(CommKind::Register(y), ThreadId(0), ThreadId(1));
+    assert!(pts.remove(&CommPoint::After(redef)), "baseline communicates after the redef");
+    pts.insert(CommPoint::Before(redef));
+    out.plan.set_points(CommKind::Register(y), ThreadId(0), ThreadId(1), pts);
+    let errs = verify_mt(&f, &p, &pdg, &out, 1);
+    assert!(
+        errs.iter().any(|e| matches!(
+            e,
+            MtVerifyError::StaleValue { reg, .. } if *reg == y
+        )),
+        "stale placement not caught: {errs:?}"
+    );
+}
+
+#[test]
+fn uncovered_memory_dep_caught() {
+    let (f, p) = kernel();
+    let (pdg, mut out) = generate(&f, &p);
+    // Push the memory sync past the consuming output: the dependence
+    // source -> sink path no longer crosses it.
+    let sink = f
+        .all_instrs()
+        .filter(|&i| matches!(f.instr(i), Op::Output(_)))
+        .nth(1)
+        .unwrap();
+    let mut pts = std::collections::BTreeSet::new();
+    pts.insert(CommPoint::After(sink));
+    out.plan.set_points(CommKind::Memory, ThreadId(0), ThreadId(1), pts);
+    let errs = verify_mt(&f, &p, &pdg, &out, 1);
+    assert!(
+        errs.iter().any(|e| matches!(
+            e,
+            MtVerifyError::UncoveredMemoryDep { dst, .. } if *dst == sink
+        )),
+        "uncovered memory dep not caught: {errs:?}"
+    );
+}
+
+/// Hand-built output whose producer fills a depth-1 queue twice before
+/// the consumer's first consume can run: deadlocks at depth 1, sound at
+/// depth >= 2. The wait graph must close the cycle exactly at depth 1.
+#[test]
+fn depth_sensitive_deadlock_caught_at_depth_one_only() {
+    // Original function: three T0 constants feeding T1 (conceptually).
+    let mut b = FunctionBuilder::new("orig");
+    let r1 = b.const_(1); // i0
+    let r2 = b.const_(2); // i1
+    b.ret(None); // i2
+    let f = b.finish().unwrap();
+    let mut p = Partition::new(2);
+    for i in f.all_instrs() {
+        p.assign(i, ThreadId(0));
+    }
+    let pdg = Pdg::build(&f);
+
+    let q0 = QueueId(0);
+    let q1 = QueueId(1);
+    let producer = {
+        let mut t = FunctionBuilder::new("t0");
+        let v = t.const_(7);
+        t.emit(Op::Produce { queue: q0, value: v.into() });
+        t.emit(Op::Produce { queue: q0, value: v.into() });
+        t.emit(Op::Produce { queue: q1, value: v.into() });
+        t.ret(None);
+        t.finish().unwrap()
+    };
+    let consumer = {
+        let mut t = FunctionBuilder::new("t1");
+        let a = t.fresh_reg();
+        let b2 = t.fresh_reg();
+        let c = t.fresh_reg();
+        t.emit(Op::Consume { dst: a, queue: q1 });
+        t.emit(Op::Consume { dst: b2, queue: q0 });
+        t.emit(Op::Consume { dst: c, queue: q0 });
+        t.ret(None);
+        t.finish().unwrap()
+    };
+    let entry = f.entry();
+    let origins: Vec<BTreeMap<_, _>> = vec![
+        [(producer.entry(), entry)].into_iter().collect(),
+        [(consumer.entry(), entry)].into_iter().collect(),
+    ];
+    let mut plan = CommPlan::new(2);
+    let i0 = InstrId(0);
+    let i1 = InstrId(1);
+    plan.add_point(CommKind::Register(r1), ThreadId(0), ThreadId(1), CommPoint::After(i0));
+    plan.add_point(CommKind::Register(r2), ThreadId(0), ThreadId(1), CommPoint::After(i1));
+    let label = |queue, point, reg| QueueLabel {
+        queue,
+        point,
+        kind: CommKind::Register(reg),
+        from: ThreadId(0),
+        to: ThreadId(1),
+    };
+    let out = MtcgOutput {
+        threads: vec![producer, consumer],
+        num_queues: 2,
+        plan,
+        queue_labels: vec![
+            label(q0, CommPoint::After(i0), r1),
+            label(q0, CommPoint::After(i0), r1),
+            label(q1, CommPoint::After(i1), r2),
+        ],
+        origins,
+    };
+
+    let deep = verify_mt(&f, &p, &pdg, &out, 2);
+    assert!(
+        !deep.iter().any(|e| matches!(e, MtVerifyError::PotentialDeadlock { .. })),
+        "depth 2 buffers the burst; no deadlock expected: {deep:?}"
+    );
+    let shallow = verify_mt(&f, &p, &pdg, &out, 1);
+    let dl = shallow
+        .iter()
+        .find_map(|e| match e {
+            MtVerifyError::PotentialDeadlock { depth, witness } => Some((depth, witness)),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("depth 1 must deadlock: {shallow:?}"));
+    assert_eq!(*dl.0, 1);
+    // The witness names both threads and both queues.
+    assert!(dl.1.iter().any(|s| s.thread == ThreadId(0) && s.queue == q0));
+    assert!(dl.1.iter().any(|s| s.thread == ThreadId(1) && s.queue == q1));
+}

@@ -2,7 +2,7 @@
 //! the level of COCO's chosen placements and the resulting dynamic
 //! behavior.
 
-use gmt_core::{optimize, CocoConfig};
+use gmt_core::{optimize, verify_mt, CocoConfig, MtVerifyError};
 use gmt_ir::interp::{run, ExecConfig};
 use gmt_ir::interp_mt::{run_mt, QueueConfig};
 use gmt_ir::{BinOp, BlockId, Function, FunctionBuilder, Op, Profile, Reg};
@@ -86,7 +86,7 @@ fn fig3_coco_communicates_once_at_b3() {
 fn fig3_baseline_communicates_twice_with_branch() {
     let Fig3 { f, partition, r1, branch_b, .. } = figure3();
     let pdg = Pdg::build(&f);
-    let baseline = gmt_mtcg::baseline_plan(&f, &pdg, &partition);
+    let baseline = gmt_mtcg::baseline_plan(&f, &pdg, &partition).unwrap();
     let pts = baseline.points(CommKind::Register(r1), ThreadId(0), ThreadId(1));
     assert_eq!(pts.len(), 2, "baseline sends r1 after each def");
     assert!(baseline.relevant_branches(ThreadId(1)).contains(&branch_b));
@@ -216,7 +216,7 @@ fn fig4_coco_sinks_communication_below_the_loop() {
 fn fig4_baseline_communicates_every_iteration() {
     let Fig4 { f, partition, r1, loop1_branch } = figure4();
     let pdg = Pdg::build(&f);
-    let baseline = gmt_mtcg::baseline_plan(&f, &pdg, &partition);
+    let baseline = gmt_mtcg::baseline_plan(&f, &pdg, &partition).unwrap();
     let pts = baseline.points(CommKind::Register(r1), ThreadId(0), ThreadId(1));
     assert!(pts
         .iter()
@@ -324,7 +324,7 @@ fn fig5_memory_syncs_are_shared() {
     assert_eq!(stats.memory_fallbacks, 0);
 
     // Baseline uses one sync per source store.
-    let baseline = gmt_mtcg::baseline_plan(&f, &pdg, &partition);
+    let baseline = gmt_mtcg::baseline_plan(&f, &pdg, &partition).unwrap();
     let base_pts = baseline.points(CommKind::Memory, ThreadId(0), ThreadId(1));
     assert_eq!(base_pts.len(), 2);
 
@@ -420,4 +420,103 @@ fn fig5_penalties_prefer_the_join() {
         assert_eq!(mt.return_value, st.return_value);
         assert_eq!(mt.output, st.output);
     }
+}
+
+/// The static queue-protocol validator on the paper's worked examples:
+/// the generated code of each figure — baseline MTCG and COCO alike —
+/// must verify cleanly at the strictest queue depth, and a single
+/// mutated communication placement per figure must be rejected with
+/// the exact violation class it introduces.
+#[test]
+fn fig3_verifies_and_rejects_a_hoisted_placement() {
+    let Fig3 { f, partition, r1, .. } = figure3();
+    let pdg = Pdg::build(&f);
+    let profile = Profile::uniform(&f, 10);
+    let base_out = gmt_mtcg::generate(&f, &pdg, &partition).unwrap();
+    assert!(verify_mt(&f, &partition, &pdg, &base_out, 1).is_empty());
+    let (plan, _) = optimize(&f, &pdg, &partition, &profile, &CocoConfig::default());
+    let mut out = gmt_mtcg::generate_with_plan(&f, &partition, plan).unwrap();
+    assert!(verify_mt(&f, &partition, &pdg, &out, 1).is_empty());
+
+    // Mutation: hoist r1's single point from the start of B3 to the
+    // start of B1 — before both defs. The consumer would read garbage.
+    let mut pts = std::collections::BTreeSet::new();
+    pts.insert(CommPoint::BlockStart(f.entry()));
+    out.plan.set_points(CommKind::Register(r1), ThreadId(0), ThreadId(1), pts);
+    let errs = verify_mt(&f, &partition, &pdg, &out, 1);
+    assert!(
+        errs.iter().any(|e| matches!(e, MtVerifyError::StaleValue { reg, .. } if *reg == r1)),
+        "hoisted placement not rejected: {errs:?}"
+    );
+}
+
+#[test]
+fn fig4_verifies_and_rejects_a_point_inside_the_loop() {
+    let Fig4 { f, partition, r1, .. } = figure4();
+    let pdg = Pdg::build(&f);
+    let profile = run(&f, &[10], &exec()).unwrap().profile;
+    let base_out = gmt_mtcg::generate(&f, &pdg, &partition).unwrap();
+    assert!(verify_mt(&f, &partition, &pdg, &base_out, 1).is_empty());
+    let (plan, _) = optimize(&f, &pdg, &partition, &profile, &CocoConfig::default());
+    let mut out = gmt_mtcg::generate_with_plan(&f, &partition, plan).unwrap();
+    assert!(verify_mt(&f, &partition, &pdg, &out, 1).is_empty());
+
+    // Mutation: pull COCO's below-the-loop point back up to the start
+    // of L1 — the loop body redefines r1 after the send every
+    // iteration, so loop 2 would consume a stale partial sum.
+    let mut pts = std::collections::BTreeSet::new();
+    pts.insert(CommPoint::BlockStart(BlockId(1)));
+    out.plan.set_points(CommKind::Register(r1), ThreadId(0), ThreadId(1), pts);
+    let errs = verify_mt(&f, &partition, &pdg, &out, 1);
+    assert!(
+        errs.iter().any(|e| matches!(e, MtVerifyError::StaleValue { reg, .. } if *reg == r1)),
+        "in-loop placement not rejected: {errs:?}"
+    );
+}
+
+#[test]
+fn fig5_verifies_and_rejects_an_uncovering_sync_move() {
+    // Rebuild the Figure 5 memory example.
+    let mut b = FunctionBuilder::new("fig5m");
+    let objx = b.object("x", 2);
+    let objy = b.object("y", 2);
+    let later = b.block("later");
+    let px = b.lea(objx, 0);
+    let py = b.lea(objy, 0);
+    b.store(px, 0, 11i64);
+    b.store(py, 0, 22i64);
+    b.jump(later);
+    b.switch_to(later);
+    let px2 = b.lea(objx, 0);
+    let py2 = b.lea(objy, 0);
+    let vy = b.load(py2, 0);
+    let vx = b.load(px2, 0);
+    let sum = b.bin(BinOp::Add, vy, vx);
+    b.output(sum);
+    b.ret(None);
+    let f = b.finish().unwrap();
+    let mut partition = Partition::new(2);
+    for blk in f.blocks() {
+        let t = if blk == f.entry() { ThreadId(0) } else { ThreadId(1) };
+        for ins in f.block(blk).all_instrs() {
+            partition.assign(ins, t);
+        }
+    }
+    let pdg = Pdg::build(&f);
+    let profile = Profile::uniform(&f, 100);
+    let (plan, _) = optimize(&f, &pdg, &partition, &profile, &CocoConfig::default());
+    let mut out = gmt_mtcg::generate_with_plan(&f, &partition, plan).unwrap();
+    assert!(verify_mt(&f, &partition, &pdg, &out, 1).is_empty());
+
+    // Mutation: move the shared sync to the start of the entry block —
+    // before both stores, so neither store-to-load dependence crosses
+    // it anymore.
+    let mut pts = std::collections::BTreeSet::new();
+    pts.insert(CommPoint::BlockStart(f.entry()));
+    out.plan.set_points(CommKind::Memory, ThreadId(0), ThreadId(1), pts);
+    let errs = verify_mt(&f, &partition, &pdg, &out, 1);
+    assert!(
+        errs.iter().any(|e| matches!(e, MtVerifyError::UncoveredMemoryDep { .. })),
+        "uncovering sync move not rejected: {errs:?}"
+    );
 }

@@ -3,11 +3,12 @@
 //! ```text
 //! repro --fig 1|6a|6b|7|8|scaling|all [--quick] [--scheduler gremio|dswp|both]
 //! repro --metrics [--quick] [--scheduler gremio|dswp|both]
+//! repro --verify-mt
 //! repro --trace out.json [--bench ks] [--scheduler gremio|dswp] \
 //!       [--variant mtcg|coco] [--quick]
 //! ```
 //!
-//! The three modes are mutually exclusive; conflicting or repeated
+//! The four modes are mutually exclusive; conflicting or repeated
 //! flags exit 2 with usage. The experiment matrix runs on the
 //! `gmt-testkit` worker pool; set `GMT_JOBS=N` to pin the worker count
 //! (`GMT_JOBS=1` is the serial reference path — output is
@@ -29,7 +30,7 @@
 use gmt_harness::figures;
 use gmt_harness::{
     comm_attribution_table, metrics_table, queue_comm_table, run_all_metrics, stall_table,
-    trace_cell, Scale, SchedulerKind,
+    trace_cell, verify_matrix, verify_table, Scale, SchedulerKind,
 };
 use std::collections::HashSet;
 
@@ -40,6 +41,7 @@ fn main() {
     let mut fig: Option<String> = None;
     let mut scale = Scale::Full;
     let mut metrics = false;
+    let mut verify = false;
     let mut trace: Option<String> = None;
     let mut bench: Option<String> = None;
     let mut variant: Option<String> = None;
@@ -66,6 +68,10 @@ fn main() {
             "--metrics" => {
                 once("--metrics");
                 metrics = true;
+            }
+            "--verify-mt" => {
+                once("--verify-mt");
+                verify = true;
             }
             "--trace" => {
                 once("--trace");
@@ -103,6 +109,9 @@ fn main() {
     if trace.is_some() && (metrics || fig.is_some()) {
         usage("--trace conflicts with --fig and --metrics");
     }
+    if verify && (metrics || fig.is_some() || trace.is_some()) {
+        usage("--verify-mt conflicts with --fig, --metrics, and --trace");
+    }
     if trace.is_none() && (bench.is_some() || variant.is_some()) {
         usage("--bench/--variant require --trace");
     }
@@ -131,6 +140,11 @@ fn main() {
             Some(v) => usage(&format!("bad variant {v} (known: mtcg, coco)")),
         };
         run_trace(&path, bench.as_deref().unwrap_or("ks"), scheds[0], coco, scale);
+        return;
+    }
+
+    if verify {
+        run_verify();
         return;
     }
 
@@ -198,6 +212,22 @@ fn run_trace(path: &str, bench: &str, kind: SchedulerKind, coco: bool, scale: Sc
     println!("trace written to {path}");
 }
 
+/// The `--verify-mt` mode: the static queue-protocol validator over the
+/// full kernel × scheduler × ±COCO matrix at the paper's queue depths.
+/// Exits 1 if any configuration fails to parallelize or violates the
+/// protocol.
+fn run_verify() {
+    let results = verify_matrix(gmt_testkit::num_jobs());
+    print!("{}", verify_table(&results));
+    let cells = results.len();
+    let bad = results.iter().filter(|r| !matches!(r, Ok(c) if c.ok())).count();
+    if bad > 0 {
+        eprintln!("error: {bad}/{cells} configurations failed queue-protocol verification");
+        std::process::exit(1);
+    }
+    println!("all {cells} configurations verify");
+}
+
 /// The `--metrics` mode: full timed matrix, JSON-lines, summary table.
 fn run_metrics(scheds: &[SchedulerKind], scale: Scale) {
     let jobs = gmt_testkit::num_jobs();
@@ -241,11 +271,11 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--fig 1|6a|6b|7|8|scaling|all] [--metrics] [--quick] \
+        "usage: repro [--fig 1|6a|6b|7|8|scaling|all] [--metrics] [--verify-mt] [--quick] \
          [--scheduler gremio|dswp|both]\n\
          \x20      repro --trace <out.json> [--bench NAME] [--scheduler gremio|dswp] \
          [--variant mtcg|coco] [--quick]\n\
-         modes --fig / --metrics / --trace are mutually exclusive; \
+         modes --fig / --metrics / --trace / --verify-mt are mutually exclusive; \
          each flag may appear once\n\
          env: GMT_JOBS=N pins the worker-pool size (default: available parallelism)"
     );

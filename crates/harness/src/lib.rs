@@ -41,6 +41,7 @@ use gmt_workloads::{catalog, exec_config, Workload};
 use std::time::Instant;
 
 pub use metrics::{metrics_table, stall_table, RunMetrics, StallBreakdown};
+pub use verify::{verify_cell, verify_matrix, verify_table, VerifyCell};
 pub use trace_report::{
     comm_attribution_table, queue_comm_table, trace_cell, TracedCell, TRACE_RING_CAPACITY,
 };
@@ -361,7 +362,8 @@ fn parallelize_pair(
             let pdg_build_ns = t.elapsed().as_nanos() as u64;
             let t = Instant::now();
             let cfg = gmt_sched::gremio::GremioConfig::default();
-            let candidates = gmt_sched::gremio::candidates(&w.function, &pdg, profile, &cfg);
+            let candidates = gmt_sched::gremio::candidates(&w.function, &pdg, profile, &cfg)
+                .map_err(fail(b, "gremio candidate enumeration"))?;
             // GREMIO's own schedule: the analytically best genuinely-
             // parallel candidate ("genuinely" = the lighter thread owns
             // a meaningful share of the code, not a token offload).
@@ -643,6 +645,7 @@ pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
 pub mod figures;
 mod metrics;
 pub mod trace_report;
+mod verify;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,157 @@
+//! The `repro --verify-mt` mode: run the static queue-protocol
+//! validator ([`gmt_core::verify_mt`]) over the full experiment matrix
+//! — every catalog kernel × {GREMIO, DSWP} × {baseline MTCG, MTCG+COCO}
+//! — at each scheduler's paper queue depth (GREMIO 1, DSWP 32).
+//!
+//! Release builds skip the pipeline's debug-assert validation stage, so
+//! this mode is the CI-facing proof that every configuration the
+//! figures measure obeys the produce/consume protocol: matching
+//! per-queue sequences, a cycle-free inter-thread wait graph at the
+//! configured SA depth, and fresh values at every communication point
+//! (Defs. 1–2 of the paper).
+
+use crate::{fail, HarnessError, SchedulerKind};
+use gmt_core::{CocoConfig, MtVerifyError, Parallelizer};
+use gmt_pdg::Pdg;
+use gmt_workloads::{catalog, Workload};
+
+/// One cell of the verification matrix.
+#[derive(Clone, Debug)]
+pub struct VerifyCell {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Scheduler display name.
+    pub scheduler: &'static str,
+    /// Whether COCO ran.
+    pub coco: bool,
+    /// Queue depth the wait graph was checked at.
+    pub queue_depth: usize,
+    /// Number of SA queues the plan allocated.
+    pub queues: u32,
+    /// Protocol violations (empty = the cell verifies).
+    pub errors: Vec<MtVerifyError>,
+}
+
+impl VerifyCell {
+    /// True when the cell verified cleanly.
+    pub fn ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Verifies one (kernel, scheduler, ±COCO) configuration.
+///
+/// # Errors
+///
+/// Returns a [`HarnessError`] if profiling or parallelization itself
+/// fails; validator findings are *not* errors here — they come back in
+/// [`VerifyCell::errors`].
+pub fn verify_cell(
+    w: &Workload,
+    kind: SchedulerKind,
+    coco: bool,
+) -> Result<VerifyCell, HarnessError> {
+    let b = w.benchmark;
+    let train = w.run_train().map_err(fail(b, "train run"))?;
+    let mut par = Parallelizer::new(kind.scheduler());
+    if coco {
+        par = par.with_coco(CocoConfig::default());
+    }
+    let r = par.parallelize(&w.function, &train.profile).map_err(fail(b, "parallelization"))?;
+    let pdg = Pdg::build(&w.function);
+    let errors =
+        gmt_core::verify_mt(&w.function, &r.partition, &pdg, &r.output, kind.queue_depth());
+    Ok(VerifyCell {
+        benchmark: b,
+        scheduler: kind.name(),
+        coco,
+        queue_depth: kind.queue_depth(),
+        queues: r.num_queues(),
+        errors,
+    })
+}
+
+/// Runs the whole matrix — catalog × {GREMIO, DSWP} × {±COCO} — on
+/// `jobs` workers, in deterministic (catalog, scheduler, variant)
+/// order.
+pub fn verify_matrix(jobs: usize) -> Vec<Result<VerifyCell, HarnessError>> {
+    let mut cells: Vec<(Workload, SchedulerKind, bool)> = Vec::new();
+    for w in catalog() {
+        for kind in [SchedulerKind::Gremio, SchedulerKind::Dswp] {
+            for coco in [false, true] {
+                let w = gmt_workloads::by_benchmark(w.benchmark).expect("catalog name");
+                cells.push((w, kind, coco));
+            }
+        }
+    }
+    gmt_testkit::par_map(cells, jobs, |_i, (w, kind, coco)| verify_cell(&w, kind, coco))
+}
+
+/// Renders the matrix results as a fixed-width table, one line per
+/// cell, followed by any validator findings in full.
+pub fn verify_table(results: &[Result<VerifyCell, HarnessError>]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<12} {:<8} {:<6} {:>5} {:>7}  status", "benchmark", "sched", "coco", "depth", "queues");
+    let mut findings = Vec::new();
+    for r in results {
+        match r {
+            Ok(c) => {
+                let _ = writeln!(
+                    s,
+                    "{:<12} {:<8} {:<6} {:>5} {:>7}  {}",
+                    c.benchmark,
+                    c.scheduler,
+                    if c.coco { "yes" } else { "no" },
+                    c.queue_depth,
+                    c.queues,
+                    if c.ok() { "ok" } else { "FAIL" }
+                );
+                if !c.ok() {
+                    findings.push(c);
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(s, "{:<12} {:<8} {:<6} {:>5} {:>7}  ERROR: {e}", e.benchmark, "-", "-", "-", "-");
+            }
+        }
+    }
+    for c in findings {
+        let _ = writeln!(
+            s,
+            "\n{} / {} / {}:",
+            c.benchmark,
+            c.scheduler,
+            if c.coco { "coco" } else { "mtcg" }
+        );
+        for e in &c.errors {
+            let _ = writeln!(s, "  - {e}");
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_cell_verifies() {
+        let w = gmt_workloads::by_benchmark("ks").unwrap();
+        for coco in [false, true] {
+            let c = verify_cell(&w, SchedulerKind::Dswp, coco).expect("pipeline runs");
+            assert!(c.ok(), "ks/DSWP/coco={coco} violates the protocol: {:?}", c.errors);
+            assert_eq!(c.queue_depth, 32);
+        }
+    }
+
+    #[test]
+    fn table_marks_clean_cells_ok() {
+        let w = gmt_workloads::by_benchmark("ks").unwrap();
+        let cell = verify_cell(&w, SchedulerKind::Gremio, true).unwrap();
+        let table = verify_table(&[Ok(cell)]);
+        assert!(table.contains("GREMIO"), "{table}");
+        assert!(table.contains("ok"), "{table}");
+        assert!(!table.contains("FAIL"), "{table}");
+    }
+}

@@ -10,7 +10,7 @@ use crate::decoded::{DecodedFunction, DecodedThread};
 use crate::function::Function;
 use crate::instr::Op;
 use crate::profile::Profile;
-use crate::types::{AddrMode, InstrId, ObjectId, Operand, Reg};
+use crate::types::{AddrMode, InstrId, ObjectId, Operand, QueueId, Reg};
 use std::error::Error;
 use std::fmt;
 
@@ -113,6 +113,39 @@ impl Memory {
     }
 }
 
+/// The kind of queue operation a deadlocked thread was blocked on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockedOp {
+    /// A `produce`/`produce.sync` found its queue full.
+    ProduceFull,
+    /// A `consume`/`consume.sync` waited on an empty queue.
+    ConsumeEmpty,
+}
+
+impl BlockedOp {
+    /// Stable kebab-case label used in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            BlockedOp::ProduceFull => "produce-full",
+            BlockedOp::ConsumeEmpty => "consume-empty",
+        }
+    }
+}
+
+/// Where a multi-threaded deadlock was detected: the first blocked
+/// unfinished core in index order, the queue its stalled operation
+/// addresses, and the blocking direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeadlockInfo {
+    /// The blocked core (thread index).
+    pub core: usize,
+    /// The queue the blocking operation addresses.
+    pub queue: QueueId,
+    /// Whether the core was producing into a full queue or consuming
+    /// from an empty one.
+    pub op: BlockedOp,
+}
+
 /// Dynamic-execution failures.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ExecError {
@@ -130,8 +163,9 @@ pub enum ExecError {
     /// Fewer arguments than parameters were supplied.
     MissingArguments,
     /// Multi-threaded execution deadlocked: every unfinished thread is
-    /// blocked on a queue.
-    Deadlock,
+    /// blocked on a queue. The payload (when attributable) names the
+    /// first blocked core, its queue, and the blocking op kind.
+    Deadlock(Option<DeadlockInfo>),
     /// A queue id outside the configured queue count was referenced.
     BadQueue(InstrId),
     /// The run was configured with values the executor cannot model
@@ -149,7 +183,14 @@ impl fmt::Display for ExecError {
                 write!(f, "communication instruction {i:?} in single-threaded run")
             }
             ExecError::MissingArguments => write!(f, "fewer arguments than parameters"),
-            ExecError::Deadlock => write!(f, "deadlock: all unfinished threads blocked"),
+            ExecError::Deadlock(None) => write!(f, "deadlock: all unfinished threads blocked"),
+            ExecError::Deadlock(Some(d)) => write!(
+                f,
+                "deadlock: all unfinished threads blocked; core {} {} on queue {}",
+                d.core,
+                d.op.name(),
+                d.queue.0
+            ),
             ExecError::BadQueue(i) => write!(f, "instruction {i:?} references bad queue"),
             ExecError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
         }

@@ -12,10 +12,12 @@
 //! produces the same memory/output/return results under every
 //! interleaving; determinism here just makes tests reproducible.
 
-use crate::decoded::{DecodedProgram, DecodedThread, InstrKind};
+use crate::decoded::{DecodedFunction, DecodedOp, DecodedProgram, DecodedThread, InstrKind};
 use crate::function::Function;
+use crate::instr::Op;
 use crate::interp::{
-    DynCounts, ExecConfig, ExecError, Memory, MemoryLayout, QueueAccess, StepOutcome, ThreadState,
+    BlockedOp, DeadlockInfo, DynCounts, ExecConfig, ExecError, Memory, MemoryLayout, QueueAccess,
+    StepOutcome, ThreadState,
 };
 use std::collections::VecDeque;
 
@@ -183,8 +185,47 @@ pub fn run_mt_decoded(
             }
         }
         if !any_progress {
-            return Err(ExecError::Deadlock);
+            return Err(ExecError::Deadlock(deadlock_info_decoded(threads, &states, &finished)));
         }
+    }
+}
+
+/// Attributes a functional-run deadlock to the first unfinished thread
+/// (every unfinished thread is blocked on its current queue operation
+/// when no round makes progress).
+fn deadlock_info_decoded(
+    threads: &[DecodedFunction],
+    states: &[DecodedThread],
+    finished: &[bool],
+) -> Option<DeadlockInfo> {
+    let t = (0..threads.len()).find(|&t| !finished[t])?;
+    match threads[t].op(states[t].pc) {
+        DecodedOp::Produce { queue, .. } | DecodedOp::ProduceSync { queue } => {
+            Some(DeadlockInfo { core: t, queue, op: BlockedOp::ProduceFull })
+        }
+        DecodedOp::Consume { queue, .. } | DecodedOp::ConsumeSync { queue } => {
+            Some(DeadlockInfo { core: t, queue, op: BlockedOp::ConsumeEmpty })
+        }
+        _ => None,
+    }
+}
+
+/// [`deadlock_info_decoded`] for the ID-walking reference path.
+fn deadlock_info_reference(
+    threads: &[Function],
+    states: &[ThreadState],
+    finished: &[bool],
+) -> Option<DeadlockInfo> {
+    let t = (0..threads.len()).find(|&t| !finished[t])?;
+    let f = &threads[t];
+    match *f.instr(states[t].current_instr(f)) {
+        Op::Produce { queue, .. } | Op::ProduceSync { queue } => {
+            Some(DeadlockInfo { core: t, queue, op: BlockedOp::ProduceFull })
+        }
+        Op::Consume { queue, .. } | Op::ConsumeSync { queue } => {
+            Some(DeadlockInfo { core: t, queue, op: BlockedOp::ConsumeEmpty })
+        }
+        _ => None,
     }
 }
 
@@ -267,7 +308,7 @@ pub fn run_mt_reference(
             }
         }
         if !any_progress {
-            return Err(ExecError::Deadlock);
+            return Err(ExecError::Deadlock(deadlock_info_reference(threads, &states, &finished)));
         }
     }
 }
@@ -337,7 +378,14 @@ mod tests {
             &ExecConfig::default(),
         )
         .unwrap_err();
-        assert_eq!(err, ExecError::Deadlock);
+        assert_eq!(
+            err,
+            ExecError::Deadlock(Some(DeadlockInfo {
+                core: 0,
+                queue: QueueId(0),
+                op: BlockedOp::ConsumeEmpty,
+            }))
+        );
     }
 
     #[test]

@@ -29,6 +29,12 @@ pub struct MtcgOutput {
     /// threads. A queue reused under a tight budget appears in several
     /// labels; trace consumers group by [`QueueLabel::queue`].
     pub queue_labels: Vec<QueueLabel>,
+    /// Per-thread provenance: which original-CFG block each generated
+    /// block realizes. Generated blocks with no original counterpart
+    /// (the shared `mt_exit`, an entry stub) are absent. Static
+    /// verifiers use this to walk a thread's realization of the
+    /// original control flow.
+    pub origins: Vec<BTreeMap<BlockId, BlockId>>,
 }
 
 /// Static description of one scheduled communication occurrence — the
@@ -77,6 +83,24 @@ pub enum MtcgError {
         /// The underlying defect.
         cause: VerifyError,
     },
+    /// The queue budget cannot give every distinct (from, to) thread
+    /// pair at least one private queue.
+    QueueBudget {
+        /// The configured budget.
+        limit: u32,
+        /// Distinct communicating thread pairs in the plan.
+        pairs: u32,
+    },
+    /// The plan communicates with a thread the partition does not have.
+    PlanThreadOutOfRange {
+        /// The out-of-range thread.
+        thread: ThreadId,
+        /// The partition's thread count.
+        num_threads: u32,
+    },
+    /// The plan places communication at a point that does not exist in
+    /// the function (instruction or block id out of range).
+    PlanPointOutOfRange(CommPoint),
 }
 
 impl fmt::Display for MtcgError {
@@ -85,6 +109,15 @@ impl fmt::Display for MtcgError {
             MtcgError::Unassigned(i) => write!(f, "instruction {i:?} unassigned"),
             MtcgError::BadThread { thread, cause } => {
                 write!(f, "generated thread {thread:?} is malformed: {cause}")
+            }
+            MtcgError::QueueBudget { limit, pairs } => {
+                write!(f, "queue budget {limit} below the number of thread pairs {pairs}")
+            }
+            MtcgError::PlanThreadOutOfRange { thread, num_threads } => {
+                write!(f, "plan references {thread:?} but the partition has {num_threads} threads")
+            }
+            MtcgError::PlanPointOutOfRange(p) => {
+                write!(f, "plan point {p:?} does not exist in the function")
             }
         }
     }
@@ -126,7 +159,7 @@ pub fn generate(f: &Function, pdg: &Pdg, partition: &Partition) -> Result<MtcgOu
     if let Err(i) = partition.validate(f) {
         return Err(MtcgError::Unassigned(i));
     }
-    let plan = crate::relevance::baseline_plan(f, pdg, partition);
+    let plan = crate::relevance::baseline_plan(f, pdg, partition)?;
     generate_with_plan(f, partition, plan)
 }
 
@@ -161,6 +194,7 @@ pub fn generate_with_plan_budgeted(
     if let Err(i) = partition.validate(f) {
         return Err(MtcgError::Unassigned(i));
     }
+    validate_plan(f, partition, &plan)?;
     let pdom = PostDominators::compute(f);
 
     // Queue assignment: one queue per (item, point). All communication
@@ -212,7 +246,7 @@ pub fn generate_with_plan_budgeted(
         .iter()
         .map(|&(_, _, from, to)| (from, to))
         .collect();
-    let (queue_of, num_queues) = crate::queues::allocate(&pairs, budget);
+    let (queue_of, num_queues) = crate::queues::allocate(&pairs, budget)?;
     let mut comm_at: BTreeMap<CommPoint, Vec<Scheduled>> = BTreeMap::new();
     let mut queue_labels = Vec::with_capacity(ordered_occurrences.len());
     for (k, (p, kind, from, to)) in ordered_occurrences.into_iter().enumerate() {
@@ -222,10 +256,50 @@ pub fn generate_with_plan_budgeted(
     }
 
     let mut threads = Vec::with_capacity(partition.num_threads() as usize);
+    let mut origins = Vec::with_capacity(partition.num_threads() as usize);
     for t in partition.threads() {
-        threads.push(generate_thread(f, partition, &plan, &pdom, &comm_at, t)?);
+        let (nf, origin) = generate_thread(f, partition, &plan, &pdom, &comm_at, t)?;
+        threads.push(nf);
+        origins.push(origin);
     }
-    Ok(MtcgOutput { threads, num_queues, plan, queue_labels })
+    Ok(MtcgOutput { threads, num_queues, plan, queue_labels, origins })
+}
+
+/// Rejects plans that talk about threads or program points the
+/// partition/function do not have; indexing on either would otherwise
+/// panic deep inside code generation.
+fn validate_plan(f: &Function, partition: &Partition, plan: &CommPlan) -> Result<(), MtcgError> {
+    let nt = partition.num_threads();
+    let point_ok = |p: &CommPoint| match *p {
+        CommPoint::Before(i) | CommPoint::After(i) => (i.0 as usize) < f.num_instrs(),
+        CommPoint::BlockStart(b) => (b.0 as usize) < f.num_blocks(),
+    };
+    for item in plan.items() {
+        for &t in [item.from, item.to].iter() {
+            if t.0 >= nt {
+                return Err(MtcgError::PlanThreadOutOfRange { thread: t, num_threads: nt });
+            }
+        }
+        for p in &item.points {
+            if !point_ok(p) {
+                return Err(MtcgError::PlanPointOutOfRange(*p));
+            }
+        }
+    }
+    for (t, branches) in plan.all_relevant_branches().iter().enumerate() {
+        if t as u32 >= nt && !branches.is_empty() {
+            return Err(MtcgError::PlanThreadOutOfRange {
+                thread: ThreadId(t as u32),
+                num_threads: nt,
+            });
+        }
+        for &br in branches {
+            if (br.0 as usize) >= f.num_instrs() {
+                return Err(MtcgError::PlanPointOutOfRange(CommPoint::Before(br)));
+            }
+        }
+    }
+    Ok(())
 }
 
 fn generate_thread(
@@ -235,7 +309,7 @@ fn generate_thread(
     pdom: &PostDominators,
     comm_at: &BTreeMap<CommPoint, Vec<Scheduled>>,
     t: ThreadId,
-) -> Result<Function, MtcgError> {
+) -> Result<(Function, BTreeMap<BlockId, BlockId>), MtcgError> {
     // ---- relevant blocks: the thread's instructions, its communication
     // points, and its relevant branches.
     let mut relevant: BTreeSet<BlockId> = BTreeSet::new();
@@ -265,7 +339,7 @@ fn generate_thread(
     // Degenerate: a thread with nothing at all.
     if relevant.is_empty() {
         nf.set_terminator(nf.entry(), Op::Ret(None));
-        return Ok(nf);
+        return Ok((nf, BTreeMap::new()));
     }
 
     // ---- block images.
@@ -374,5 +448,6 @@ fn generate_thread(
     }
 
     gmt_ir::verify(&nf).map_err(|cause| MtcgError::BadThread { thread: t, cause })?;
-    Ok(nf)
+    let origin: BTreeMap<BlockId, BlockId> = image.iter().map(|(&b, &nb)| (nb, b)).collect();
+    Ok((nf, origin))
 }

@@ -134,9 +134,17 @@ impl CommPlan {
         self.relevant_branches[t.index()].insert(branch)
     }
 
-    /// The relevant branches of thread `t`.
+    /// The relevant branches of thread `t` (empty if `t` is out of
+    /// range — a plan never owes branches to a thread it does not
+    /// cover).
     pub fn relevant_branches(&self, t: ThreadId) -> &BTreeSet<InstrId> {
-        &self.relevant_branches[t.index()]
+        static EMPTY: BTreeSet<InstrId> = BTreeSet::new();
+        self.relevant_branches.get(t.index()).unwrap_or(&EMPTY)
+    }
+
+    /// The relevant-branch sets of all threads, indexed by thread.
+    pub fn all_relevant_branches(&self) -> &[BTreeSet<InstrId>] {
+        &self.relevant_branches
     }
 
     /// Number of threads the plan covers.

@@ -17,6 +17,7 @@
 //! budget allows, and otherwise folds each (from, to) group onto a fair
 //! share of the budget, heaviest groups first.
 
+use crate::MtcgError;
 use gmt_pdg::ThreadId;
 
 /// How many queues code generation may use.
@@ -40,28 +41,33 @@ impl QueueBudget {
 /// order. Returns the queue id per occurrence and the total number of
 /// queues used.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the budget is smaller than the number of distinct
-/// (from, to) pairs (each pair needs at least one private queue).
-pub fn allocate(pairs: &[(ThreadId, ThreadId)], budget: QueueBudget) -> (Vec<u32>, u32) {
+/// Returns [`MtcgError::QueueBudget`] if the budget is smaller than the
+/// number of distinct (from, to) pairs (each pair needs at least one
+/// private queue).
+pub fn allocate(
+    pairs: &[(ThreadId, ThreadId)],
+    budget: QueueBudget,
+) -> Result<(Vec<u32>, u32), MtcgError> {
     let n = pairs.len();
     let limit = match budget {
-        QueueBudget::Unlimited => return ((0..n as u32).collect(), n as u32),
+        QueueBudget::Unlimited => return Ok(((0..n as u32).collect(), n as u32)),
         QueueBudget::Limit(l) => l as usize,
     };
     if n <= limit {
-        return ((0..n as u32).collect(), n as u32);
+        return Ok(((0..n as u32).collect(), n as u32));
     }
     // Group occurrences by thread pair.
     let mut groups: Vec<(ThreadId, ThreadId)> = pairs.to_vec();
     groups.sort();
     groups.dedup();
-    assert!(
-        groups.len() <= limit,
-        "queue budget {limit} below the number of thread pairs {}",
-        groups.len()
-    );
+    if groups.len() > limit {
+        return Err(MtcgError::QueueBudget {
+            limit: limit as u32,
+            pairs: groups.len() as u32,
+        });
+    }
     let counts: Vec<usize> = groups
         .iter()
         .map(|g| pairs.iter().filter(|p| *p == g).count())
@@ -105,7 +111,7 @@ pub fn allocate(pairs: &[(ThreadId, ThreadId)], budget: QueueBudget) -> (Vec<u32
         next_in_group[g] += 1;
         out.push(q);
     }
-    (out, acc)
+    Ok((out, acc))
 }
 
 #[cfg(test)]
@@ -119,7 +125,7 @@ mod tests {
     #[test]
     fn unlimited_is_identity() {
         let pairs = vec![(t(0), t(1)); 5];
-        let (qs, total) = allocate(&pairs, QueueBudget::Unlimited);
+        let (qs, total) = allocate(&pairs, QueueBudget::Unlimited).unwrap();
         assert_eq!(qs, vec![0, 1, 2, 3, 4]);
         assert_eq!(total, 5);
     }
@@ -127,7 +133,7 @@ mod tests {
     #[test]
     fn under_budget_stays_private() {
         let pairs = vec![(t(0), t(1)), (t(1), t(0)), (t(0), t(1))];
-        let (qs, total) = allocate(&pairs, QueueBudget::Limit(8));
+        let (qs, total) = allocate(&pairs, QueueBudget::Limit(8)).unwrap();
         assert_eq!(total, 3);
         assert_eq!(qs.len(), 3);
         let mut sorted = qs.clone();
@@ -140,7 +146,7 @@ mod tests {
         // 6 occurrences of pair A, 2 of pair B, budget 4.
         let mut pairs = vec![(t(0), t(1)); 6];
         pairs.extend([(t(1), t(0)); 2]);
-        let (qs, total) = allocate(&pairs, QueueBudget::Limit(4));
+        let (qs, total) = allocate(&pairs, QueueBudget::Limit(4)).unwrap();
         assert!(total <= 4, "{total}");
         // Queues of the two groups never overlap.
         let a: std::collections::BTreeSet<u32> = qs[..6].iter().copied().collect();
@@ -152,24 +158,24 @@ mod tests {
     fn heavier_group_gets_more_queues() {
         let mut pairs = vec![(t(0), t(1)); 10];
         pairs.extend([(t(1), t(0)); 2]);
-        let (qs, _) = allocate(&pairs, QueueBudget::Limit(6));
+        let (qs, _) = allocate(&pairs, QueueBudget::Limit(6)).unwrap();
         let a: std::collections::BTreeSet<u32> = qs[..10].iter().copied().collect();
         let b: std::collections::BTreeSet<u32> = qs[10..].iter().copied().collect();
         assert!(a.len() >= b.len(), "{qs:?}");
     }
 
     #[test]
-    #[should_panic(expected = "queue budget")]
     fn budget_below_pair_count_rejected() {
         let pairs = vec![(t(0), t(1)), (t(1), t(2)), (t(2), t(0))];
-        let _ = allocate(&pairs, QueueBudget::Limit(2));
+        let err = allocate(&pairs, QueueBudget::Limit(2)).unwrap_err();
+        assert_eq!(err, MtcgError::QueueBudget { limit: 2, pairs: 3 });
     }
 
     #[test]
     fn round_robin_is_static_and_deterministic() {
         let pairs = vec![(t(0), t(1)); 4];
-        let (q1, _) = allocate(&pairs, QueueBudget::Limit(2));
-        let (q2, _) = allocate(&pairs, QueueBudget::Limit(2));
+        let (q1, _) = allocate(&pairs, QueueBudget::Limit(2)).unwrap();
+        let (q2, _) = allocate(&pairs, QueueBudget::Limit(2)).unwrap();
         assert_eq!(q1, q2);
         assert_eq!(q1, vec![0, 1, 0, 1]);
     }

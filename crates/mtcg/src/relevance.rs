@@ -2,6 +2,7 @@
 //! (Algorithm 1's placement strategy).
 
 use crate::plan::{CommKind, CommPlan, CommPoint};
+use crate::MtcgError;
 use gmt_ir::{ControlDeps, Function, InstrId, Op, PostDominators};
 use gmt_pdg::{DepKind, Partition, Pdg, ThreadId};
 use std::collections::BTreeSet;
@@ -75,13 +76,16 @@ pub fn relevant_branches(
 /// relevant), so this iterates to a fixpoint — mirroring the transitive
 /// control dependences of \[16\].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if some instruction of `f` is unassigned in `partition`.
-pub fn baseline_plan(f: &Function, pdg: &Pdg, partition: &Partition) -> CommPlan {
-    partition
-        .validate(f)
-        .unwrap_or_else(|i| panic!("{i:?} not assigned to any thread"));
+/// Returns [`MtcgError::Unassigned`] if some instruction of `f` is
+/// unassigned in `partition`.
+pub fn baseline_plan(
+    f: &Function,
+    pdg: &Pdg,
+    partition: &Partition,
+) -> Result<CommPlan, MtcgError> {
+    partition.validate(f).map_err(MtcgError::Unassigned)?;
     let pdom = PostDominators::compute(f);
     let cdeps = ControlDeps::compute(f, &pdom);
     let mut plan = CommPlan::new(partition.num_threads());
@@ -131,7 +135,7 @@ pub fn baseline_plan(f: &Function, pdg: &Pdg, partition: &Partition) -> CommPlan
             }
         }
         if !changed {
-            return plan;
+            return Ok(plan);
         }
     }
 }
@@ -210,7 +214,7 @@ mod tests {
     #[test]
     fn baseline_communicates_each_def() {
         let (f, p, pdg) = figure3_like();
-        let plan = baseline_plan(&f, &pdg, &p);
+        let plan = baseline_plan(&f, &pdg, &p).unwrap();
         // r1 has two defs (A and E) with inter-thread deps into F:
         // two communication points.
         let r1 = gmt_ir::Reg(1);
@@ -222,7 +226,7 @@ mod tests {
     #[test]
     fn transitive_control_branch_becomes_relevant() {
         let (f, p, pdg) = figure3_like();
-        let plan = baseline_plan(&f, &pdg, &p);
+        let plan = baseline_plan(&f, &pdg, &p).unwrap();
         // E (def of r1) is in B2, control dependent on branch B (in B1).
         // Its comm point is in B2 => branch B must be relevant to T1 and
         // its operand communicated.
@@ -239,7 +243,7 @@ mod tests {
     #[test]
     fn thread0_duplicates_nothing_foreign() {
         let (f, p, pdg) = figure3_like();
-        let plan = baseline_plan(&f, &pdg, &p);
+        let plan = baseline_plan(&f, &pdg, &p).unwrap();
         // Thread 0 owns all branches; its relevant set equals its own.
         for &br in plan.relevant_branches(ThreadId(0)) {
             assert_eq!(p.thread_of(br), ThreadId(0));
@@ -250,7 +254,7 @@ mod tests {
     fn single_thread_needs_no_communication() {
         let (f, _, pdg) = figure3_like();
         let p = Partition::single_threaded(&f);
-        let plan = baseline_plan(&f, &pdg, &p);
+        let plan = baseline_plan(&f, &pdg, &p).unwrap();
         assert_eq!(plan.total_points(), 0);
     }
 
@@ -268,7 +272,7 @@ mod tests {
         p.assign(instrs[1], ThreadId(1));
         p.assign(instrs[2], ThreadId(0));
         let pdg = Pdg::build(&f);
-        let plan = baseline_plan(&f, &pdg, &p);
+        let plan = baseline_plan(&f, &pdg, &p).unwrap();
         let pts = plan.points(CommKind::Memory, ThreadId(0), ThreadId(1));
         assert_eq!(pts.len(), 1);
         assert_eq!(pts.iter().next(), Some(&CommPoint::After(instrs[0])));

@@ -57,7 +57,7 @@ fn budgeted_codegen_is_correct_at_both_depths() {
     let seq = run(&f, &[9], &exec()).unwrap();
     let partition = round_robin(&f, 2);
     let pdg = Pdg::build(&f);
-    let plan = gmt_mtcg::baseline_plan(&f, &pdg, &partition);
+    let plan = gmt_mtcg::baseline_plan(&f, &pdg, &partition).unwrap();
     let unlimited =
         gmt_mtcg::generate_with_plan_budgeted(&f, &partition, plan.clone(), QueueBudget::Unlimited)
             .unwrap();
@@ -99,8 +99,8 @@ fn sync_array_budget_fits_all_catalog_plans() {
             &pdg,
             &train.profile,
             &gmt_sched::dswp::DswpConfig::default(),
-        );
-        let plan = gmt_mtcg::baseline_plan(&w.function, &pdg, &partition);
+        ).unwrap();
+        let plan = gmt_mtcg::baseline_plan(&w.function, &pdg, &partition).unwrap();
         let out = gmt_mtcg::generate_with_plan_budgeted(
             &w.function,
             &partition,
@@ -129,7 +129,7 @@ fn three_thread_budget() {
     let seq = run(&f, &[5], &exec()).unwrap();
     let partition = round_robin(&f, 3);
     let pdg = Pdg::build(&f);
-    let plan = gmt_mtcg::baseline_plan(&f, &pdg, &partition);
+    let plan = gmt_mtcg::baseline_plan(&f, &pdg, &partition).unwrap();
     let out =
         gmt_mtcg::generate_with_plan_budgeted(&f, &partition, plan, QueueBudget::Limit(8)).unwrap();
     assert!(out.num_queues <= 8);

@@ -20,6 +20,7 @@
 //! [`is_pipeline`](crate::metrics::is_pipeline).
 
 use crate::weights::InstrWeights;
+use crate::SchedError;
 use gmt_ir::{ControlDeps, Dominators, Function, LoopForest, PostDominators, Profile};
 use gmt_pdg::{Partition, Pdg, ThreadId};
 use std::collections::HashMap;
@@ -41,12 +42,16 @@ impl Default for DswpConfig {
 
 /// Partitions `f` into a pipeline of `config.num_threads` stages.
 ///
+/// # Errors
+///
+/// [`SchedError::NoThreads`] when `config.num_threads` is zero.
+///
 /// ```
 /// use gmt_ir::{FunctionBuilder, BinOp, Profile};
 /// use gmt_pdg::Pdg;
 /// use gmt_sched::{dswp, is_pipeline};
 ///
-/// # fn main() -> Result<(), gmt_ir::VerifyError> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut b = FunctionBuilder::new("f");
 /// let x = b.param();
 /// let y = b.bin(BinOp::Mul, x, 3i64);
@@ -54,12 +59,20 @@ impl Default for DswpConfig {
 /// b.ret(None);
 /// let f = b.finish()?;
 /// let pdg = Pdg::build(&f);
-/// let p = dswp::partition(&f, &pdg, &Profile::uniform(&f, 10), &dswp::DswpConfig::default());
+/// let p = dswp::partition(&f, &pdg, &Profile::uniform(&f, 10), &dswp::DswpConfig::default())?;
 /// assert!(is_pipeline(&pdg, &p));
 /// # Ok(())
 /// # }
 /// ```
-pub fn partition(f: &Function, pdg: &Pdg, profile: &Profile, config: &DswpConfig) -> Partition {
+pub fn partition(
+    f: &Function,
+    pdg: &Pdg,
+    profile: &Profile,
+    config: &DswpConfig,
+) -> Result<Partition, SchedError> {
+    if config.num_threads == 0 {
+        return Err(SchedError::NoThreads);
+    }
     let weights = InstrWeights::compute(f, profile);
     let dom = Dominators::compute(f);
     let loops = LoopForest::compute(f, &dom);
@@ -72,7 +85,7 @@ pub fn partition(f: &Function, pdg: &Pdg, profile: &Profile, config: &DswpConfig
     let topo = cond
         .dag
         .topological_order()
-        .expect("condensation is acyclic");
+        .ok_or(SchedError::CyclicCondensation)?;
 
     // Candidate cluster sequences: SCCs in topological order, merged at
     // several granularities. A merge key groups *adjacent-in-topo*
@@ -111,7 +124,7 @@ pub fn partition(f: &Function, pdg: &Pdg, profile: &Profile, config: &DswpConfig
             }
         }
     }
-    best.expect("at least one candidate").1
+    best.map(|(_, p)| p).ok_or(SchedError::NoCandidates)
 }
 
 /// Enumerates pipeline partitions over the cluster sequence: for two
@@ -321,7 +334,7 @@ mod tests {
     fn produces_a_valid_pipeline() {
         let (f, profile) = producer_consumer_loop();
         let pdg = Pdg::build(&f);
-        let p = partition(&f, &pdg, &profile, &DswpConfig::default());
+        let p = partition(&f, &pdg, &profile, &DswpConfig::default()).unwrap();
         assert!(p.validate(&f).is_ok());
         assert!(is_pipeline(&pdg, &p), "dependences must flow forward only");
     }
@@ -330,7 +343,7 @@ mod tests {
     fn both_stages_nonempty_on_balanced_loop() {
         let (f, profile) = producer_consumer_loop();
         let pdg = Pdg::build(&f);
-        let p = partition(&f, &pdg, &profile, &DswpConfig::default());
+        let p = partition(&f, &pdg, &profile, &DswpConfig::default()).unwrap();
         let sizes = p.static_sizes();
         assert!(sizes.iter().all(|&s| s > 0), "{sizes:?}");
     }
@@ -339,7 +352,7 @@ mod tests {
     fn recurrences_never_split_or_flow_backward() {
         let (f, profile) = producer_consumer_loop();
         let pdg = Pdg::build(&f);
-        let p = partition(&f, &pdg, &profile, &DswpConfig::default());
+        let p = partition(&f, &pdg, &profile, &DswpConfig::default()).unwrap();
         for d in pdg.deps() {
             assert!(p.thread_of(d.src) <= p.thread_of(d.dst), "dep {d:?} flows backward");
         }
@@ -361,7 +374,7 @@ mod tests {
         let f = b.finish().unwrap();
         let pdg = Pdg::build(&f);
         let profile = Profile::uniform(&f, 1);
-        let p = partition(&f, &pdg, &profile, &DswpConfig { num_threads: 4, comm_latency: 1 });
+        let p = partition(&f, &pdg, &profile, &DswpConfig { num_threads: 4, comm_latency: 1 }).unwrap();
         assert!(p.validate(&f).is_ok());
         assert!(is_pipeline(&pdg, &p));
     }
@@ -370,7 +383,7 @@ mod tests {
     fn single_stage_degenerates_to_single_thread() {
         let (f, profile) = producer_consumer_loop();
         let pdg = Pdg::build(&f);
-        let p = partition(&f, &pdg, &profile, &DswpConfig { num_threads: 1, comm_latency: 1 });
+        let p = partition(&f, &pdg, &profile, &DswpConfig { num_threads: 1, comm_latency: 1 }).unwrap();
         assert_eq!(p.static_sizes()[0], f.placed_instr_count());
     }
 
@@ -378,7 +391,7 @@ mod tests {
     fn four_stage_pipeline_still_valid() {
         let (f, profile) = producer_consumer_loop();
         let pdg = Pdg::build(&f);
-        let p = partition(&f, &pdg, &profile, &DswpConfig { num_threads: 4, comm_latency: 1 });
+        let p = partition(&f, &pdg, &profile, &DswpConfig { num_threads: 4, comm_latency: 1 }).unwrap();
         assert!(p.validate(&f).is_ok());
         assert!(is_pipeline(&pdg, &p));
     }

@@ -30,6 +30,7 @@
 //! chosen partition may have cyclic inter-thread dependences.
 
 use crate::weights::InstrWeights;
+use crate::SchedError;
 use gmt_graph::{DiGraph, NodeId};
 use gmt_ir::{Dominators, Function, LoopForest, Profile};
 use gmt_pdg::{Partition, Pdg, ThreadId};
@@ -79,12 +80,16 @@ const GRANULARITIES: [Granularity; 5] = [
 /// Partitions `f` over `config.num_threads` threads, selecting the
 /// best candidate by the analytic throughput score.
 ///
+/// # Errors
+///
+/// [`SchedError::NoThreads`] when `config.num_threads` is zero.
+///
 /// ```
 /// use gmt_ir::{FunctionBuilder, BinOp, Profile};
 /// use gmt_pdg::Pdg;
 /// use gmt_sched::gremio;
 ///
-/// # fn main() -> Result<(), gmt_ir::VerifyError> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut b = FunctionBuilder::new("f");
 /// let x = b.param();
 /// let y = b.bin(BinOp::Mul, x, 3i64);
@@ -92,17 +97,22 @@ const GRANULARITIES: [Granularity; 5] = [
 /// b.ret(None);
 /// let f = b.finish()?;
 /// let pdg = Pdg::build(&f);
-/// let p = gremio::partition(&f, &pdg, &Profile::uniform(&f, 10), &gremio::GremioConfig::default());
+/// let p = gremio::partition(&f, &pdg, &Profile::uniform(&f, 10), &gremio::GremioConfig::default())?;
 /// assert!(p.validate(&f).is_ok());
 /// # Ok(())
 /// # }
 /// ```
-pub fn partition(f: &Function, pdg: &Pdg, profile: &Profile, config: &GremioConfig) -> Partition {
-    candidates(f, pdg, profile, config)
+pub fn partition(
+    f: &Function,
+    pdg: &Pdg,
+    profile: &Profile,
+    config: &GremioConfig,
+) -> Result<Partition, SchedError> {
+    candidates(f, pdg, profile, config)?
         .into_iter()
         .min_by_key(|(s, _)| *s)
-        .expect("at least one candidate")
-        .1
+        .map(|(_, p)| p)
+        .ok_or(SchedError::NoCandidates)
 }
 
 /// All candidate partitions GREMIO considers, with their analytic
@@ -111,12 +121,19 @@ pub fn partition(f: &Function, pdg: &Pdg, profile: &Profile, config: &GremioConf
 /// arbitrate between candidates with a better oracle (e.g. a timed run
 /// of the generated code on the train input — profile-guided partition
 /// selection).
+///
+/// # Errors
+///
+/// [`SchedError::NoThreads`] when `config.num_threads` is zero.
 pub fn candidates(
     f: &Function,
     pdg: &Pdg,
     profile: &Profile,
     config: &GremioConfig,
-) -> Vec<(u64, Partition)> {
+) -> Result<Vec<(u64, Partition)>, SchedError> {
+    if config.num_threads == 0 {
+        return Err(SchedError::NoThreads);
+    }
     let weights = InstrWeights::compute(f, profile);
     let dom = Dominators::compute(f);
     let loops = LoopForest::compute(f, &dom);
@@ -140,7 +157,7 @@ pub fn candidates(
     if !out.iter().any(|(_, p)| *p == single) {
         out.push((score, single));
     }
-    out
+    Ok(out)
 }
 
 /// Builds and list-schedules one candidate clustering.
@@ -484,7 +501,7 @@ mod tests {
     fn valid_total_assignment() {
         let (f, profile) = two_independent_loops();
         let pdg = Pdg::build(&f);
-        let p = partition(&f, &pdg, &profile, &GremioConfig::default());
+        let p = partition(&f, &pdg, &profile, &GremioConfig::default()).unwrap();
         assert!(p.validate(&f).is_ok());
     }
 
@@ -492,7 +509,7 @@ mod tests {
     fn independent_loops_land_on_different_threads() {
         let (f, profile) = two_independent_loops();
         let pdg = Pdg::build(&f);
-        let p = partition(&f, &pdg, &profile, &GremioConfig::default());
+        let p = partition(&f, &pdg, &profile, &GremioConfig::default()).unwrap();
         let sizes = p.static_sizes();
         assert!(sizes.iter().all(|&s| s > 0), "both threads should get work: {sizes:?}");
         // The two loop bodies must not share a thread: find the two
@@ -513,7 +530,7 @@ mod tests {
     fn loop_bodies_stay_whole_when_loops_are_independent() {
         let (f, profile) = two_independent_loops();
         let pdg = Pdg::build(&f);
-        let p = partition(&f, &pdg, &profile, &GremioConfig::default());
+        let p = partition(&f, &pdg, &profile, &GremioConfig::default()).unwrap();
         // Every instruction of block b1 shares b1's thread (the loop
         // body was not scattered).
         for blk in [gmt_ir::BlockId(2), gmt_ir::BlockId(4)] {
@@ -530,7 +547,7 @@ mod tests {
     fn single_thread_config_degenerates() {
         let (f, profile) = two_independent_loops();
         let pdg = Pdg::build(&f);
-        let p = partition(&f, &pdg, &profile, &GremioConfig { num_threads: 1, comm_latency: 1 });
+        let p = partition(&f, &pdg, &profile, &GremioConfig { num_threads: 1, comm_latency: 1 }).unwrap();
         assert_eq!(p.static_sizes()[0], f.placed_instr_count());
     }
 
@@ -538,7 +555,7 @@ mod tests {
     fn recurrences_not_split() {
         let (f, profile) = two_independent_loops();
         let pdg = Pdg::build(&f);
-        let p = partition(&f, &pdg, &profile, &GremioConfig::default());
+        let p = partition(&f, &pdg, &profile, &GremioConfig::default()).unwrap();
         let (g, index) = pdg.as_digraph();
         let cond = g.condensation();
         for d in pdg.deps() {

@@ -31,8 +31,8 @@
 //! let f = b.finish()?;
 //! let pdg = Pdg::build(&f);
 //! let profile = Profile::uniform(&f, 10);
-//! let pipe = dswp::partition(&f, &pdg, &profile, &dswp::DswpConfig::default());
-//! let listed = gremio::partition(&f, &pdg, &profile, &gremio::GremioConfig::default());
+//! let pipe = dswp::partition(&f, &pdg, &profile, &dswp::DswpConfig::default()).unwrap();
+//! let listed = gremio::partition(&f, &pdg, &profile, &gremio::GremioConfig::default()).unwrap();
 //! assert!(pipe.validate(&f).is_ok());
 //! assert!(listed.validate(&f).is_ok());
 //! # Ok(())
@@ -48,3 +48,33 @@ pub mod metrics;
 pub mod weights;
 
 pub use metrics::{balance, cut_summary, has_cyclic_inter_thread_deps, is_pipeline, Balance, CutSummary};
+
+/// Partitioner failures on untrusted configurations or inputs.
+///
+/// The partitioners used to panic on these; they are now reported so
+/// drivers feeding arbitrary configurations (harness sweeps, property
+/// tests) get a diagnosis instead of an abort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedError {
+    /// The configuration asked for zero threads.
+    NoThreads,
+    /// The PDG's SCC condensation could not be ordered topologically
+    /// (an internal invariant violation in the dependence graph).
+    CyclicCondensation,
+    /// No candidate partition was produced.
+    NoCandidates,
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::NoThreads => write!(f, "partitioner configured with zero threads"),
+            SchedError::CyclicCondensation => {
+                write!(f, "PDG condensation is not acyclic")
+            }
+            SchedError::NoCandidates => write!(f, "no candidate partition produced"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}

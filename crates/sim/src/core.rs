@@ -1,7 +1,7 @@
 //! One in-order, multi-issue, stall-on-use core.
 
 use gmt_ir::interp::MemoryLayout;
-use gmt_ir::{AddrMode, BlockId, Function, InstrId, Op, Operand, Reg};
+use gmt_ir::{AddrMode, BlockId, Function, InstrId, Op, Operand, QueueId, Reg};
 
 /// Why a core could not issue its next instruction this cycle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -98,6 +98,9 @@ pub struct Core<'a> {
     /// Monotonic write token per register, guarding late consume
     /// deliveries against intervening redefinitions.
     pub token: Vec<u64>,
+    /// Queue each pending register's outstanding consume issued
+    /// against (deadlock attribution only).
+    pub pending_queue: Vec<Option<QueueId>>,
     next_token: u64,
     /// Current block.
     pub block: BlockId,
@@ -127,6 +130,7 @@ impl<'a> Core<'a> {
             regs,
             ready: vec![0; n],
             token: vec![0; n],
+            pending_queue: vec![None; n],
             next_token: 1,
             block: f.entry(),
             pos: 0,
@@ -182,15 +186,18 @@ impl<'a> Core<'a> {
     pub fn write(&mut self, dst: Reg, value: i64, ready_at: u64) -> u64 {
         self.regs[dst.index()] = value;
         self.ready[dst.index()] = ready_at;
+        self.pending_queue[dst.index()] = None;
         let t = self.next_token;
         self.next_token += 1;
         self.token[dst.index()] = t;
         t
     }
 
-    /// Marks `dst` pending (outstanding consume); returns the token.
-    pub fn mark_pending(&mut self, dst: Reg) -> u64 {
+    /// Marks `dst` pending (outstanding consume from `queue`); returns
+    /// the token.
+    pub fn mark_pending(&mut self, dst: Reg, queue: QueueId) -> u64 {
         self.ready[dst.index()] = u64::MAX;
+        self.pending_queue[dst.index()] = Some(queue);
         let t = self.next_token;
         self.next_token += 1;
         self.token[dst.index()] = t;
@@ -203,6 +210,7 @@ impl<'a> Core<'a> {
         if self.token[dst.index()] == token {
             self.regs[dst.index()] = value;
             self.ready[dst.index()] = ready_at;
+            self.pending_queue[dst.index()] = None;
         }
     }
 

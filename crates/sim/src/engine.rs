@@ -16,8 +16,8 @@ use crate::sa::{PendingConsume, SyncArray};
 use crate::sim::SimResult;
 use crate::trace::{NoTrace, TraceEvent, TraceSink};
 use gmt_ir::decoded::{DecodedFunction, DecodedOp, DecodedProgram, NO_USE};
-use gmt_ir::interp::{ExecError, Memory, MemoryLayout};
-use gmt_ir::{Function, Operand, Reg};
+use gmt_ir::interp::{BlockedOp, DeadlockInfo, ExecError, Memory, MemoryLayout};
+use gmt_ir::{Function, Operand, QueueId, Reg};
 
 /// Runs `threads` (one per core) to completion on the machine, through
 /// the pre-decoded engine. Drop-in replacement for the reference
@@ -108,7 +108,7 @@ fn run_engine<S: TraceSink>(
             return Err(ExecError::OutOfFuel);
         }
         if cycle - last_progress > NO_PROGRESS_WINDOW {
-            return Err(ExecError::Deadlock);
+            return Err(ExecError::Deadlock(deadlock_info(&cores, threads, &sa, cycle)));
         }
         let mut sa_ports_left = config.sa.ports;
         // Rotate the start core for SA-port fairness.
@@ -156,6 +156,46 @@ fn sa_overflow() -> String {
     "synchronization array produce overran the configured queue depth".to_string()
 }
 
+/// Attributes a no-progress timeout to the first unfinished core whose
+/// next operation is provably queue-blocked: a produce against a full
+/// queue, a `consume.sync` against an empty one, or an operand still
+/// pending on an outstanding consume delivery.
+fn deadlock_info(
+    cores: &[DCore],
+    threads: &[DecodedFunction],
+    sa: &SyncArray,
+    now: u64,
+) -> Option<DeadlockInfo> {
+    for (ci, core) in cores.iter().enumerate() {
+        if core.finished {
+            continue;
+        }
+        let d = &threads[ci];
+        let pc = core.pc;
+        match d.op(pc) {
+            DecodedOp::Produce { queue, .. } | DecodedOp::ProduceSync { queue }
+                if queue.index() < sa.len() && !sa.can_produce(queue.index()) =>
+            {
+                return Some(DeadlockInfo { core: ci, queue, op: BlockedOp::ProduceFull });
+            }
+            DecodedOp::ConsumeSync { queue }
+                if queue.index() < sa.len() && !sa.has_visible_entry(queue.index(), now) =>
+            {
+                return Some(DeadlockInfo { core: ci, queue, op: BlockedOp::ConsumeEmpty });
+            }
+            _ => {}
+        }
+        for &u in d.uses(pc).iter() {
+            if u != NO_USE && core.ready[u as usize] == u64::MAX {
+                if let Some(queue) = core.pending_queue[u as usize] {
+                    return Some(DeadlockInfo { core: ci, queue, op: BlockedOp::ConsumeEmpty });
+                }
+            }
+        }
+    }
+    None
+}
+
 /// Core state for the decoded engine: same microarchitectural model as
 /// [`Core`](crate::Core), with the block/pos cursor replaced by a flat
 /// pc and no per-core layout (leas are pre-folded at decode time).
@@ -167,6 +207,9 @@ struct DCore {
     /// Monotonic write token per register, guarding late consume
     /// deliveries against intervening redefinitions.
     token: Vec<u64>,
+    /// Queue each pending register's outstanding consume issued
+    /// against (deadlock attribution only).
+    pending_queue: Vec<Option<QueueId>>,
     next_token: u64,
     pc: u32,
     finished: bool,
@@ -188,6 +231,7 @@ impl DCore {
             regs,
             ready: vec![0; n],
             token: vec![0; n],
+            pending_queue: vec![None; n],
             next_token: 1,
             pc: d.entry_pc(),
             finished: false,
@@ -224,6 +268,7 @@ impl DCore {
     fn write(&mut self, dst: Reg, value: i64, ready_at: u64) -> u64 {
         self.regs[dst.index()] = value;
         self.ready[dst.index()] = ready_at;
+        self.pending_queue[dst.index()] = None;
         let t = self.next_token;
         self.next_token += 1;
         self.token[dst.index()] = t;
@@ -231,8 +276,9 @@ impl DCore {
     }
 
     #[inline]
-    fn mark_pending(&mut self, dst: Reg) -> u64 {
+    fn mark_pending(&mut self, dst: Reg, queue: QueueId) -> u64 {
         self.ready[dst.index()] = u64::MAX;
+        self.pending_queue[dst.index()] = Some(queue);
         let t = self.next_token;
         self.next_token += 1;
         self.token[dst.index()] = t;
@@ -244,6 +290,7 @@ impl DCore {
         if self.token[dst.index()] == token {
             self.regs[dst.index()] = value;
             self.ready[dst.index()] = ready_at;
+            self.pending_queue[dst.index()] = None;
         }
     }
 
@@ -404,7 +451,7 @@ fn issue_core<S: TraceSink>(
                     return Err(ExecError::BadQueue(d.src(pc)));
                 }
                 *sa_ports_left -= 1;
-                let token = cores[ci].mark_pending(dst);
+                let token = cores[ci].mark_pending(dst, queue);
                 let pending = PendingConsume { core: ci, dst: Some(dst), token };
                 let mut deferred = true;
                 if let Ok((v, ready)) = sa.consume(queue.index(), now, pending) {

@@ -4,7 +4,7 @@ use crate::cache::{Hierarchy, HitLevel};
 use crate::config::MachineConfig;
 use crate::core::{Core, CoreStats, StallReason};
 use crate::sa::{PendingConsume, SyncArray};
-use gmt_ir::interp::{ExecError, Memory, MemoryLayout};
+use gmt_ir::interp::{BlockedOp, DeadlockInfo, ExecError, Memory, MemoryLayout};
 use gmt_ir::{BinOp, Function, Op};
 
 /// The result of a timed simulation.
@@ -126,7 +126,7 @@ pub fn simulate_reference(
             return Err(ExecError::OutOfFuel);
         }
         if cycle - last_progress > NO_PROGRESS_WINDOW {
-            return Err(ExecError::Deadlock);
+            return Err(ExecError::Deadlock(deadlock_info(&cores, threads, &sa, cycle)));
         }
         let mut sa_ports_left = config.sa.ports;
         // Rotate the start core for SA-port fairness.
@@ -168,6 +168,47 @@ pub fn simulate_reference(
 
 fn sa_overflow() -> String {
     "synchronization array produce overran the configured queue depth".to_string()
+}
+
+/// Attributes a no-progress timeout to the first unfinished core whose
+/// next operation is provably queue-blocked: a produce against a full
+/// queue, a `consume.sync` against an empty one, or an operand still
+/// pending on an outstanding consume delivery. Mirrors the decoded
+/// engine's attribution decision-for-decision.
+fn deadlock_info(
+    cores: &[Core],
+    threads: &[Function],
+    sa: &SyncArray,
+    now: u64,
+) -> Option<DeadlockInfo> {
+    for (ci, core) in cores.iter().enumerate() {
+        if core.finished {
+            continue;
+        }
+        let f = &threads[ci];
+        let op = f.instr(core.current_instr(f));
+        match *op {
+            Op::Produce { queue, .. } | Op::ProduceSync { queue }
+                if queue.index() < sa.len() && !sa.can_produce(queue.index()) =>
+            {
+                return Some(DeadlockInfo { core: ci, queue, op: BlockedOp::ProduceFull });
+            }
+            Op::ConsumeSync { queue }
+                if queue.index() < sa.len() && !sa.has_visible_entry(queue.index(), now) =>
+            {
+                return Some(DeadlockInfo { core: ci, queue, op: BlockedOp::ConsumeEmpty });
+            }
+            _ => {}
+        }
+        for r in op.uses() {
+            if core.ready[r.index()] == u64::MAX {
+                if let Some(queue) = core.pending_queue[r.index()] {
+                    return Some(DeadlockInfo { core: ci, queue, op: BlockedOp::ConsumeEmpty });
+                }
+            }
+        }
+    }
+    None
 }
 
 /// Issues as many instructions as possible on core `ci` this cycle;
@@ -302,7 +343,7 @@ fn issue_core(
                     return Err(ExecError::BadQueue(instr));
                 }
                 *sa_ports_left -= 1;
-                let token = cores[ci].mark_pending(dst);
+                let token = cores[ci].mark_pending(dst, queue);
                 let pending = PendingConsume { core: ci, dst: Some(dst), token };
                 if let Ok((v, ready)) = sa.consume(queue.index(), now, pending) {
                     cores[ci].deliver(dst, token, v, ready);

@@ -228,7 +228,14 @@ fn deadlock_detected_in_time() {
         b.finish().unwrap()
     };
     let err = simulate(&[t0], &[], |_, _| {}, &MachineConfig::default()).unwrap_err();
-    assert_eq!(err, gmt_ir::interp::ExecError::Deadlock);
+    assert_eq!(
+        err,
+        gmt_ir::interp::ExecError::Deadlock(Some(gmt_ir::interp::DeadlockInfo {
+            core: 0,
+            queue: QueueId(0),
+            op: gmt_ir::interp::BlockedOp::ConsumeEmpty,
+        }))
+    );
 }
 
 #[test]

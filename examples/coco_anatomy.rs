@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = run(&f, &[10], &ExecConfig::default())?.profile;
 
     // Baseline: MTCG communicates r1 at its definition — inside loop 1.
-    let baseline = gmt_mtcg::baseline_plan(&f, &pdg, &partition);
+    let baseline = gmt_mtcg::baseline_plan(&f, &pdg, &partition).unwrap();
     println!("baseline r1 points: {:?}", baseline.points(CommKind::Register(r1), ThreadId(0), ThreadId(1)));
     println!("baseline makes T1 duplicate branches: {:?}", baseline.relevant_branches(ThreadId(1)));
 

@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Stage 2: the partitioner (DSWP here).
     let cfg = dswp::DswpConfig::default();
-    let partition = dswp::partition(&w.function, &pdg, &train.profile, &cfg);
+    let partition = dswp::partition(&w.function, &pdg, &train.profile, &cfg).unwrap();
     println!(
         "DSWP partition: static sizes {:?}, pipeline = {}",
         partition.static_sizes(),
@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("cut dependences: {cut:?}");
 
     // Stage 3: baseline MTCG plan vs the COCO plan.
-    let baseline = gmt_mtcg::baseline_plan(&w.function, &pdg, &partition);
+    let baseline = gmt_mtcg::baseline_plan(&w.function, &pdg, &partition).unwrap();
     let (coco_plan, stats) = optimize(
         &w.function,
         &pdg,

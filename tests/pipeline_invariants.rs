@@ -125,7 +125,7 @@ fn coco_is_deterministic() {
         &pdg,
         &train.profile,
         &gmt_sched::gremio::GremioConfig::default(),
-    );
+    ).unwrap();
     let (p1, s1) = gmt_core::optimize(
         &w.function,
         &pdg,
@@ -156,7 +156,7 @@ fn coco_converges_quickly() {
             &pdg,
             &train.profile,
             &gmt_sched::dswp::DswpConfig::default(),
-        );
+        ).unwrap();
         let (_, stats) = gmt_core::optimize(
             &w.function,
             &pdg,
@@ -199,8 +199,8 @@ fn static_profiles_work_end_to_end() {
         &pdg,
         &estimated,
         &gmt_sched::gremio::GremioConfig::default(),
-    );
-    let base = gmt_mtcg::baseline_plan(&w.function, &pdg, &partition);
+    ).unwrap();
+    let base = gmt_mtcg::baseline_plan(&w.function, &pdg, &partition).unwrap();
     let (coco, _) = gmt_core::optimize(
         &w.function,
         &pdg,
@@ -232,7 +232,7 @@ fn coco_on_random_block_partitions_both_algos() {
             let pdg = Pdg::build(&w.function);
             let partition = block_partition(&w.function, 2, seed);
             let config = CocoConfig { algo, ..CocoConfig::default() };
-            let base = gmt_mtcg::baseline_plan(&w.function, &pdg, &partition);
+            let base = gmt_mtcg::baseline_plan(&w.function, &pdg, &partition).unwrap();
             let (plan, _) = gmt_core::optimize(&w.function, &pdg, &partition, &seq.profile, &config);
             prop_assert!(
                 plan.dynamic_cost(&w.function, &seq.profile)

@@ -179,7 +179,7 @@ fn plan_cost_equals_measured_communication() {
             let partition = seeded_partition(&f, 2, *seed);
             let pdg = Pdg::build(&f);
 
-            let base_plan = gmt_mtcg::baseline_plan(&f, &pdg, &partition);
+            let base_plan = gmt_mtcg::baseline_plan(&f, &pdg, &partition).unwrap();
             let (coco_plan, _) =
                 optimize(&f, &pdg, &partition, &seq.profile, &CocoConfig::default());
             for plan in [base_plan, coco_plan] {
