@@ -48,13 +48,20 @@ GMT_JOBS=8 ./target/release/repro --quick --fig 7 > target/ci_fig7_posttrace.txt
 cmp target/ci_fig7_posttrace.txt tests/golden/fig7_quick.txt
 
 # Queue-protocol gate: the static validator must pass the full kernel ×
-# scheduler × ±COCO matrix at the paper's queue depths (GREMIO 1,
-# DSWP 32), and the seeded-mutation suite must show it still catches
-# every planted defect class (swapped endpoints, off-by-one queue,
-# dropped control duplication, stale placement, uncovered memory
-# dependence, depth-sensitive deadlock).
+# scheduler × ±COCO matrix at each cell's *allocated* per-queue depths
+# (profile-weighted: hot loop-carried queues get the scheduler's depth
+# — GREMIO 1, DSWP 32 — cold control queues get 1), and the
+# seeded-mutation suite must show it still catches every planted defect
+# class (swapped endpoints, off-by-one queue, dropped control
+# duplication, stale placement, uncovered memory dependence,
+# cross-block circular waits, plan↔code position swaps, and deadlocks
+# only visible at the allocated depth vector). Then re-run the quick
+# Figure 7 and re-diff the golden — verification must never perturb
+# the measured numbers.
 GMT_JOBS=8 ./target/release/repro --verify-mt
 cargo test -q --offline -p gmt-core --test mtverify_mutations
+GMT_JOBS=8 ./target/release/repro --quick --fig 7 > target/ci_fig7_postverify.txt
+cmp target/ci_fig7_postverify.txt tests/golden/fig7_quick.txt
 
 # Panic-site budget: untrusted inputs to the partitioner and the code
 # generator must surface as SchedError/MtcgError, never a panic. The

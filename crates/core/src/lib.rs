@@ -71,7 +71,7 @@ mod schedule_cache;
 
 pub use coco::{optimize, CocoConfig, CocoStats};
 pub use flowgraph::{Gf, GfBuilder, LiveMap};
-pub use mtverify::{verify_mt, MtVerifyError, WaitStep};
+pub use mtverify::{verify_mt, verify_mt_uniform, MtVerifyError, WaitStep};
 pub use pipeline::{CompileTimings, Parallelized, Parallelizer, PipelineError, Scheduler};
 pub use pos::{Pos, PosArc, PosGraph};
 pub use safety::Safety;

@@ -32,6 +32,8 @@ pub struct WaitStep {
     /// `true` for produce/produce.sync (blocked on a full queue),
     /// `false` for consume/consume.sync (blocked on an empty one).
     pub produce: bool,
+    /// The depth the queue was verified at (its allocated capacity).
+    pub depth: usize,
 }
 
 /// A violation of the MT queue protocol found by [`verify_mt`].
@@ -128,14 +130,68 @@ pub enum MtVerifyError {
         /// The branch's owning thread.
         owner: ThreadId,
     },
-    /// The inter-thread wait graph (queue dependences plus depth-`d`
-    /// back-pressure) has a cycle: every thread on the witness path
-    /// can block waiting for the next.
+    /// The inter-thread wait graph (queue dependences plus per-queue
+    /// back-pressure at each queue's allocated depth, chained across
+    /// blocks along each thread's generated CFG) has a cycle: every
+    /// thread on the witness path can block waiting for the next.
     PotentialDeadlock {
-        /// Queue depth under which the cycle closes.
-        depth: usize,
-        /// The cycle, one blocked operation per hop.
+        /// The cycle, one blocked operation per hop (each
+        /// [`WaitStep::depth`] names the depth its queue was checked
+        /// at).
         witness: Vec<WaitStep>,
+    },
+    /// A queue label (a scheduled communication occurrence the
+    /// generated code is supposed to realize) does not correspond
+    /// one-to-one with the plan's (item, point) set: either the label
+    /// names a (point, kind, from, to) the plan never placed, or a plan
+    /// placement has no label. A consistent-but-different pair would
+    /// otherwise pass both the plan checks and the code checks.
+    PlanLabelMismatch {
+        /// The communication point.
+        point: CommPoint,
+        /// What is communicated.
+        kind: CommKind,
+        /// Producing thread.
+        from: ThreadId,
+        /// Consuming thread.
+        to: ThreadId,
+        /// How many labels carry this placement.
+        labels: usize,
+        /// How many times the plan places it.
+        planned: usize,
+    },
+    /// A thread's image of an original block does not realize the exact
+    /// instruction layout the plan dictates: walking the block's points
+    /// in emission order (block start, before/after each instruction,
+    /// before the terminator), the expected interleaving of
+    /// communication ops and the thread's own instructions differs from
+    /// the generated code — a comm instruction has no plan point at its
+    /// position, or a plan point has no instruction.
+    PlanCodeMismatch {
+        /// The thread whose image disagrees.
+        thread: ThreadId,
+        /// The original block (the thread realizes no image of it when
+        /// `actual` is empty and `expected` is not).
+        block: BlockId,
+        /// (queue, produce?) sequence the plan + labels dictate.
+        expected: Vec<(QueueId, bool)>,
+        /// (queue, produce?) sequence the generated image contains.
+        actual: Vec<(QueueId, bool)>,
+    },
+    /// A thread's image of a block ends with the wrong terminator kind:
+    /// it duplicates a branch the plan never marked (and the thread
+    /// does not own), fails to duplicate a branch it must, or branches
+    /// on a different condition register than the original.
+    BranchDuplicationMismatch {
+        /// The offending thread.
+        thread: ThreadId,
+        /// The original block.
+        block: BlockId,
+        /// The original terminator instruction.
+        branch: InstrId,
+        /// Whether the thread was supposed to end the image with a
+        /// duplicate of the branch.
+        expected_duplicate: bool,
     },
     /// A register communication point no longer dominates a use it
     /// feeds: on some path the producing thread redefines the register
@@ -203,19 +259,43 @@ impl std::fmt::Display for MtVerifyError {
                 f,
                 "thread {thread:?} duplicates {branch:?} but {owner:?} never sends its condition"
             ),
-            MtVerifyError::PotentialDeadlock { depth, witness } => {
-                write!(f, "potential deadlock at queue depth {depth}:")?;
+            MtVerifyError::PotentialDeadlock { witness } => {
+                write!(f, "potential deadlock at the allocated queue depths:")?;
                 for s in witness {
                     write!(
                         f,
-                        " [{:?} blocked {} queue {} in {:?}]",
+                        " [{:?} blocked {} queue {} (depth {}) in {:?}]",
                         s.thread,
                         if s.produce { "producing to" } else { "consuming from" },
                         s.queue.0,
+                        s.depth,
                         s.block
                     )?;
                 }
                 Ok(())
+            }
+            MtVerifyError::PlanLabelMismatch { point, kind, from, to, labels, planned } => write!(
+                f,
+                "{kind:?} {from:?}->{to:?} at {point:?}: {labels} label(s) vs {planned} plan \
+                 placement(s)"
+            ),
+            MtVerifyError::PlanCodeMismatch { thread, block, expected, actual } => write!(
+                f,
+                "thread {thread:?} image of {block:?}: plan dictates comm layout {:?} but the \
+                 code realizes {:?} (positions aligned against the thread's own instructions)",
+                expected.iter().map(|&(q, p)| (q.0, p)).collect::<Vec<_>>(),
+                actual.iter().map(|&(q, p)| (q.0, p)).collect::<Vec<_>>()
+            ),
+            MtVerifyError::BranchDuplicationMismatch { thread, block, branch, expected_duplicate } => {
+                write!(
+                    f,
+                    "thread {thread:?} image of {block:?}: {}",
+                    if *expected_duplicate {
+                        format!("must end with a duplicate of branch {branch:?} (same condition)")
+                    } else {
+                        format!("duplicates branch {branch:?} the plan never marked")
+                    }
+                )
             }
             MtVerifyError::StaleValue { reg, use_instr, pair } => write!(
                 f,
@@ -243,15 +323,31 @@ fn comm_op(op: &Op) -> Option<(QueueId, bool)> {
     }
 }
 
-/// Statically validates the queue protocol of `out` against the
-/// original function, partition, and PDG, under `queue_depth`-deep
-/// hardware queues. Returns every violation found (empty = verified).
-pub fn verify_mt(
+/// [`verify_mt`] at one uniform queue depth (every queue gets
+/// `queue_depth` entries) — the pre-allocation behavior, still what the
+/// pipeline's depth-1 debug gate wants.
+pub fn verify_mt_uniform(
     f: &Function,
     partition: &Partition,
     pdg: &Pdg,
     out: &MtcgOutput,
     queue_depth: usize,
+) -> Vec<MtVerifyError> {
+    verify_mt(f, partition, pdg, out, &[queue_depth])
+}
+
+/// Statically validates the queue protocol of `out` against the
+/// original function, partition, and PDG, under the *per-queue* hardware
+/// depths in `queue_depths` (a single element broadcasts to every queue,
+/// matching `SaConfig::depths`; queue `q` otherwise gets
+/// `queue_depths[q]`, missing entries defaulting to 1). Returns every
+/// violation found (empty = verified).
+pub fn verify_mt(
+    f: &Function,
+    partition: &Partition,
+    pdg: &Pdg,
+    out: &MtcgOutput,
+    queue_depths: &[usize],
 ) -> Vec<MtVerifyError> {
     let mut errs = Vec::new();
     let nt = out.threads.len();
@@ -440,8 +536,22 @@ pub fn verify_mt(
         }
     }
 
-    // ---- wait graph: potential deadlocks under finite queue depth.
-    errs.extend(deadlock_check(&comm_seq, &labels, queue_depth));
+    // ---- plan <-> code cross-check: labels bijective with the plan's
+    // (item, point) placements, comm instructions at the exact plan
+    // positions, branch duplication exactly where marked.
+    errs.extend(plan_code_check(f, partition, out));
+
+    // ---- wait graph: potential deadlocks under the allocated
+    // per-queue depths, with arcs chained across blocks.
+    let depth_of = |q: QueueId| -> usize {
+        let d = if queue_depths.len() == 1 {
+            queue_depths[0]
+        } else {
+            queue_depths.get(q.index()).copied().unwrap_or(1)
+        };
+        d.max(1)
+    };
+    errs.extend(deadlock_check(out, &comm_seq, &labels, &depth_of));
 
     // ---- Definitions 1–2 for moved points: register staleness and
     // memory-dependence coverage on the original CFG.
@@ -450,23 +560,274 @@ pub fn verify_mt(
     errs
 }
 
+/// One expected slot of a generated block image: either a scheduled
+/// communication op or one of the thread's own (cloned) instructions.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Comm { queue: QueueId, produce: bool, kind: CommKind },
+    Own(InstrId),
+}
+
+/// The plan↔code position cross-check.
+///
+/// The plan and the generated code were previously validated
+/// *separately*, so a consistent-but-different pair — a comm
+/// instruction at the wrong position, a produce of the wrong register
+/// over the right queue, an extra or missing branch duplicate — passed
+/// both. This maps every generated produce/consume/branch-duplication
+/// instruction back to a `CommPlan` point *by position* and rejects any
+/// instruction without a plan point or plan point without an
+/// instruction:
+///
+/// 1. labels ↔ plan: every `QueueLabel` names a (point, kind, from, to)
+///    the plan placed, exactly once each way;
+/// 2. per thread, per original block: replaying codegen's emission
+///    order (block start, before/after each instruction, before the
+///    terminator — comm in label order at each point, the thread's own
+///    instructions in between) must reproduce the image exactly,
+///    instruction for instruction;
+/// 3. per thread, per original block ending in a branch: the image's
+///    terminator is a branch on the same condition iff the thread owns
+///    the branch or the plan marks it relevant.
+fn plan_code_check(f: &Function, partition: &Partition, out: &MtcgOutput) -> Vec<MtVerifyError> {
+    let mut errs = Vec::new();
+    let nt = out.threads.len();
+
+    // ---- (1) labels <-> plan placements, as multisets.
+    let mut label_count: BTreeMap<(CommPoint, CommKind, ThreadId, ThreadId), usize> =
+        BTreeMap::new();
+    for l in &out.queue_labels {
+        *label_count.entry((l.point, l.kind, l.from, l.to)).or_insert(0) += 1;
+    }
+    let mut plan_count: BTreeMap<(CommPoint, CommKind, ThreadId, ThreadId), usize> =
+        BTreeMap::new();
+    for item in out.plan.items() {
+        for &p in &item.points {
+            *plan_count.entry((p, item.kind, item.from, item.to)).or_insert(0) += 1;
+        }
+    }
+    let keys: BTreeSet<_> = label_count.keys().chain(plan_count.keys()).copied().collect();
+    for k in keys {
+        let labels = label_count.get(&k).copied().unwrap_or(0);
+        let planned = plan_count.get(&k).copied().unwrap_or(0);
+        if labels != planned {
+            let (point, kind, from, to) = k;
+            errs.push(MtVerifyError::PlanLabelMismatch { point, kind, from, to, labels, planned });
+        }
+    }
+
+    // ---- (2) + (3): replay the emission order per thread, per block.
+    let mut at_point: HashMap<CommPoint, Vec<&QueueLabel>> = HashMap::new();
+    for l in &out.queue_labels {
+        at_point.entry(l.point).or_default().push(l);
+    }
+    for t_idx in 0..nt {
+        let t = ThreadId(t_idx as u32);
+        let tf = &out.threads[t_idx];
+        let Some(origins) = out.origins.get(t_idx) else { continue };
+        let img: HashMap<BlockId, BlockId> = origins.iter().map(|(&g, &b)| (b, g)).collect();
+        for b in f.blocks() {
+            // Expected slots in codegen's emission order.
+            let mut expected: Vec<Slot> = Vec::new();
+            let push_point = |p: CommPoint, expected: &mut Vec<Slot>| {
+                let Some(ls) = at_point.get(&p) else { return };
+                for l in ls {
+                    if l.to == t {
+                        expected.push(Slot::Comm { queue: l.queue, produce: false, kind: l.kind });
+                    } else if l.from == t {
+                        expected.push(Slot::Comm { queue: l.queue, produce: true, kind: l.kind });
+                    }
+                }
+            };
+            push_point(CommPoint::BlockStart(b), &mut expected);
+            for &i in &f.block(b).instrs {
+                push_point(CommPoint::Before(i), &mut expected);
+                if partition.get(i) == Some(t) {
+                    expected.push(Slot::Own(i));
+                }
+                push_point(CommPoint::After(i), &mut expected);
+            }
+            let term = f.block(b).terminator;
+            if let Some(term) = term {
+                push_point(CommPoint::Before(term), &mut expected);
+            }
+            let gb = img.get(&b).copied();
+            if gb.is_none() && expected.is_empty() {
+                continue; // nothing scheduled here, no image needed
+            }
+
+            // Actual slots: the image's non-terminator instructions.
+            // `None` marks a missing image (expected comm with nowhere
+            // to live).
+            let actual: Vec<(InstrId, &Op)> = match gb {
+                Some(g) => tf.block(g).instrs.iter().map(|&i| (i, tf.instr(i))).collect(),
+                None => Vec::new(),
+            };
+            let comm_of = |op: &Op| -> Option<(QueueId, bool, Option<CommKind>)> {
+                match *op {
+                    Op::Produce { queue, value } => Some((
+                        queue,
+                        true,
+                        match value {
+                            gmt_ir::Operand::Reg(r) => Some(CommKind::Register(r)),
+                            _ => None,
+                        },
+                    )),
+                    Op::Consume { dst, queue } => {
+                        Some((queue, false, Some(CommKind::Register(dst))))
+                    }
+                    Op::ProduceSync { queue } => Some((queue, true, Some(CommKind::Memory))),
+                    Op::ConsumeSync { queue } => Some((queue, false, Some(CommKind::Memory))),
+                    _ => None,
+                }
+            };
+            let mut ok = gb.is_some() && expected.len() == actual.len();
+            if ok {
+                for (slot, &(_, op)) in expected.iter().zip(&actual) {
+                    match (*slot, comm_of(op)) {
+                        (Slot::Comm { queue, produce, kind }, Some((q, p, k))) => {
+                            if q != queue || p != produce || k != Some(kind) {
+                                ok = false;
+                            }
+                        }
+                        (Slot::Own(i), None) => {
+                            if *op != *f.instr(i) {
+                                ok = false;
+                            }
+                        }
+                        _ => ok = false,
+                    }
+                    if !ok {
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                let proj_exp: Vec<(QueueId, bool)> = expected
+                    .iter()
+                    .filter_map(|s| match *s {
+                        Slot::Comm { queue, produce, .. } => Some((queue, produce)),
+                        Slot::Own(_) => None,
+                    })
+                    .collect();
+                let proj_act: Vec<(QueueId, bool)> = actual
+                    .iter()
+                    .filter_map(|&(_, op)| comm_of(op).map(|(q, p, _)| (q, p)))
+                    .collect();
+                errs.push(MtVerifyError::PlanCodeMismatch {
+                    thread: t,
+                    block: b,
+                    expected: proj_exp,
+                    actual: proj_act,
+                });
+            }
+
+            // ---- (3) terminator: branch duplication by position.
+            let (Some(term), Some(g)) = (term, gb) else { continue };
+            let orig_branch = matches!(f.instr(term), Op::Branch { .. });
+            let gen_term = tf.block(g).terminator;
+            let gen_cond = gen_term.and_then(|gt| match *tf.instr(gt) {
+                Op::Branch { cond, .. } => Some(cond),
+                _ => None,
+            });
+            if !orig_branch {
+                if gen_cond.is_some() {
+                    errs.push(MtVerifyError::BranchDuplicationMismatch {
+                        thread: t,
+                        block: b,
+                        branch: term,
+                        expected_duplicate: false,
+                    });
+                }
+                continue;
+            }
+            let should = partition.get(term) == Some(t)
+                || out.plan.relevant_branches(t).contains(&term);
+            let Op::Branch { cond, .. } = *f.instr(term) else { unreachable!() };
+            let ok = match (should, gen_cond) {
+                (true, Some(c)) => c == cond,
+                (false, None) => true,
+                _ => false,
+            };
+            if !ok {
+                errs.push(MtVerifyError::BranchDuplicationMismatch {
+                    thread: t,
+                    block: b,
+                    branch: term,
+                    expected_duplicate: should,
+                });
+            }
+        }
+    }
+    errs
+}
+
+/// DFS back edges of a function's CFG (edges into a block still on the
+/// DFS stack). Removing them from the successor relation leaves an
+/// acyclic graph over the blocks reachable from entry.
+fn back_edges(tf: &Function) -> BTreeSet<(BlockId, BlockId)> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; tf.num_blocks()];
+    let mut back = BTreeSet::new();
+    let entry = tf.entry();
+    color[entry.index()] = Color::Gray;
+    let mut stack: Vec<(BlockId, Vec<BlockId>, usize)> = vec![(entry, tf.successors(entry), 0)];
+    loop {
+        let Some(frame) = stack.last_mut() else { break };
+        if frame.2 >= frame.1.len() {
+            color[frame.0.index()] = Color::Black;
+            stack.pop();
+            continue;
+        }
+        let from = frame.0;
+        let s = frame.1[frame.2];
+        frame.2 += 1;
+        match color[s.index()] {
+            Color::White => {
+                color[s.index()] = Color::Gray;
+                let succs = tf.successors(s);
+                stack.push((s, succs, 0));
+            }
+            Color::Gray => {
+                back.insert((from, s));
+            }
+            Color::Black => {}
+        }
+    }
+    back
+}
+
 /// Builds the inter-thread wait graph over static communication
 /// operations and reports each cycle as a potential deadlock.
 ///
 /// Nodes are the per-block communication occurrences (aligned by the
 /// sequence check). Arcs mean "must complete first": program order
-/// inside a block image, produce→consume per matched occurrence, and
-/// consume(k)→produce(k+depth) back-pressure on each queue.
+/// inside a block image, cross-block program order — the last comm op
+/// of a block's image chains to the first comm op of each successor
+/// comm block along the thread's *generated* CFG (two threads visiting
+/// comm blocks in different orders is exactly the cross-block deadlock
+/// class) — produce→consume per matched occurrence, and
+/// consume(k)→produce(k+depth_of(q)) back-pressure on each queue at its
+/// allocated depth. DFS back edges are excluded from the cross-block
+/// chaining (one-iteration semantics; without this every loop whose
+/// body communicates would close a spurious program-order cycle).
 fn deadlock_check(
+    out: &MtcgOutput,
     comm_seq: &[BTreeMap<BlockId, Vec<(QueueId, bool)>>],
     labels: &HashMap<QueueId, Vec<&QueueLabel>>,
-    depth: usize,
+    depth_of: &dyn Fn(QueueId) -> usize,
 ) -> Vec<MtVerifyError> {
     use gmt_graph::{strongly_connected_components, DiGraph, NodeId};
     let mut g = DiGraph::new();
     let mut meta: Vec<WaitStep> = Vec::new();
-    // (thread, block, queue, occurrence-within-block) -> node, per
-    // direction.
+    // (thread, block) -> (first node, last node) of the image's ops.
+    let mut bounds: HashMap<(usize, BlockId), (NodeId, NodeId)> = HashMap::new();
+    // (block, queue, occurrence-within-block) -> node, per direction.
     let mut produce_occ: HashMap<(BlockId, QueueId), Vec<NodeId>> = HashMap::new();
     let mut consume_occ: HashMap<(BlockId, QueueId), Vec<NodeId>> = HashMap::new();
     for (t_idx, per_block) in comm_seq.iter().enumerate() {
@@ -475,13 +836,50 @@ fn deadlock_check(
             let mut prev: Option<NodeId> = None;
             for &(queue, produce) in ops {
                 let n = g.add_node();
-                meta.push(WaitStep { thread: t, block: b, queue, produce });
+                meta.push(WaitStep { thread: t, block: b, queue, produce, depth: depth_of(queue) });
                 if let Some(p) = prev {
                     g.add_arc(p, n); // program order within the image
                 }
                 prev = Some(n);
+                bounds
+                    .entry((t_idx, b))
+                    .and_modify(|(_, last)| *last = n)
+                    .or_insert((n, n));
                 let occ = if produce { &mut produce_occ } else { &mut consume_occ };
                 occ.entry((b, queue)).or_default().push(n);
+            }
+        }
+    }
+    // Cross-block program order, following each thread's generated CFG
+    // projected through `origins`: from each comm block's image, walk
+    // forward (skipping DFS back edges) through comm-free blocks to the
+    // next comm-bearing images and chain last -> first.
+    for (t_idx, per_block) in comm_seq.iter().enumerate() {
+        let (Some(tf), Some(origins)) = (out.threads.get(t_idx), out.origins.get(t_idx)) else {
+            continue;
+        };
+        let img: HashMap<BlockId, BlockId> = origins.iter().map(|(&g, &b)| (b, g)).collect();
+        let back = back_edges(tf);
+        for &b in per_block.keys() {
+            let (Some(&gb), Some(&(_, last))) = (img.get(&b), bounds.get(&(t_idx, b))) else {
+                continue;
+            };
+            let mut stack: Vec<BlockId> =
+                tf.successors(gb).into_iter().filter(|&s| !back.contains(&(gb, s))).collect();
+            let mut seen: BTreeSet<BlockId> = BTreeSet::new();
+            while let Some(g2) = stack.pop() {
+                if !seen.insert(g2) {
+                    continue;
+                }
+                if let Some(&b2) = origins.get(&g2) {
+                    if let Some(&(first, _)) = bounds.get(&(t_idx, b2)) {
+                        g.add_arc(last, first);
+                        continue;
+                    }
+                }
+                stack.extend(
+                    tf.successors(g2).into_iter().filter(|&s| !back.contains(&(g2, s))),
+                );
             }
         }
     }
@@ -492,6 +890,7 @@ fn deadlock_check(
         if labels.get(&q).is_none() {
             continue;
         }
+        let depth = depth_of(q);
         let cons = consume_occ.get(&(b, q)).map(Vec::as_slice).unwrap_or(&[]);
         for (k, &p) in prods.iter().enumerate() {
             if let Some(&c) = cons.get(k) {
@@ -529,7 +928,6 @@ fn deadlock_check(
             at = next;
         };
         errs.push(MtVerifyError::PotentialDeadlock {
-            depth,
             witness: witness.into_iter().map(|n| meta[n.index()].clone()).collect(),
         });
     }

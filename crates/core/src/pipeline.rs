@@ -107,12 +107,28 @@ pub struct Parallelizer {
     /// synchronization array, with queue allocation folding plans that
     /// need more).
     pub queue_budget: QueueBudget,
+    /// Depth granted to *hot* queues (those with a communication point
+    /// inside a loop) by the per-queue depth allocator; cold queues get
+    /// 1 entry. Defaults to the scheduler's paper depth: 1 for GREMIO's
+    /// base synchronization array, 32 for DSWP.
+    pub hot_queue_depth: usize,
 }
 
 impl Parallelizer {
     /// A pipeline with the given scheduler and no COCO.
     pub fn new(scheduler: Scheduler) -> Parallelizer {
-        Parallelizer { scheduler, coco: None, queue_budget: QueueBudget::SYNC_ARRAY }
+        let hot_queue_depth = match &scheduler {
+            Scheduler::Gremio(_) => 1,
+            Scheduler::Dswp(_) => 32,
+        };
+        Parallelizer { scheduler, coco: None, queue_budget: QueueBudget::SYNC_ARRAY, hot_queue_depth }
+    }
+
+    /// Overrides the depth granted to hot queues.
+    #[must_use]
+    pub fn with_hot_queue_depth(mut self, depth: usize) -> Parallelizer {
+        self.hot_queue_depth = depth;
+        self
     }
 
     /// Enables COCO with the given configuration.
@@ -194,18 +210,30 @@ impl Parallelizer {
                 (out, Some(stats), Some(baseline))
             }
         };
+        // Allocate per-queue depths from the profile: queues whose
+        // points sit in loops get the hot depth, the rest get 1. The
+        // timed simulators keep their uniform machine depths; these are
+        // the depths the verifier (and a depth-aware SA) would use.
+        let queue_depths = gmt_mtcg::allocate_depths(
+            f,
+            profile,
+            &output.queue_labels,
+            output.num_queues,
+            self.hot_queue_depth,
+        );
         // Debug builds statically validate the queue protocol of every
-        // generated program at the most conservative depth (1) — MTCG
-        // output must be correct for any queue depth >= 1.
+        // generated program at the most conservative uniform depth (1),
+        // which subsumes any allocated depths >= 1 — MTCG output must
+        // be correct for any queue depth >= 1.
         #[cfg(debug_assertions)]
         {
-            let violations = crate::mtverify::verify_mt(f, &partition, pdg, &output, 1);
+            let violations = crate::mtverify::verify_mt_uniform(f, &partition, pdg, &output, 1);
             debug_assert!(
                 violations.is_empty(),
                 "generated code violates the queue protocol: {violations:?}"
             );
         }
-        Ok(Parallelized { output, partition, coco_stats, baseline_plan, timings })
+        Ok(Parallelized { output, partition, coco_stats, baseline_plan, timings, queue_depths })
     }
 }
 
@@ -222,6 +250,10 @@ pub struct Parallelized {
     pub baseline_plan: Option<CommPlan>,
     /// Wall-clock compile-phase timings for this run.
     pub timings: CompileTimings,
+    /// Profile-weighted per-queue depth allocation (one entry per
+    /// queue; hot loop-carried queues get [`Parallelizer::hot_queue_depth`],
+    /// cold control queues get 1). What `verify_mt` checks at.
+    pub queue_depths: Vec<usize>,
 }
 
 impl Parallelized {

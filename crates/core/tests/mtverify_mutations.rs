@@ -54,7 +54,7 @@ fn clean_output_verifies() {
     let (f, p) = kernel();
     let (pdg, out) = generate(&f, &p);
     for depth in [1, 32] {
-        let errs = verify_mt(&f, &p, &pdg, &out, depth);
+        let errs = verify_mt(&f, &p, &pdg, &out, &[depth]);
         assert!(errs.is_empty(), "clean output flagged at depth {depth}: {errs:?}");
     }
 }
@@ -72,7 +72,7 @@ fn swapped_produce_consume_caught() {
         .expect("consumer thread has a consume");
     let Op::Consume { dst, queue } = *tf.instr(i) else { unreachable!() };
     *tf.instr_mut(i) = Op::Produce { queue, value: dst.into() };
-    let errs = verify_mt(&f, &p, &pdg, &out, 1);
+    let errs = verify_mt(&f, &p, &pdg, &out, &[1]);
     assert!(
         errs.iter().any(|e| matches!(
             e,
@@ -96,7 +96,7 @@ fn off_by_one_queue_caught() {
     let Op::Consume { dst, queue } = *tf.instr(i) else { unreachable!() };
     let wrong = QueueId((queue.0 + 1) % out.num_queues);
     *tf.instr_mut(i) = Op::Consume { dst, queue: wrong };
-    let errs = verify_mt(&f, &p, &pdg, &out, 1);
+    let errs = verify_mt(&f, &p, &pdg, &out, &[1]);
     assert!(
         errs.iter().any(|e| matches!(
             e,
@@ -129,7 +129,7 @@ fn dropped_control_duplication_caught() {
         }
     }
     out.plan = stripped;
-    let errs = verify_mt(&f, &p, &pdg, &out, 1);
+    let errs = verify_mt(&f, &p, &pdg, &out, &[1]);
     assert!(
         errs.iter().any(|e| matches!(
             e,
@@ -155,7 +155,7 @@ fn stale_register_placement_caught() {
     assert!(pts.remove(&CommPoint::After(redef)), "baseline communicates after the redef");
     pts.insert(CommPoint::Before(redef));
     out.plan.set_points(CommKind::Register(y), ThreadId(0), ThreadId(1), pts);
-    let errs = verify_mt(&f, &p, &pdg, &out, 1);
+    let errs = verify_mt(&f, &p, &pdg, &out, &[1]);
     assert!(
         errs.iter().any(|e| matches!(
             e,
@@ -179,7 +179,7 @@ fn uncovered_memory_dep_caught() {
     let mut pts = std::collections::BTreeSet::new();
     pts.insert(CommPoint::After(sink));
     out.plan.set_points(CommKind::Memory, ThreadId(0), ThreadId(1), pts);
-    let errs = verify_mt(&f, &p, &pdg, &out, 1);
+    let errs = verify_mt(&f, &p, &pdg, &out, &[1]);
     assert!(
         errs.iter().any(|e| matches!(
             e,
@@ -189,12 +189,13 @@ fn uncovered_memory_dep_caught() {
     );
 }
 
-/// Hand-built output whose producer fills a depth-1 queue twice before
-/// the consumer's first consume can run: deadlocks at depth 1, sound at
-/// depth >= 2. The wait graph must close the cycle exactly at depth 1.
-#[test]
-fn depth_sensitive_deadlock_caught_at_depth_one_only() {
-    // Original function: three T0 constants feeding T1 (conceptually).
+/// Hand-built output whose producer fills queue 0 twice before the
+/// consumer's first consume can run: deadlocks when q0 has depth 1,
+/// sound at depth >= 2. Returns `(f, partition, pdg, out)`; the
+/// producer's burst sits in the (cold) entry block, so the profile-
+/// weighted allocator grants every queue depth 1.
+fn burst_output() -> (Function, Partition, Pdg, MtcgOutput) {
+    // Original function: two T0 constants feeding T1 (conceptually).
     let mut b = FunctionBuilder::new("orig");
     let r1 = b.const_(1); // i0
     let r2 = b.const_(2); // i1
@@ -256,22 +257,235 @@ fn depth_sensitive_deadlock_caught_at_depth_one_only() {
         ],
         origins,
     };
+    (f, p, pdg, out)
+}
 
-    let deep = verify_mt(&f, &p, &pdg, &out, 2);
+/// The wait graph must close the burst cycle exactly at depth 1.
+#[test]
+fn depth_sensitive_deadlock_caught_at_depth_one_only() {
+    let (f, p, pdg, out) = burst_output();
+    let q0 = QueueId(0);
+    let q1 = QueueId(1);
+
+    let deep = verify_mt(&f, &p, &pdg, &out, &[2]);
     assert!(
         !deep.iter().any(|e| matches!(e, MtVerifyError::PotentialDeadlock { .. })),
         "depth 2 buffers the burst; no deadlock expected: {deep:?}"
     );
-    let shallow = verify_mt(&f, &p, &pdg, &out, 1);
+    let shallow = verify_mt(&f, &p, &pdg, &out, &[1]);
     let dl = shallow
         .iter()
         .find_map(|e| match e {
-            MtVerifyError::PotentialDeadlock { depth, witness } => Some((depth, witness)),
+            MtVerifyError::PotentialDeadlock { witness } => Some(witness),
             _ => None,
         })
         .unwrap_or_else(|| panic!("depth 1 must deadlock: {shallow:?}"));
-    assert_eq!(*dl.0, 1);
+    // Every hop records the depth its queue was verified at.
+    assert!(dl.iter().all(|s| s.depth == 1), "{dl:?}");
     // The witness names both threads and both queues.
-    assert!(dl.1.iter().any(|s| s.thread == ThreadId(0) && s.queue == q0));
-    assert!(dl.1.iter().any(|s| s.thread == ThreadId(1) && s.queue == q1));
+    assert!(dl.iter().any(|s| s.thread == ThreadId(0) && s.queue == q0));
+    assert!(dl.iter().any(|s| s.thread == ThreadId(1) && s.queue == q1));
+}
+
+/// The burst deadlock is depth-*vector* sensitive: a uniform depth-32
+/// array hides it, while the profile-weighted allocation (every point
+/// sits in the cold entry block, so every queue gets depth 1) exposes
+/// it. The verifier must check at the depths the queues actually get.
+#[test]
+fn depth_sensitive_deadlock_caught_at_allocated_depths() {
+    let (f, p, pdg, out) = burst_output();
+    let allocated = gmt_mtcg::allocate_depths(
+        &f,
+        &gmt_ir::Profile::new(),
+        &out.queue_labels,
+        out.num_queues,
+        32,
+    );
+    assert_eq!(allocated, vec![1, 1], "entry-block-only traffic is cold");
+
+    let uniform = verify_mt(&f, &p, &pdg, &out, &[32]);
+    assert!(
+        !uniform.iter().any(|e| matches!(e, MtVerifyError::PotentialDeadlock { .. })),
+        "uniform depth 32 buffers the burst: {uniform:?}"
+    );
+    let errs = verify_mt(&f, &p, &pdg, &out, &allocated);
+    assert!(
+        errs.iter().any(|e| matches!(e, MtVerifyError::PotentialDeadlock { .. })),
+        "allocated depths must expose the burst deadlock: {errs:?}"
+    );
+}
+
+/// Hand-built two-block output pair: each thread owns one block's value
+/// and consumes the other's. `swap` reverses the block order of T0's
+/// generated CFG — every per-block check still passes (each image in
+/// isolation matches the plan), but T0 then holds out for q1 before
+/// serving q0 while T1 does the opposite: a circular wait only visible
+/// once the wait graph chains communication across block boundaries
+/// along each thread's *generated* control flow.
+fn cross_block_output(swap: bool) -> (Function, Partition, Pdg, MtcgOutput) {
+    // Original: block A defines r0 (T0), block B defines r1 (T1).
+    let mut b = FunctionBuilder::new("orig");
+    let r0 = b.fresh_reg();
+    let r1 = b.fresh_reg();
+    let bb = b.block("B");
+    b.const_into(r0, 1); // i0 (T0)
+    b.jump(bb); // i1
+    b.switch_to(bb);
+    b.const_into(r1, 2); // i2 (T1)
+    b.ret(None); // i3
+    let f = b.finish().unwrap();
+    let block_a = f.entry();
+    let i0 = InstrId(0);
+    let i2 = InstrId(2);
+    let mut p = Partition::new(2);
+    for i in f.all_instrs() {
+        p.assign(i, ThreadId(0));
+    }
+    p.assign(i2, ThreadId(1));
+    p.assign(InstrId(3), ThreadId(1));
+    let pdg = Pdg::build(&f);
+
+    let q0 = QueueId(0); // r0: T0 -> T1 at After(i0), in A
+    let q1 = QueueId(1); // r1: T1 -> T0 at After(i2), in B
+    let t0 = {
+        let mut t = FunctionBuilder::new("t0");
+        let c0 = t.fresh_reg(); // clone of r0
+        let c1 = t.fresh_reg(); // consumed r1
+        if swap {
+            // Visits B's image first: waits on q1 before feeding q0.
+            let a_img = t.block("A");
+            t.emit(Op::Consume { dst: c1, queue: q1 });
+            t.jump(a_img);
+            t.switch_to(a_img);
+            t.const_into(c0, 1);
+            t.emit(Op::Produce { queue: q0, value: c0.into() });
+            t.ret(None);
+        } else {
+            let b_img = t.block("B");
+            t.const_into(c0, 1);
+            t.emit(Op::Produce { queue: q0, value: c0.into() });
+            t.jump(b_img);
+            t.switch_to(b_img);
+            t.emit(Op::Consume { dst: c1, queue: q1 });
+            t.ret(None);
+        }
+        t.finish().unwrap()
+    };
+    let t1 = {
+        let mut t = FunctionBuilder::new("t1");
+        let c0 = t.fresh_reg(); // consumed r0
+        let c1 = t.fresh_reg(); // clone of r1
+        let b_img = t.block("B");
+        t.emit(Op::Consume { dst: c0, queue: q0 });
+        t.jump(b_img);
+        t.switch_to(b_img);
+        t.const_into(c1, 2);
+        t.emit(Op::Produce { queue: q1, value: c1.into() });
+        t.ret(None);
+        t.finish().unwrap()
+    };
+    // Map generated blocks back to their originals.
+    let t0_blocks: Vec<_> = t0.blocks().collect();
+    let t0_origin: BTreeMap<_, _> = if swap {
+        [(t0_blocks[0], bb), (t0_blocks[1], block_a)].into_iter().collect()
+    } else {
+        [(t0_blocks[0], block_a), (t0_blocks[1], bb)].into_iter().collect()
+    };
+    let t1_blocks: Vec<_> = t1.blocks().collect();
+    let t1_origin: BTreeMap<_, _> =
+        [(t1_blocks[0], block_a), (t1_blocks[1], bb)].into_iter().collect();
+
+    let mut plan = CommPlan::new(2);
+    plan.add_point(CommKind::Register(r0), ThreadId(0), ThreadId(1), CommPoint::After(i0));
+    plan.add_point(CommKind::Register(r1), ThreadId(1), ThreadId(0), CommPoint::After(i2));
+    let out = MtcgOutput {
+        threads: vec![t0, t1],
+        num_queues: 2,
+        plan,
+        queue_labels: vec![
+            QueueLabel {
+                queue: q0,
+                point: CommPoint::After(i0),
+                kind: CommKind::Register(r0),
+                from: ThreadId(0),
+                to: ThreadId(1),
+            },
+            QueueLabel {
+                queue: q1,
+                point: CommPoint::After(i2),
+                kind: CommKind::Register(r1),
+                from: ThreadId(1),
+                to: ThreadId(0),
+            },
+        ],
+        origins: vec![t0_origin, t1_origin],
+    };
+    (f, p, pdg, out)
+}
+
+/// The straight-order pair is genuinely clean: no check fires.
+#[test]
+fn cross_block_clean_pair_verifies() {
+    let (f, p, pdg, out) = cross_block_output(false);
+    let errs = verify_mt(&f, &p, &pdg, &out, &[1]);
+    assert!(errs.is_empty(), "clean cross-block pair flagged: {errs:?}");
+}
+
+/// Reversing one thread's block order deadlocks — and only the
+/// successor arcs of the wait graph can see it (every per-block
+/// sequence still matches).
+#[test]
+fn cross_block_deadlock_caught_via_successor_arcs() {
+    let (f, p, pdg, out) = cross_block_output(true);
+    let errs = verify_mt(&f, &p, &pdg, &out, &[32]);
+    let witness = errs
+        .iter()
+        .find_map(|e| match e {
+            MtVerifyError::PotentialDeadlock { witness } => Some(witness),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("cross-block circular wait not caught: {errs:?}"));
+    // The cycle crosses both threads and both queues, independent of
+    // depth (no queue ever receives its first value).
+    assert!(witness.iter().any(|s| s.thread == ThreadId(0) && s.queue == QueueId(1)));
+    assert!(witness.iter().any(|s| s.thread == ThreadId(1) && s.queue == QueueId(0)));
+}
+
+/// Swapping a produce with the computation that feeds it leaves every
+/// per-block queue *sequence* intact — only the positional plan↔code
+/// replay notices the produce now precedes the instruction the plan
+/// schedules it after.
+#[test]
+fn plan_code_position_mismatch_caught() {
+    let (f, p) = kernel();
+    let (pdg, mut out) = generate(&f, &p);
+    // Find a produce in T0 whose in-block predecessor is a computation
+    // and swap the two instructions.
+    let tf = &mut out.threads[0];
+    let mut target = None;
+    'outer: for b in tf.blocks() {
+        let instrs = &tf.block(b).instrs;
+        for w in instrs.windows(2) {
+            let (prev, cur) = (w[0], w[1]);
+            if matches!(tf.instr(cur), Op::Produce { .. })
+                && !tf.instr(prev).is_communication()
+            {
+                target = Some((prev, cur));
+                break 'outer;
+            }
+        }
+    }
+    let (prev, cur) = target.expect("T0 has a produce fed by a computation");
+    let a = tf.instr(prev).clone();
+    let b2 = tf.instr(cur).clone();
+    *tf.instr_mut(prev) = b2;
+    *tf.instr_mut(cur) = a;
+    let errs = verify_mt(&f, &p, &pdg, &out, &[1]);
+    assert!(
+        errs.iter().any(|e| matches!(
+            e,
+            MtVerifyError::PlanCodeMismatch { thread: ThreadId(0), .. }
+        )),
+        "position swap not caught: {errs:?}"
+    );
 }

@@ -433,17 +433,17 @@ fn fig3_verifies_and_rejects_a_hoisted_placement() {
     let pdg = Pdg::build(&f);
     let profile = Profile::uniform(&f, 10);
     let base_out = gmt_mtcg::generate(&f, &pdg, &partition).unwrap();
-    assert!(verify_mt(&f, &partition, &pdg, &base_out, 1).is_empty());
+    assert!(verify_mt(&f, &partition, &pdg, &base_out, &[1]).is_empty());
     let (plan, _) = optimize(&f, &pdg, &partition, &profile, &CocoConfig::default());
     let mut out = gmt_mtcg::generate_with_plan(&f, &partition, plan).unwrap();
-    assert!(verify_mt(&f, &partition, &pdg, &out, 1).is_empty());
+    assert!(verify_mt(&f, &partition, &pdg, &out, &[1]).is_empty());
 
     // Mutation: hoist r1's single point from the start of B3 to the
     // start of B1 — before both defs. The consumer would read garbage.
     let mut pts = std::collections::BTreeSet::new();
     pts.insert(CommPoint::BlockStart(f.entry()));
     out.plan.set_points(CommKind::Register(r1), ThreadId(0), ThreadId(1), pts);
-    let errs = verify_mt(&f, &partition, &pdg, &out, 1);
+    let errs = verify_mt(&f, &partition, &pdg, &out, &[1]);
     assert!(
         errs.iter().any(|e| matches!(e, MtVerifyError::StaleValue { reg, .. } if *reg == r1)),
         "hoisted placement not rejected: {errs:?}"
@@ -456,10 +456,10 @@ fn fig4_verifies_and_rejects_a_point_inside_the_loop() {
     let pdg = Pdg::build(&f);
     let profile = run(&f, &[10], &exec()).unwrap().profile;
     let base_out = gmt_mtcg::generate(&f, &pdg, &partition).unwrap();
-    assert!(verify_mt(&f, &partition, &pdg, &base_out, 1).is_empty());
+    assert!(verify_mt(&f, &partition, &pdg, &base_out, &[1]).is_empty());
     let (plan, _) = optimize(&f, &pdg, &partition, &profile, &CocoConfig::default());
     let mut out = gmt_mtcg::generate_with_plan(&f, &partition, plan).unwrap();
-    assert!(verify_mt(&f, &partition, &pdg, &out, 1).is_empty());
+    assert!(verify_mt(&f, &partition, &pdg, &out, &[1]).is_empty());
 
     // Mutation: pull COCO's below-the-loop point back up to the start
     // of L1 — the loop body redefines r1 after the send every
@@ -467,7 +467,7 @@ fn fig4_verifies_and_rejects_a_point_inside_the_loop() {
     let mut pts = std::collections::BTreeSet::new();
     pts.insert(CommPoint::BlockStart(BlockId(1)));
     out.plan.set_points(CommKind::Register(r1), ThreadId(0), ThreadId(1), pts);
-    let errs = verify_mt(&f, &partition, &pdg, &out, 1);
+    let errs = verify_mt(&f, &partition, &pdg, &out, &[1]);
     assert!(
         errs.iter().any(|e| matches!(e, MtVerifyError::StaleValue { reg, .. } if *reg == r1)),
         "in-loop placement not rejected: {errs:?}"
@@ -506,7 +506,7 @@ fn fig5_verifies_and_rejects_an_uncovering_sync_move() {
     let profile = Profile::uniform(&f, 100);
     let (plan, _) = optimize(&f, &pdg, &partition, &profile, &CocoConfig::default());
     let mut out = gmt_mtcg::generate_with_plan(&f, &partition, plan).unwrap();
-    assert!(verify_mt(&f, &partition, &pdg, &out, 1).is_empty());
+    assert!(verify_mt(&f, &partition, &pdg, &out, &[1]).is_empty());
 
     // Mutation: move the shared sync to the start of the entry block —
     // before both stores, so neither store-to-load dependence crosses
@@ -514,7 +514,7 @@ fn fig5_verifies_and_rejects_an_uncovering_sync_move() {
     let mut pts = std::collections::BTreeSet::new();
     pts.insert(CommPoint::BlockStart(f.entry()));
     out.plan.set_points(CommKind::Memory, ThreadId(0), ThreadId(1), pts);
-    let errs = verify_mt(&f, &partition, &pdg, &out, 1);
+    let errs = verify_mt(&f, &partition, &pdg, &out, &[1]);
     assert!(
         errs.iter().any(|e| matches!(e, MtVerifyError::UncoveredMemoryDep { .. })),
         "uncovering sync move not rejected: {errs:?}"

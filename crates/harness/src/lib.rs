@@ -398,10 +398,9 @@ fn parallelize_pair(
                     cache.record_partition(pkey, u64::MAX);
                     return u64::MAX;
                 };
-                let gkey = gmt_core::program_key(
-                    program.structural_hash(),
-                    &[machine.sa.num_queues as u64, machine.sa.depth as u64],
-                );
+                let mut knobs = vec![machine.sa.num_queues as u64];
+                knobs.extend(machine.sa.depths.iter().map(|&d| d as u64));
+                let gkey = gmt_core::program_key(program.structural_hash(), &knobs);
                 if let Some(cycles) = cache.probe_program(gkey) {
                     cache.record_partition(pkey, cycles);
                     return cycles;

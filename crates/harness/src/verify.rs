@@ -1,14 +1,18 @@
 //! The `repro --verify-mt` mode: run the static queue-protocol
 //! validator ([`gmt_core::verify_mt`]) over the full experiment matrix
 //! — every catalog kernel × {GREMIO, DSWP} × {baseline MTCG, MTCG+COCO}
-//! — at each scheduler's paper queue depth (GREMIO 1, DSWP 32).
+//! — at the *allocated* per-queue depths: the profile-weighted
+//! allocation where hot loop-carried queues get the scheduler's paper
+//! depth (GREMIO 1, DSWP 32) and cold control queues get a single
+//! entry.
 //!
 //! Release builds skip the pipeline's debug-assert validation stage, so
 //! this mode is the CI-facing proof that every configuration the
 //! figures measure obeys the produce/consume protocol: matching
-//! per-queue sequences, a cycle-free inter-thread wait graph at the
-//! configured SA depth, and fresh values at every communication point
-//! (Defs. 1–2 of the paper).
+//! per-queue sequences, plan↔code positions, a cycle-free inter-thread
+//! wait graph (cross-block arcs included) at each queue's allocated
+//! depth, and fresh values at every communication point (Defs. 1–2 of
+//! the paper).
 
 use crate::{fail, HarnessError, SchedulerKind};
 use gmt_core::{CocoConfig, MtVerifyError, Parallelizer};
@@ -24,8 +28,11 @@ pub struct VerifyCell {
     pub scheduler: &'static str,
     /// Whether COCO ran.
     pub coco: bool,
-    /// Queue depth the wait graph was checked at.
-    pub queue_depth: usize,
+    /// Depth granted to hot queues by the allocator (the scheduler's
+    /// paper depth; cold queues get 1).
+    pub hot_depth: usize,
+    /// The allocated per-queue depths the wait graph was checked at.
+    pub depths: Vec<usize>,
     /// Number of SA queues the plan allocated.
     pub queues: u32,
     /// Protocol violations (empty = the cell verifies).
@@ -36,6 +43,17 @@ impl VerifyCell {
     /// True when the cell verified cleanly.
     pub fn ok(&self) -> bool {
         self.errors.is_empty()
+    }
+
+    /// Compact depth-range rendering for the table, e.g. `1` or `1-32`.
+    pub fn depth_range(&self) -> String {
+        let min = self.depths.iter().min().copied().unwrap_or(1);
+        let max = self.depths.iter().max().copied().unwrap_or(1);
+        if min == max {
+            format!("{min}")
+        } else {
+            format!("{min}-{max}")
+        }
     }
 }
 
@@ -59,14 +77,18 @@ pub fn verify_cell(
     }
     let r = par.parallelize(&w.function, &train.profile).map_err(fail(b, "parallelization"))?;
     let pdg = Pdg::build(&w.function);
-    let errors =
-        gmt_core::verify_mt(&w.function, &r.partition, &pdg, &r.output, kind.queue_depth());
+    // Verify at the *allocated* per-queue depths (hot loop-carried
+    // queues at the scheduler's paper depth, cold ones at 1) — the
+    // depths a depth-aware synchronization array would provision, and
+    // strictly harsher on back-pressure than the old uniform scalar.
+    let errors = gmt_core::verify_mt(&w.function, &r.partition, &pdg, &r.output, &r.queue_depths);
     Ok(VerifyCell {
         benchmark: b,
         scheduler: kind.name(),
         coco,
-        queue_depth: kind.queue_depth(),
+        hot_depth: kind.queue_depth(),
         queues: r.num_queues(),
+        depths: r.queue_depths,
         errors,
     })
 }
@@ -92,18 +114,18 @@ pub fn verify_matrix(jobs: usize) -> Vec<Result<VerifyCell, HarnessError>> {
 pub fn verify_table(results: &[Result<VerifyCell, HarnessError>]) -> String {
     use std::fmt::Write;
     let mut s = String::new();
-    let _ = writeln!(s, "{:<12} {:<8} {:<6} {:>5} {:>7}  status", "benchmark", "sched", "coco", "depth", "queues");
+    let _ = writeln!(s, "{:<12} {:<8} {:<6} {:>6} {:>7}  status", "benchmark", "sched", "coco", "depths", "queues");
     let mut findings = Vec::new();
     for r in results {
         match r {
             Ok(c) => {
                 let _ = writeln!(
                     s,
-                    "{:<12} {:<8} {:<6} {:>5} {:>7}  {}",
+                    "{:<12} {:<8} {:<6} {:>6} {:>7}  {}",
                     c.benchmark,
                     c.scheduler,
                     if c.coco { "yes" } else { "no" },
-                    c.queue_depth,
+                    c.depth_range(),
                     c.queues,
                     if c.ok() { "ok" } else { "FAIL" }
                 );
@@ -112,7 +134,7 @@ pub fn verify_table(results: &[Result<VerifyCell, HarnessError>]) -> String {
                 }
             }
             Err(e) => {
-                let _ = writeln!(s, "{:<12} {:<8} {:<6} {:>5} {:>7}  ERROR: {e}", e.benchmark, "-", "-", "-", "-");
+                let _ = writeln!(s, "{:<12} {:<8} {:<6} {:>6} {:>7}  ERROR: {e}", e.benchmark, "-", "-", "-", "-");
             }
         }
     }
@@ -141,7 +163,9 @@ mod tests {
         for coco in [false, true] {
             let c = verify_cell(&w, SchedulerKind::Dswp, coco).expect("pipeline runs");
             assert!(c.ok(), "ks/DSWP/coco={coco} violates the protocol: {:?}", c.errors);
-            assert_eq!(c.queue_depth, 32);
+            assert_eq!(c.hot_depth, 32);
+            assert_eq!(c.depths.len(), c.queues as usize, "one depth per queue");
+            assert!(c.depths.iter().all(|&d| d == 1 || d == 32), "{:?}", c.depths);
         }
     }
 

@@ -89,6 +89,33 @@ impl MtRunResult {
     }
 }
 
+/// The queue a decoded op addresses, if it is a communication op.
+fn decoded_queue_of(op: DecodedOp) -> Option<crate::types::QueueId> {
+    match op {
+        DecodedOp::Produce { queue, .. }
+        | DecodedOp::ProduceSync { queue }
+        | DecodedOp::Consume { queue, .. }
+        | DecodedOp::ConsumeSync { queue } => Some(queue),
+        _ => None,
+    }
+}
+
+/// Rejects a queue id outside the configured queue file at load time,
+/// so a misallocated program fails before any thread runs instead of
+/// faulting mid-simulation.
+fn check_queue_id(
+    queue: Option<crate::types::QueueId>,
+    num_queues: usize,
+) -> Result<(), ExecError> {
+    match queue {
+        Some(q) if q.index() >= num_queues => Err(ExecError::InvalidConfig(format!(
+            "program targets queue {} but the configuration has {num_queues} queues",
+            q.0
+        ))),
+        _ => Ok(()),
+    }
+}
+
 /// Runs `threads` concurrently against one shared memory.
 ///
 /// All threads receive the same `args`. Memory is laid out from
@@ -128,6 +155,11 @@ pub fn run_mt_decoded(
     let threads = program.threads();
     if threads.is_empty() {
         return Err(ExecError::InvalidConfig("at least one thread required".to_string()));
+    }
+    for d in threads {
+        for pc in 0..d.num_slots() as u32 {
+            check_queue_id(decoded_queue_of(d.op(pc)), queue_config.num_queues)?;
+        }
     }
     let layout = program.layout();
     let mut memory = Memory::for_layout(layout);
@@ -244,6 +276,18 @@ pub fn run_mt_reference(
 ) -> Result<MtRunResult, ExecError> {
     if threads.is_empty() {
         return Err(ExecError::InvalidConfig("at least one thread required".to_string()));
+    }
+    for f in threads {
+        for i in f.all_instrs() {
+            let q = match *f.instr(i) {
+                Op::Produce { queue, .. }
+                | Op::ProduceSync { queue }
+                | Op::Consume { queue, .. }
+                | Op::ConsumeSync { queue } => Some(queue),
+                _ => None,
+            };
+            check_queue_id(q, queue_config.num_queues)?;
+        }
     }
     let layout = MemoryLayout::of(&threads[0]);
     let mut memory = Memory::for_layout(&layout);
@@ -424,20 +468,18 @@ mod tests {
     }
 
     #[test]
-    fn bad_queue_reported() {
+    fn bad_queue_rejected_at_load_time() {
         let mut b = FunctionBuilder::new("bad");
         b.emit(Op::ProduceSync { queue: QueueId(99) });
         b.ret(None);
         let f = b.finish().unwrap();
-        let err = run_mt(
-            &[f],
-            &[],
-            |_, _| {},
-            &QueueConfig { num_queues: 2, capacity: 1 },
-            &ExecConfig::default(),
-        )
-        .unwrap_err();
-        assert!(matches!(err, ExecError::BadQueue(_)));
+        let qc = QueueConfig { num_queues: 2, capacity: 1 };
+        // Both executors reject the misallocated queue id before any
+        // thread takes a step.
+        let err = run_mt(&[f.clone()], &[], |_, _| {}, &qc, &ExecConfig::default()).unwrap_err();
+        assert!(matches!(err, ExecError::InvalidConfig(_)));
+        let err = run_mt_reference(&[f], &[], |_, _| {}, &qc, &ExecConfig::default()).unwrap_err();
+        assert!(matches!(err, ExecError::InvalidConfig(_)));
     }
 
     #[test]

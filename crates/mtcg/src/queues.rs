@@ -17,7 +17,9 @@
 //! budget allows, and otherwise folds each (from, to) group onto a fair
 //! share of the budget, heaviest groups first.
 
+use crate::codegen::QueueLabel;
 use crate::MtcgError;
+use gmt_ir::{Function, Profile};
 use gmt_pdg::ThreadId;
 
 /// How many queues code generation may use.
@@ -112,6 +114,41 @@ pub fn allocate(
         out.push(q);
     }
     Ok((out, acc))
+}
+
+/// Profile-weighted per-queue depth allocation.
+///
+/// A real synchronization array does not give every queue the same
+/// slack: queues carrying loop-iterated traffic need entries to
+/// decouple the producer from the consumer (the whole point of DSWP's
+/// depth-32 array), while queues touched once per invocation — loop
+/// live-ins, control tokens on cold paths — work at depth 1.
+///
+/// A queue is *hot* when any of its communication points sits in a
+/// block executed more often than the function entry (i.e. inside a
+/// loop); hot queues get `hot_depth` entries, everything else gets 1.
+/// The returned vector has one entry per queue, suitable for
+/// `SaConfig::depths` and for `verify_mt`'s per-queue wait graph.
+pub fn allocate_depths(
+    f: &Function,
+    profile: &Profile,
+    labels: &[QueueLabel],
+    num_queues: u32,
+    hot_depth: usize,
+) -> Vec<usize> {
+    let weights = profile.block_weights(f);
+    let entry_w = weights.get(f.entry().index()).copied().unwrap_or(0);
+    let mut depths = vec![1usize; num_queues as usize];
+    for l in labels {
+        let b = l.point.block(f);
+        let w = weights.get(b.index()).copied().unwrap_or(0);
+        if w > entry_w {
+            if let Some(d) = depths.get_mut(l.queue.index()) {
+                *d = (*d).max(hot_depth.max(1));
+            }
+        }
+    }
+    depths
 }
 
 #[cfg(test)]

@@ -73,6 +73,35 @@ pub fn simulate_decoded(
     run_engine(program, args, init, config, &mut NoTrace)
 }
 
+/// Decoded-stream twin of [`crate::sim::check_queue_ids`]: every
+/// communication slot must target a queue the array actually has, so a
+/// bad id is an [`ExecError::InvalidConfig`] at load time rather than a
+/// mid-simulation [`ExecError::BadQueue`].
+fn check_decoded_queue_ids(
+    threads: &[DecodedFunction],
+    num_queues: usize,
+) -> Result<(), ExecError> {
+    for d in threads {
+        for pc in 0..d.num_slots() as u32 {
+            let q = match d.op(pc) {
+                DecodedOp::Produce { queue, .. }
+                | DecodedOp::Consume { queue, .. }
+                | DecodedOp::ProduceSync { queue }
+                | DecodedOp::ConsumeSync { queue } => queue,
+                _ => continue,
+            };
+            if q.index() >= num_queues {
+                return Err(ExecError::InvalidConfig(format!(
+                    "decoded slot {pc} targets queue {} but the synchronization array has \
+                     {num_queues} queues",
+                    q.0
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn run_engine<S: TraceSink>(
     program: &DecodedProgram,
     args: &[i64],
@@ -85,6 +114,7 @@ fn run_engine<S: TraceSink>(
         return Err(ExecError::InvalidConfig("at least one thread required".to_string()));
     }
     config.validate().map_err(ExecError::InvalidConfig)?;
+    check_decoded_queue_ids(threads, config.sa.num_queues)?;
     let mut memory = Memory::for_layout(program.layout());
     init(program.layout(), &mut memory);
 
@@ -94,7 +124,7 @@ fn run_engine<S: TraceSink>(
         d.check_args(args)?;
     }
     let mut hierarchy = Hierarchy::new(ncores, config);
-    let mut sa = SyncArray::new(config.sa.num_queues, config.sa.depth, config.sa.latency);
+    let mut sa = SyncArray::new(config.sa.num_queues, &config.sa.depths, config.sa.latency);
     let mut output = Vec::new();
     let mut return_value = None;
     let mut hits = [0u64; 4];

@@ -100,6 +100,7 @@ pub fn simulate_reference(
         return Err(ExecError::InvalidConfig("at least one thread required".to_string()));
     }
     config.validate().map_err(ExecError::InvalidConfig)?;
+    check_queue_ids(threads, config.sa.num_queues)?;
     let layout = MemoryLayout::of(&threads[0]);
     let mut memory = Memory::for_layout(&layout);
     init(&layout, &mut memory);
@@ -112,7 +113,7 @@ pub fn simulate_reference(
         }
     }
     let mut hierarchy = Hierarchy::new(ncores, config);
-    let mut sa = SyncArray::new(config.sa.num_queues, config.sa.depth, config.sa.latency);
+    let mut sa = SyncArray::new(config.sa.num_queues, &config.sa.depths, config.sa.latency);
     let mut output = Vec::new();
     let mut return_value = None;
     let mut hits = [0u64; 4];
@@ -164,6 +165,34 @@ pub fn simulate_reference(
         hits_l3: hits[2],
         hits_mem: hits[3],
     })
+}
+
+/// Rejects programs whose communication instructions target a queue the
+/// synchronization array does not have, *before* the first cycle runs.
+/// Without this, a bad queue id only surfaced as
+/// [`ExecError::BadQueue`] when (and if) the instruction issued
+/// mid-simulation.
+pub(crate) fn check_queue_ids(threads: &[Function], num_queues: usize) -> Result<(), ExecError> {
+    for f in threads {
+        for b in f.blocks() {
+            for i in f.block(b).all_instrs() {
+                let q = match *f.instr(i) {
+                    Op::Produce { queue, .. }
+                    | Op::Consume { queue, .. }
+                    | Op::ProduceSync { queue }
+                    | Op::ConsumeSync { queue } => queue,
+                    _ => continue,
+                };
+                if q.index() >= num_queues {
+                    return Err(ExecError::InvalidConfig(format!(
+                        "{i:?} targets queue {} but the synchronization array has {num_queues} queues",
+                        q.0
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 fn sa_overflow() -> String {

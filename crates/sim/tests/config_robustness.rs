@@ -62,7 +62,7 @@ fn machine(raw: &RawCfg) -> MachineConfig {
         fp_units: 1,
         branch_units: 1,
         l1d: CacheConfig { size_bytes: 1024, assoc, line_bytes: lb, latency: 1 },
-        sa: SaConfig { num_queues: nq, depth: d, latency: 1, ports: p },
+        sa: SaConfig { num_queues: nq, depths: vec![d], latency: 1, ports: p },
         // Bound the run so pathological-but-valid machines terminate
         // through OutOfFuel/Deadlock instead of spinning.
         max_cycles: 500_000,
@@ -82,9 +82,12 @@ fn arbitrary_machine_configs_never_panic() {
                 "invalid machine must be rejected up front, got {result:?}"
             );
         } else if config.sa.num_queues == 0 {
+            // Queue ids are validated against the synchronization array
+            // at load time now, so the fault is an up-front config
+            // rejection rather than a mid-run BadQueue.
             prop_assert!(
-                matches!(result, Err(ExecError::BadQueue(_))),
-                "communication with no queues must fault, got {result:?}"
+                matches!(result, Err(ExecError::InvalidConfig(_))),
+                "communication with no queues must be rejected at load, got {result:?}"
             );
         } else {
             let r = result.expect("valid config must simulate");
@@ -103,9 +106,11 @@ fn arbitrary_queue_configs_never_panic() {
             let qc = QueueConfig { num_queues, capacity };
             let result = run_mt(&threads, &[], |_, _| {}, &qc, &ExecConfig::default());
             if num_queues == 0 {
+                // Load-time queue-id validation rejects the program
+                // before any thread steps.
                 prop_assert!(
-                    matches!(result, Err(ExecError::BadQueue(_))),
-                    "communication with no queues must fault, got {result:?}"
+                    matches!(result, Err(ExecError::InvalidConfig(_))),
+                    "communication with no queues must be rejected at load, got {result:?}"
                 );
             } else {
                 let r = result.expect("run must complete (capacity is clamped to >= 1)");
