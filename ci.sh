@@ -18,11 +18,21 @@ cmp target/ci_fig7_parallel.txt target/ci_fig7_serial.txt
 
 # Decoded-engine gate: the flat-stream executors must be observably
 # identical to the ID-walking reference executors, the throughput
-# bench must at least run, and the quick Figure 7 must match the
-# pinned golden output byte for byte.
+# bench must at least run (including the queue-bound skip/noskip
+# group), and the quick Figure 7 must match the pinned golden output
+# byte for byte.
 cargo test -q --offline -p gmt-integration-tests --test decoded_equivalence
 GMT_TESTKIT_BENCH_SMOKE=1 cargo bench --offline -p gmt-bench --bench exec_throughput
 cmp target/ci_fig7_parallel.txt tests/golden/fig7_quick.txt
+
+# Stall fast-forward gate: the event-driven engine (GMT_SIM_SKIP=1,
+# the default) and the per-cycle engine (GMT_SIM_SKIP=0) must both
+# reproduce the pinned Figure 7 golden — the skip is a pure wall-clock
+# optimization with zero observable effect.
+GMT_JOBS=8 GMT_SIM_SKIP=1 ./target/release/repro --quick --fig 7 > target/ci_fig7_skip.txt
+cmp target/ci_fig7_skip.txt tests/golden/fig7_quick.txt
+GMT_JOBS=8 GMT_SIM_SKIP=0 ./target/release/repro --quick --fig 7 > target/ci_fig7_noskip.txt
+cmp target/ci_fig7_noskip.txt tests/golden/fig7_quick.txt
 
 # Tracing smoke: one traced cell must produce the pinned attribution
 # and per-queue tables, and Chrome-trace JSON that parses and carries

@@ -12,7 +12,9 @@ use gmt_core::{CocoConfig, Parallelizer, Scheduler};
 use gmt_ir::decoded::{DecodedFunction, DecodedProgram};
 use gmt_ir::interp::{run_decoded_with_memory, run_with_memory_reference};
 use gmt_ir::interp_mt::{run_mt_decoded, run_mt_reference, QueueConfig};
-use gmt_sim::{simulate_decoded, simulate_reference, MachineConfig};
+use gmt_sim::{
+    simulate_decoded, simulate_decoded_opts, simulate_reference, MachineConfig, SimOptions,
+};
 use gmt_testkit::BenchGroup;
 use gmt_workloads::{exec_config, Workload};
 use std::hint::black_box;
@@ -100,9 +102,69 @@ fn sim(kernels: &[(Workload, u64)]) {
     group.finish();
 }
 
+/// The kernels whose DSWP thread pairs spend the majority of their
+/// cycles in synchronization-array waits (skip ratio >50% of engine
+/// steps), plus the largest kernel overall for scale. These are the
+/// queue-bound configurations the stall fast-forward targets.
+fn queue_bound_kernels() -> Vec<(Workload, u64)> {
+    gmt_workloads::catalog()
+        .into_iter()
+        .filter(|w| matches!(w.benchmark, "mpeg2enc" | "300.twolf" | "183.equake" | "435.gromacs"))
+        .map(|w| {
+            let instrs = w.run_train().expect("train run").counts.total();
+            (w, instrs)
+        })
+        .collect()
+}
+
+/// Queue-bound MT simulation: DSWP thread pairs whose cycles are
+/// dominated by synchronization-array waits — exactly the shape the
+/// event-driven stall fast-forward targets. Each kernel is timed at
+/// the paper's uniform depth-32 SA and at the profile-allocated
+/// per-queue depths, with the fast-forward on and off, so the refreshed
+/// `BENCH_exec_throughput.json` records the speedup directly.
+fn sim_queue_bound(kernels: &[(Workload, u64)]) {
+    let mut group = BenchGroup::new("sim_queue_bound");
+    for (w, instrs) in kernels {
+        let train = w.run_train().expect("train run");
+        let p = Parallelizer::new(Scheduler::dswp(2))
+            .with_coco(CocoConfig::default())
+            .parallelize(&w.function, &train.profile)
+            .expect("parallelize");
+        let program = DecodedProgram::decode(p.threads()).expect("decode");
+        let mut machine = MachineConfig::default();
+        if p.num_queues() as usize > machine.sa.num_queues {
+            machine.sa.num_queues = p.num_queues() as usize;
+        }
+        // The allocated-depth vector holds one entry per plan queue, so
+        // that machine's SA is sized to the plan exactly.
+        let mut alloc = MachineConfig::default().with_queue_depths(p.queue_depths.clone());
+        alloc.sa.num_queues = p.num_queues() as usize;
+        let configs = [("depth32", machine.clone().with_queue_depth(32)), ("alloc", alloc)];
+        for (depth_name, m) in &configs {
+            for (skip_name, opts) in [
+                ("skip", SimOptions { fast_forward: true }),
+                ("noskip", SimOptions { fast_forward: false }),
+            ] {
+                group.bench(
+                    &format!("{}/{depth_name}/{skip_name}/{instrs}_instrs", w.benchmark),
+                    || {
+                        black_box(
+                            simulate_decoded_opts(&program, &w.train_args, w.init, m, opts)
+                                .expect("queue-bound sim"),
+                        )
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
 fn main() {
     let kernels = largest_kernels();
     st_interp(&kernels);
     mt_interp(&kernels);
     sim(&kernels);
+    sim_queue_bound(&queue_bound_kernels());
 }

@@ -258,6 +258,17 @@ fn run_metrics(scheds: &[SchedulerKind], scale: Scale) {
             hits as f64 * 100.0 / probes as f64
         );
     }
+    // Aggregate fast-forward ratio, only over records that actually ran
+    // the timed engine (no ratio exists for engine_steps == 0).
+    let steps: u64 = records.iter().map(|m| m.engine_steps).sum();
+    let skipped: u64 = records.iter().map(|m| m.skipped_cycles).sum();
+    if steps > 0 {
+        println!(
+            "stall fast-forward: {skipped}/{} cycles skipped ({:.1}%)",
+            steps + skipped,
+            skipped as f64 * 100.0 / (steps + skipped) as f64
+        );
+    }
     for e in &failures {
         eprintln!("error: {e}");
     }

@@ -277,6 +277,8 @@ pub fn evaluate_full(
     };
     let mut mtcg_stalls = StallBreakdown::default();
     let mut coco_stalls = StallBreakdown::default();
+    let mut mtcg_engine = (0u64, 0u64); // (engine_steps, skipped_cycles)
+    let mut coco_engine = (0u64, 0u64);
     if timed {
         let machine = MachineConfig::default();
         let seq_sim = simulate(std::slice::from_ref(&w.function), args, w.init, &machine)
@@ -286,11 +288,13 @@ pub fn evaluate_full(
         let sim = timed_sim(w, &base, kind, args).map_err(fail(b, "timed MTCG sim"))?;
         result.mtcg.cycles = sim.cycles;
         mtcg_stalls = StallBreakdown::from_cores(&sim.cores);
+        mtcg_engine = (sim.engine_steps, sim.skipped_cycles);
         mtcg_run_ns += t.elapsed().as_nanos() as u64;
         let t = Instant::now();
         let sim = timed_sim(w, &coco, kind, args).map_err(fail(b, "timed COCO sim"))?;
         result.coco.cycles = sim.cycles;
         coco_stalls = StallBreakdown::from_cores(&sim.cores);
+        coco_engine = (sim.engine_steps, sim.skipped_cycles);
         coco_run_ns += t.elapsed().as_nanos() as u64;
     }
     let metrics = vec![
@@ -305,6 +309,8 @@ pub fn evaluate_full(
             arb_probes: arb.probes,
             arb_hits: arb.hits,
             stalls: mtcg_stalls,
+            engine_steps: mtcg_engine.0,
+            skipped_cycles: mtcg_engine.1,
         },
         RunMetrics {
             benchmark: b,
@@ -317,6 +323,8 @@ pub fn evaluate_full(
             arb_probes: 0,
             arb_hits: 0,
             stalls: coco_stalls,
+            engine_steps: coco_engine.0,
+            skipped_cycles: coco_engine.1,
         },
     ];
     Ok(Evaluation { result, metrics })

@@ -91,6 +91,14 @@ pub struct RunMetrics {
     /// Per-reason stall cycles summed over cores (all zero if not
     /// timed).
     pub stalls: StallBreakdown,
+    /// Engine main-loop iterations actually evaluated by the timed
+    /// simulation (0 if not timed). With the event-driven fast-forward
+    /// on, `engine_steps + skipped_cycles` equals what a per-cycle run
+    /// would have stepped.
+    pub engine_steps: u64,
+    /// Cycles the timed simulation's fast-forward jumped over instead
+    /// of ticking (0 if not timed or with `GMT_SIM_SKIP=0`).
+    pub skipped_cycles: u64,
 }
 
 impl RunMetrics {
@@ -103,7 +111,8 @@ impl RunMetrics {
              \"arb_probes\":{},\"arb_hits\":{},\
              \"stall_operand\":{},\"stall_structural\":{},\"stall_sa_port\":{},\
              \"stall_queue_full\":{},\"stall_queue_empty\":{},\
-             \"stall_load_limit\":{},\"stall_mispredict\":{}}}",
+             \"stall_load_limit\":{},\"stall_mispredict\":{},\
+             \"engine_steps\":{},\"skipped_cycles\":{}}}",
             json_escape(self.benchmark),
             json_escape(self.scheduler),
             json_escape(self.variant),
@@ -123,7 +132,20 @@ impl RunMetrics {
             self.stalls.queue_empty,
             self.stalls.load_limit,
             self.stalls.mispredict,
+            self.engine_steps,
+            self.skipped_cycles,
         )
+    }
+
+    /// Fraction of simulated cycles the fast-forward skipped, or `None`
+    /// when the run was not timed (`engine_steps == 0`) — callers must
+    /// not print a ratio for untimed records.
+    pub fn skip_ratio(&self) -> Option<f64> {
+        if self.engine_steps == 0 {
+            return None;
+        }
+        let total = self.engine_steps + self.skipped_cycles;
+        Some(self.skipped_cycles as f64 / total as f64)
     }
 }
 
@@ -167,13 +189,18 @@ pub fn metrics_table(metrics: &[RunMetrics]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<14} {:<7} {:<7} {:>9} {:>12} {:>12} {:>8} {:>9} {:>8} {:>8} {:>9}",
-        "benchmark", "sched", "variant", "wall ms", "instrs", "cycles", "pdg ms", "part ms", "coco ms", "mtcg ms", "arb h/p"
+        "{:<14} {:<7} {:<7} {:>9} {:>12} {:>12} {:>8} {:>9} {:>8} {:>8} {:>9} {:>6}",
+        "benchmark", "sched", "variant", "wall ms", "instrs", "cycles", "pdg ms", "part ms", "coco ms", "mtcg ms", "arb h/p", "skip"
     );
     for m in metrics {
+        // Untimed records have no engine run to express a ratio of.
+        let skip = match m.skip_ratio() {
+            Some(r) => format!("{:.0}%", r * 100.0),
+            None => "-".to_string(),
+        };
         let _ = writeln!(
             out,
-            "{:<14} {:<7} {:<7} {:>9} {:>12} {:>12} {:>8} {:>9} {:>8} {:>8} {:>9}",
+            "{:<14} {:<7} {:<7} {:>9} {:>12} {:>12} {:>8} {:>9} {:>8} {:>8} {:>9} {:>6}",
             m.benchmark,
             m.scheduler,
             m.variant,
@@ -185,6 +212,7 @@ pub fn metrics_table(metrics: &[RunMetrics]) -> String {
             fmt_ms(m.timings.coco_ns),
             fmt_ms(m.timings.mtcg_ns),
             format!("{}/{}", m.arb_hits, m.arb_probes),
+            skip,
         );
     }
     let total_ns: u64 = metrics.iter().map(|m| m.wall_ns).sum();
@@ -229,6 +257,8 @@ mod tests {
                 load_limit: 16,
                 mispredict: 17,
             },
+            engine_steps: 1420,
+            skipped_cycles: 4258,
         }
     }
 
@@ -251,7 +281,19 @@ mod tests {
         assert!(line.contains("\"stall_operand\":11"));
         assert!(line.contains("\"stall_queue_full\":14"));
         assert!(line.contains("\"stall_mispredict\":17"));
+        assert!(line.contains("\"engine_steps\":1420"));
+        assert!(line.contains("\"skipped_cycles\":4258"));
         assert_eq!(line.matches('{').count(), 1, "flat object");
+    }
+
+    #[test]
+    fn skip_ratio_only_for_timed_runs() {
+        let m = sample();
+        assert_eq!(m.skip_ratio(), Some(4258.0 / 5678.0));
+        let mut untimed = sample();
+        untimed.engine_steps = 0;
+        untimed.skipped_cycles = 0;
+        assert_eq!(untimed.skip_ratio(), None, "no engine run, no ratio");
     }
 
     #[test]
@@ -286,5 +328,17 @@ mod tests {
         assert!(t.contains("arb h/p"));
         assert!(t.contains("3/8"));
         assert!(t.contains("(2 records)"));
+        assert!(t.contains("skip"));
+        assert!(t.contains("75%"), "4258 of 5678 cycles skipped:\n{t}");
+    }
+
+    #[test]
+    fn table_prints_dash_for_untimed_skip() {
+        let mut m = sample();
+        m.engine_steps = 0;
+        m.skipped_cycles = 0;
+        let t = metrics_table(&[m]);
+        let row = t.lines().nth(1).unwrap();
+        assert!(row.trim_end().ends_with('-'), "untimed row shows no ratio: {row:?}");
     }
 }

@@ -10,12 +10,26 @@
 use crate::config::CacheConfig;
 
 /// One set-associative, LRU, tag-only cache.
+///
+/// Storage is a flat `set * ways + way` array and the addr→(set, tag)
+/// split is precomputed as shift/mask when the geometry is a power of
+/// two (the common case), so the per-access cost is a masked shift and
+/// one short linear scan — no divisions on the hot path.
 #[derive(Clone, Debug)]
 pub struct Cache {
-    config: CacheConfig,
-    /// `sets[set][way]` = Some(tag), with `lru[set][way]` as timestamp.
-    tags: Vec<Vec<Option<u64>>>,
-    lru: Vec<Vec<u64>>,
+    latency: u64,
+    ways: usize,
+    num_sets: u64,
+    line_bytes: u64,
+    /// `Some(shift)` when `line_bytes` is a power of two.
+    line_shift: Option<u32>,
+    /// `Some(mask)` when `num_sets` is a power of two.
+    set_mask: Option<u64>,
+    /// `tags[set * ways + way]`, holding `tag + 1` (0 = empty way) so
+    /// a fresh cache is all-zero and the allocation stays a lazy
+    /// `calloc` — no eager touch of hundreds of KB per simulation.
+    tags: Vec<u64>,
+    lru: Vec<u64>,
     tick: u64,
     /// Statistics.
     pub hits: u64,
@@ -23,35 +37,51 @@ pub struct Cache {
     pub misses: u64,
 }
 
+fn pow2_log(v: u64) -> Option<u32> {
+    (v > 0 && v.is_power_of_two()).then(|| v.trailing_zeros())
+}
+
 impl Cache {
     /// An empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Cache {
         let sets = config.num_sets() as usize;
         let ways = config.assoc as usize;
+        let line_bytes = config.line_bytes.max(1);
         Cache {
-            config,
-            tags: vec![vec![None; ways]; sets],
-            lru: vec![vec![0; ways]; sets],
+            latency: config.latency,
+            ways,
+            num_sets: config.num_sets(),
+            line_bytes,
+            line_shift: pow2_log(line_bytes),
+            set_mask: pow2_log(config.num_sets()).map(|s| (1u64 << s) - 1),
+            tags: vec![0; sets * ways],
+            lru: vec![0; sets * ways],
             tick: 0,
             hits: 0,
             misses: 0,
         }
     }
 
+    #[inline]
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.config.line_bytes.max(1);
-        let set = (line % self.config.num_sets()) as usize;
-        let tag = line / self.config.num_sets();
-        (set, tag)
+        let line = match self.line_shift {
+            Some(s) => addr >> s,
+            None => addr / self.line_bytes,
+        };
+        match self.set_mask {
+            Some(m) => ((line & m) as usize, line >> m.count_ones()),
+            None => ((line % self.num_sets) as usize, line / self.num_sets),
+        }
     }
 
     /// Probes for `addr`; returns whether it hit, and touches LRU.
     pub fn access(&mut self, addr: u64) -> bool {
         self.tick += 1;
         let (set, tag) = self.set_and_tag(addr);
-        for way in 0..self.tags[set].len() {
-            if self.tags[set][way] == Some(tag) {
-                self.lru[set][way] = self.tick;
+        let base = set * self.ways;
+        for way in base..base + self.ways {
+            if self.tags[way] == tag + 1 {
+                self.lru[way] = self.tick;
                 self.hits += 1;
                 return true;
             }
@@ -64,28 +94,30 @@ impl Cache {
     pub fn fill(&mut self, addr: u64) {
         self.tick += 1;
         let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.ways;
         // Already present (racing fill)?
-        if self.tags[set].contains(&Some(tag)) {
+        if self.tags[base..base + self.ways].contains(&(tag + 1)) {
             return;
         }
         // A zero-way cache (assoc 0 — rejected by `validate`, but this
         // type stays total anyway) simply never holds lines.
-        let Some(victim) = (0..self.tags[set].len())
-            .min_by_key(|&w| (self.tags[set][w].is_some() as u64, self.lru[set][w]))
+        let Some(victim) = (base..base + self.ways)
+            .min_by_key(|&w| ((self.tags[w] != 0) as u64, self.lru[w]))
         else {
             return;
         };
-        self.tags[set][victim] = Some(tag);
-        self.lru[set][victim] = self.tick;
+        self.tags[victim] = tag + 1;
+        self.lru[victim] = self.tick;
     }
 
     /// Invalidates the line containing `addr` (snoop hit from the other
     /// core's write). Returns whether a line was present.
     pub fn invalidate(&mut self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        for way in 0..self.tags[set].len() {
-            if self.tags[set][way] == Some(tag) {
-                self.tags[set][way] = None;
+        let base = set * self.ways;
+        for way in base..base + self.ways {
+            if self.tags[way] == tag + 1 {
+                self.tags[way] = 0;
                 return true;
             }
         }
@@ -94,7 +126,7 @@ impl Cache {
 
     /// The hit latency.
     pub fn latency(&self) -> u64 {
-        self.config.latency
+        self.latency
     }
 }
 

@@ -207,6 +207,26 @@ impl MachineConfig {
                 return Err("sa.depth must be at least 1 for every queue".to_string());
             }
         }
+        // The event-driven fast-forward requires every self-wakeup to
+        // be strictly in the future: a zero mispredict penalty makes
+        // the refill deadline (`fetch_stalled_until = now + penalty`)
+        // coincide with the stall cycle itself, and a zero-latency
+        // array is the only other knob that can push wakeup sources
+        // onto that boundary. Either alone stays well-formed (the
+        // penalty-0 stall simply never records; latency-0 entries are
+        // still visible one cycle out) — only the combination on a
+        // machine that actually has queues leaves no strictly-future
+        // wakeup source at all, so reject exactly that.
+        if let BranchModel::StaticBtfn { penalty: 0 } = self.branch_model {
+            if self.sa.latency == 0 && self.sa.num_queues > 0 {
+                return Err(
+                    "StaticBtfn with penalty 0 combined with a zero-latency synchronization \
+                     array leaves the stall wakeup computation degenerate; give the branch \
+                     penalty or the SA latency at least 1 cycle (or use BranchModel::Ideal)"
+                        .to_string(),
+                );
+            }
+        }
         for (name, c) in [("l1d", self.l1d), ("l2", self.l2), ("l3", self.l3)] {
             c.validate().map_err(|e| format!("{name}: {e}"))?;
         }
@@ -316,6 +336,20 @@ mod tests {
         m.sa.depths = vec![1; 256];
         m.sa.depths[17] = 0;
         assert!(m.validate().unwrap_err().contains("sa.depth"));
+    }
+
+    #[test]
+    fn zero_penalty_with_zero_latency_sa_rejected() {
+        let mut m = MachineConfig::default();
+        m.branch_model = BranchModel::StaticBtfn { penalty: 0 };
+        assert_eq!(m.validate(), Ok(()), "penalty 0 alone is fine");
+        m.sa.latency = 0;
+        assert!(m.validate().unwrap_err().contains("degenerate"));
+        m.sa.num_queues = 0;
+        assert_eq!(m.validate(), Ok(()), "queue-less machines have no SA wakeups");
+        let mut m = MachineConfig::default();
+        m.sa.latency = 0;
+        assert_eq!(m.validate(), Ok(()), "zero-latency SA alone is fine");
     }
 
     #[test]

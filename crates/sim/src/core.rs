@@ -74,14 +74,23 @@ impl CoreStats {
 
     /// Records a stall.
     pub fn record_stall(&mut self, r: StallReason) {
+        self.record_stalls(r, 1);
+    }
+
+    /// Bulk-credits `n` stall cycles of one reason — what the
+    /// event-driven engine's fast-forward uses to account for a whole
+    /// skipped window in one write. `record_stalls(r, n)` must leave
+    /// the counters exactly as `n` calls to
+    /// [`CoreStats::record_stall`] would.
+    pub fn record_stalls(&mut self, r: StallReason, n: u64) {
         match r {
-            StallReason::Operand => self.stall_operand += 1,
-            StallReason::Structural => self.stall_structural += 1,
-            StallReason::SaPort => self.stall_sa_port += 1,
-            StallReason::QueueFull => self.stall_queue_full += 1,
-            StallReason::QueueEmpty => self.stall_queue_empty += 1,
-            StallReason::LoadLimit => self.stall_load_limit += 1,
-            StallReason::Mispredict => self.stall_mispredict += 1,
+            StallReason::Operand => self.stall_operand += n,
+            StallReason::Structural => self.stall_structural += n,
+            StallReason::SaPort => self.stall_sa_port += n,
+            StallReason::QueueFull => self.stall_queue_full += n,
+            StallReason::QueueEmpty => self.stall_queue_empty += n,
+            StallReason::LoadLimit => self.stall_load_limit += n,
+            StallReason::Mispredict => self.stall_mispredict += n,
         }
     }
 }

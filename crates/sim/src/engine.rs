@@ -8,6 +8,40 @@
 //! block/instruction ID indirection of the reference path. The
 //! `decoded_equivalence` integration tests hold the two engines
 //! byte-identical (cycles, outputs, stall and hit statistics).
+//!
+//! # Event-driven stall fast-forward
+//!
+//! Queue-coupled executions spend most of their simulated cycles in
+//! ticks where *no* core can issue: queue-empty/queue-full waits at
+//! DSWP's depth-32 configurations, mispredict refills, and load-miss
+//! latencies. On such a cycle the engine computes, per core, the
+//! earliest cycle it could possibly issue again — the mispredict
+//! refill deadline, the scoreboard's operand-ready times, in-flight
+//! load completion, or the synchronization array's next token
+//! visibility ([`crate::SyncArray::next_visible_at`]) — and jumps
+//! straight to the minimum wakeup, bulk-crediting every skipped cycle
+//! to the same per-reason stall counter the per-cycle engine would
+//! have ticked. Cores blocked only on *peer* progress (a full queue, a
+//! truly empty queue, an operand pending on an outstanding consume)
+//! have no self-wakeup; when every core is in that state nothing is
+//! skipped and the existing deadlock window fires unchanged. The jump
+//! target is clamped to the deadlock and `max_cycles` boundaries, so
+//! results — cycles, [`CoreStats`], traces, and errors — stay
+//! byte-identical to per-cycle execution ([`SimOptions::fast_forward`]
+//! = false, or `GMT_SIM_SKIP=0`, is the A/B escape hatch).
+//!
+//! The fast-forward also memoizes *individual* stalled cores: when a
+//! core's recorded stall has a **stable** self-wakeup — one no peer
+//! action can move earlier (mispredict refill, operand readiness,
+//! load completion, or an already-visible token on a queue with a
+//! single consumer) — its whole stall span is credited up front and
+//! the core sleeps until that cycle, skipping its re-evaluation on
+//! every tick in between. This is what makes mixed cycles cheap: one
+//! core issuing no longer forces full stall re-checks of its blocked
+//! peers. Sleeping is transparent to the global jump (a sleeper's
+//! wakeup is exactly what `skip_target` would compute, and the bulk
+//! credit loop skips cores already credited), so the byte-identity
+//! guarantee is unchanged.
 
 use crate::cache::{Hierarchy, HitLevel};
 use crate::config::MachineConfig;
@@ -18,6 +52,34 @@ use crate::trace::{NoTrace, TraceEvent, TraceSink};
 use gmt_ir::decoded::{DecodedFunction, DecodedOp, DecodedProgram, NO_USE};
 use gmt_ir::interp::{BlockedOp, DeadlockInfo, ExecError, Memory, MemoryLayout};
 use gmt_ir::{Function, Operand, QueueId, Reg};
+
+/// Engine execution knobs, orthogonal to the machine description.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Event-driven stall fast-forward: on an all-stall cycle, jump to
+    /// the earliest core wakeup instead of ticking through the dead
+    /// window (see the [module docs](crate::engine)). On by default;
+    /// results are byte-identical either way — turn off only for A/B
+    /// debugging of the engine itself.
+    pub fast_forward: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> SimOptions {
+        SimOptions { fast_forward: true }
+    }
+}
+
+impl SimOptions {
+    /// The defaults, overridden by the environment: `GMT_SIM_SKIP=0`
+    /// disables the fast-forward (any other value, or unset, leaves it
+    /// on). The entry points without an explicit `SimOptions` argument
+    /// read this once per run.
+    pub fn from_env() -> SimOptions {
+        let fast_forward = std::env::var("GMT_SIM_SKIP").map_or(true, |v| v != "0");
+        SimOptions { fast_forward }
+    }
+}
 
 /// Runs `threads` (one per core) to completion on the machine, through
 /// the pre-decoded engine. Drop-in replacement for the reference
@@ -55,7 +117,25 @@ pub fn simulate_decoded_traced<S: TraceSink>(
     config: &MachineConfig,
     sink: &mut S,
 ) -> Result<SimResult, ExecError> {
-    run_engine(program, args, init, config, sink)
+    run_engine(program, args, init, config, sink, SimOptions::from_env())
+}
+
+/// [`simulate_decoded_traced`] with explicit [`SimOptions`] instead of
+/// the environment default — the race-free way for tests and benches
+/// to A/B the fast-forward in one process.
+///
+/// # Errors
+///
+/// See [`simulate_reference`](crate::simulate_reference).
+pub fn simulate_decoded_traced_opts<S: TraceSink>(
+    program: &DecodedProgram,
+    args: &[i64],
+    init: impl FnOnce(&MemoryLayout, &mut Memory),
+    config: &MachineConfig,
+    sink: &mut S,
+    opts: SimOptions,
+) -> Result<SimResult, ExecError> {
+    run_engine(program, args, init, config, sink, opts)
 }
 
 /// [`simulate`] on an already-decoded program (what GREMIO arbitration
@@ -70,7 +150,23 @@ pub fn simulate_decoded(
     init: impl FnOnce(&MemoryLayout, &mut Memory),
     config: &MachineConfig,
 ) -> Result<SimResult, ExecError> {
-    run_engine(program, args, init, config, &mut NoTrace)
+    run_engine(program, args, init, config, &mut NoTrace, SimOptions::from_env())
+}
+
+/// [`simulate_decoded`] with explicit [`SimOptions`] instead of the
+/// environment default.
+///
+/// # Errors
+///
+/// See [`simulate_reference`](crate::simulate_reference).
+pub fn simulate_decoded_opts(
+    program: &DecodedProgram,
+    args: &[i64],
+    init: impl FnOnce(&MemoryLayout, &mut Memory),
+    config: &MachineConfig,
+    opts: SimOptions,
+) -> Result<SimResult, ExecError> {
+    run_engine(program, args, init, config, &mut NoTrace, opts)
 }
 
 /// Decoded-stream twin of [`crate::sim::check_queue_ids`]: every
@@ -108,6 +204,7 @@ fn run_engine<S: TraceSink>(
     init: impl FnOnce(&MemoryLayout, &mut Memory),
     config: &MachineConfig,
     sink: &mut S,
+    opts: SimOptions,
 ) -> Result<SimResult, ExecError> {
     let threads = program.threads();
     if threads.is_empty() {
@@ -131,7 +228,27 @@ fn run_engine<S: TraceSink>(
 
     let mut cycle: u64 = 0;
     let mut last_progress: u64 = 0;
-    const NO_PROGRESS_WINDOW: u64 = 100_000;
+    let mut engine_steps: u64 = 0;
+    let mut skipped_cycles: u64 = 0;
+    // What blocked each core on the cycle just evaluated (reason +
+    // queue, exactly as recorded in its stall counters) — the input to
+    // the fast-forward's wakeup computation.
+    let mut stalls: Vec<Option<(StallReason, Option<QueueId>)>> = vec![None; ncores];
+    // Per-core stall memoization (fast-forward only): a core whose
+    // recorded stall has a *stable* self-wakeup — one no peer action
+    // can move earlier — would replay the identical stall on every
+    // cycle before that wakeup, so its whole span is credited up front
+    // and the core sleeps until `asleep_until[ci]` while its peers keep
+    // issuing. Stability per reason: Mispredict/Operand/LoadLimit read
+    // only the core's own state (pending-consume operands, which peers
+    // *can* deliver, are excluded by `self_wakeup`); QueueEmpty trusts
+    // the FIFO front entry's fixed visibility cycle, which holds only
+    // when no other core can pop that front mid-sleep.
+    let mut asleep_until: Vec<u64> = vec![0; ncores];
+    let single_consumer = single_consumer_queues(threads, config.sa.num_queues);
+    // Cross-core consume deliveries handed back by `issue_core` (which
+    // borrows only its own core) — drained after every call.
+    let mut deliveries: Vec<CrossDelivery> = Vec::new();
 
     while cores.iter().any(|c| !c.finished) {
         if cycle >= config.max_cycles {
@@ -140,13 +257,23 @@ fn run_engine<S: TraceSink>(
         if cycle - last_progress > NO_PROGRESS_WINDOW {
             return Err(ExecError::Deadlock(deadlock_info(&cores, threads, &sa, cycle)));
         }
+        engine_steps += 1;
         let mut sa_ports_left = config.sa.ports;
+        let mut any_progress = false;
         // Rotate the start core for SA-port fairness.
         for k in 0..ncores {
             let ci = (k + cycle as usize % ncores) % ncores;
-            let progressed = issue_core(
+            // A sleeping core replays `stalls[ci]` (already credited
+            // through its wakeup) without re-evaluation; it issues
+            // nothing and touches no shared state, exactly like the
+            // per-cycle engine's early-out would.
+            if asleep_until[ci] > cycle {
+                continue;
+            }
+            let outcome = issue_core(
                 ci,
-                &mut cores,
+                &mut cores[ci],
+                &mut deliveries,
                 threads,
                 &mut memory,
                 &mut hierarchy,
@@ -159,8 +286,97 @@ fn run_engine<S: TraceSink>(
                 cycle,
                 sink,
             )?;
-            if progressed {
+            for del in deliveries.drain(..) {
+                cores[del.core].deliver(del.dst, del.token, del.value, del.ready_at);
+            }
+            if outcome.progressed {
                 last_progress = cycle;
+                any_progress = true;
+            }
+            stalls[ci] = outcome.stall;
+            // Memoize the stall when its wakeup is stable (see
+            // `asleep_until`): credit the whole span now and skip
+            // re-evaluating this core until the wakeup. Cycles that
+            // also issued are left alone — their trailing stall is
+            // usually a one-cycle stall-on-use bubble, so attempting
+            // to memoize there would tax every issuing cycle for
+            // nothing; a window worth sleeping through re-records the
+            // same stall on the next, progress-free evaluation.
+            if opts.fast_forward && !outcome.progressed && !cores[ci].finished {
+                if let Some((reason, queue)) = outcome.stall {
+                    let stable = match reason {
+                        StallReason::QueueEmpty => {
+                            queue.is_some_and(|q| single_consumer[q.index()])
+                        }
+                        _ => true, // remaining reasons are per-core state only
+                    };
+                    if stable {
+                        if let Some(w) =
+                            self_wakeup(&cores[ci], &threads[ci], &sa, reason, queue)
+                        {
+                            debug_assert!(w > cycle, "core {ci}: stale self-wakeup {w} at {cycle}");
+                            if w > cycle + 1 {
+                                cores[ci].stats.record_stalls(reason, w - cycle - 1);
+                                if S::ENABLED {
+                                    sink.event(&TraceEvent::StallSpan {
+                                        from: cycle + 1,
+                                        until: w,
+                                        core: ci,
+                                        reason,
+                                        queue: queue.map(|q| q.0),
+                                    });
+                                }
+                                asleep_until[ci] = w;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if opts.fast_forward && !any_progress {
+            if let Some(target) =
+                skip_target(&cores, threads, &sa, &stalls, cycle, last_progress, config)
+            {
+                // Every cycle in (cycle, target) would replay exactly
+                // the stalls just recorded: nothing issued anywhere, so
+                // no queue, scoreboard, or memory state can change
+                // before the earliest wakeup. Credit the whole window
+                // at once and resume at the wakeup (or at the deadlock
+                // / fuel boundary, whichever comes first — the loop-top
+                // checks then fire exactly as the per-cycle engine's
+                // would).
+                let span = target - cycle - 1;
+                for (ci, core) in cores.iter_mut().enumerate() {
+                    if core.finished {
+                        continue;
+                    }
+                    // A sleeping core was already credited through its
+                    // wakeup when it was memoized, and the jump target
+                    // cannot pass that wakeup (`skip_target` minimizes
+                    // over the same stable per-core wakeups) — crediting
+                    // it again here would double-count the window.
+                    if asleep_until[ci] > cycle {
+                        debug_assert!(target <= asleep_until[ci]);
+                        continue;
+                    }
+                    // `skip_target` returned Some, so every unfinished
+                    // core has a recorded stall.
+                    if let Some((reason, queue)) = stalls[ci] {
+                        core.stats.record_stalls(reason, span);
+                        if S::ENABLED {
+                            sink.event(&TraceEvent::StallSpan {
+                                from: cycle + 1,
+                                until: target,
+                                core: ci,
+                                reason,
+                                queue: queue.map(|q| q.0),
+                            });
+                        }
+                    }
+                }
+                skipped_cycles += span;
+                cycle = target;
+                continue;
             }
         }
         cycle += 1;
@@ -179,11 +395,143 @@ fn run_engine<S: TraceSink>(
         hits_l2: hits[1],
         hits_l3: hits[2],
         hits_mem: hits[3],
+        engine_steps,
+        skipped_cycles,
     })
+}
+
+const NO_PROGRESS_WINDOW: u64 = 100_000;
+
+/// Which queues are consumed by at most one core. A core sleeping on a
+/// `QueueEmpty` stall trusts the front entry's visibility cycle to stay
+/// put; that holds only when no *other* core can pop the front out from
+/// under it mid-sleep. MTCG queues are single-consumer by construction,
+/// but the engine must stay correct for arbitrary decoded programs, so
+/// the property is checked, not assumed.
+fn single_consumer_queues(threads: &[DecodedFunction], num_queues: usize) -> Vec<bool> {
+    let mut consumer: Vec<Option<usize>> = vec![None; num_queues];
+    let mut single = vec![true; num_queues];
+    for (ci, d) in threads.iter().enumerate() {
+        for pc in 0..d.num_slots() as u32 {
+            let q = match d.op(pc) {
+                DecodedOp::Consume { queue, .. } | DecodedOp::ConsumeSync { queue } => queue,
+                _ => continue,
+            };
+            let qi = q.index();
+            if qi < num_queues {
+                match consumer[qi] {
+                    None => consumer[qi] = Some(ci),
+                    Some(owner) if owner == ci => {}
+                    Some(_) => single[qi] = false,
+                }
+            }
+        }
+    }
+    single
+}
+
+/// The earliest cycle at which `core`, stalled at `now` for `reason`,
+/// could possibly issue again *without any peer action* — or `None`
+/// when no such self-wakeup exists (the stall is peer-driven or the
+/// wakeup is unbounded). Shared by the global all-stall fast-forward
+/// and the per-core stall memoization; both require the returned cycle
+/// to be strictly after `now`.
+///
+/// Per-reason wakeups:
+///
+/// - `Mispredict` — the refill deadline `fetch_stalled_until`;
+/// - `Operand` — the latest scoreboard ready-time among the stalled
+///   instruction's uses, unless one is pending on an outstanding
+///   consume (`u64::MAX`): that delivery needs a peer's produce;
+/// - `QueueEmpty` — the in-flight front token's visibility cycle
+///   ([`SyncArray::next_visible_at`]); an empty queue has none;
+/// - `LoadLimit` — the earliest in-flight load completion (the set was
+///   pruned to `> now` when the stall was recorded);
+/// - `QueueFull` — none: only a peer's consume frees an entry.
+///   `Structural`/`SaPort` cannot be recorded on an all-stall cycle
+///   (no issue consumed a unit or port before the stall) and depend on
+///   per-cycle shared state anyway, so they never self-wake.
+fn self_wakeup(
+    core: &DCore,
+    d: &DecodedFunction,
+    sa: &SyncArray,
+    reason: StallReason,
+    queue: Option<QueueId>,
+) -> Option<u64> {
+    match reason {
+        StallReason::Mispredict => Some(core.fetch_stalled_until),
+        StallReason::Operand => {
+            let mut latest = 0u64;
+            for &u in d.uses(core.pc).iter() {
+                if u != NO_USE {
+                    latest = latest.max(core.ready[u as usize]);
+                }
+            }
+            (latest != u64::MAX).then_some(latest)
+        }
+        StallReason::QueueEmpty => queue.and_then(|q| sa.next_visible_at(q.index())),
+        StallReason::LoadLimit => core.inflight_loads.iter().copied().min(),
+        StallReason::QueueFull | StallReason::Structural | StallReason::SaPort => None,
+    }
+}
+
+/// Computes the fast-forward target after an all-stall cycle at `now`:
+/// the minimum over every unfinished core's earliest possible next
+/// issue cycle ([`self_wakeup`]), clamped to the deadlock-window and
+/// `max_cycles` boundaries. Returns `None` when skipping is impossible
+/// or useless — some core's stall went unrecorded (defensive), every
+/// core waits only on peer progress (no self-wakeup exists at all), or
+/// the target is within one tick. Queues popped by several cores need
+/// no special case here: nothing can be consumed during an all-stall
+/// window, so every front entry stays put until the jump target.
+fn skip_target(
+    cores: &[DCore],
+    threads: &[DecodedFunction],
+    sa: &SyncArray,
+    stalls: &[Option<(StallReason, Option<QueueId>)>],
+    now: u64,
+    last_progress: u64,
+    config: &MachineConfig,
+) -> Option<u64> {
+    let mut min_wakeup: Option<u64> = None;
+    for (ci, core) in cores.iter().enumerate() {
+        if core.finished {
+            continue;
+        }
+        // An unfinished, unprogressed core always records exactly one
+        // stall; if that invariant ever broke, skipping would
+        // under-credit it — refuse instead.
+        let (reason, queue) = stalls[ci]?;
+        if let Some(w) = self_wakeup(core, &threads[ci], sa, reason, queue) {
+            debug_assert!(w > now, "core {ci}: self-wakeup {w} not after stall cycle {now}");
+            if w <= now {
+                return None; // defensive: never skip on a broken wakeup
+            }
+            min_wakeup = Some(min_wakeup.map_or(w, |m| m.min(w)));
+        }
+    }
+    let target = min_wakeup?
+        .min(last_progress + NO_PROGRESS_WINDOW + 1)
+        .min(config.max_cycles);
+    (target > now + 1).then_some(target)
 }
 
 fn sa_overflow() -> String {
     "synchronization array produce overran the configured queue depth".to_string()
+}
+
+/// A produce's delivery to an outstanding consume on a *different*
+/// core, handed back to the engine loop because [`issue_core`] holds a
+/// mutable borrow of its own core only. Applied immediately after the
+/// producing core's call returns — before any other core is evaluated
+/// that cycle — which is observably the same instant as the in-place
+/// delivery the reference engine performs.
+struct CrossDelivery {
+    core: usize,
+    dst: Reg,
+    token: u64,
+    value: i64,
+    ready_at: u64,
 }
 
 /// Attributes a no-progress timeout to the first unfinished core whose
@@ -331,14 +679,27 @@ impl DCore {
     }
 }
 
+/// What one core did in one cycle: whether anything issued, and — when
+/// the issue group ended on a stall — the reason and queue that were
+/// recorded, exactly as written to the stall counters and trace. On an
+/// all-stall cycle (no core progressed) the `stall` fields are the
+/// fast-forward's wakeup inputs.
+#[derive(Clone, Copy, Debug)]
+struct IssueOutcome {
+    progressed: bool,
+    stall: Option<(StallReason, Option<QueueId>)>,
+}
+
 /// Issues as many instructions as possible on core `ci` this cycle;
-/// returns whether at least one instruction issued. Mirrors the
-/// reference `issue_core` decision-for-decision (stall order, stat
-/// updates, issue-group breaks).
+/// returns whether at least one instruction issued and what (if
+/// anything) ended the issue group. Mirrors the reference `issue_core`
+/// decision-for-decision (stall order, stat updates, issue-group
+/// breaks).
 #[allow(clippy::too_many_arguments)]
 fn issue_core<S: TraceSink>(
     ci: usize,
-    cores: &mut [DCore],
+    core: &mut DCore,
+    deliveries: &mut Vec<CrossDelivery>,
     threads: &[DecodedFunction],
     memory: &mut Memory,
     hierarchy: &mut Hierarchy,
@@ -350,7 +711,7 @@ fn issue_core<S: TraceSink>(
     config: &MachineConfig,
     now: u64,
     sink: &mut S,
-) -> Result<bool, ExecError> {
+) -> Result<IssueOutcome, ExecError> {
     let d = &threads[ci];
     // Event emission is gated on the sink's compile-time switch, so
     // the NoTrace instantiation carries no tracing code at all.
@@ -361,67 +722,77 @@ fn issue_core<S: TraceSink>(
             }
         };
     }
-    if cores[ci].fetch_stalled_until > now {
-        cores[ci].stats.record_stall(StallReason::Mispredict);
+    if core.fetch_stalled_until > now {
+        core.stats.record_stall(StallReason::Mispredict);
         trace!(TraceEvent::Stall { cycle: now, core: ci, reason: StallReason::Mispredict, queue: None });
-        return Ok(false);
+        return Ok(IssueOutcome {
+            progressed: false,
+            stall: Some((StallReason::Mispredict, None)),
+        });
     }
     let mut issued = 0usize;
     let mut used = [0usize; 4]; // alu, mem, fp, branch
     let limits = [config.alu_units, config.mem_ports, config.fp_units, config.branch_units];
     let mut progressed = false;
+    let mut stall: Option<(StallReason, Option<QueueId>)> = None;
+    // Records a stall (counter + trace) and remembers it for the
+    // outcome — every `break` below goes through this.
+    macro_rules! stall {
+        ($reason:expr, $queue:expr) => {{
+            let (r, q): (StallReason, Option<QueueId>) = ($reason, $queue);
+            core.stats.record_stall(r);
+            trace!(TraceEvent::Stall { cycle: now, core: ci, reason: r, queue: q.map(|q| q.0) });
+            stall = Some((r, q));
+        }};
+    }
 
-    while !cores[ci].finished && issued < config.issue_width {
-        let pc = cores[ci].pc;
+    while !core.finished && issued < config.issue_width {
+        let pc = core.pc;
         let op = d.op(pc);
         let ui = d.unit(pc) as usize;
         if used[ui] >= limits[ui] {
-            cores[ci].stats.record_stall(StallReason::Structural);
-            trace!(TraceEvent::Stall { cycle: now, core: ci, reason: StallReason::Structural, queue: None });
+            stall!(StallReason::Structural, None);
             break;
         }
-        if !cores[ci].operands_ready(d.uses(pc), now) {
-            cores[ci].stats.record_stall(StallReason::Operand);
-            trace!(TraceEvent::Stall { cycle: now, core: ci, reason: StallReason::Operand, queue: None });
+        if !core.operands_ready(d.uses(pc), now) {
+            stall!(StallReason::Operand, None);
             break;
         }
         // SA port check for communication instructions.
         if op.is_communication()
             && *sa_ports_left == 0 {
-                cores[ci].stats.record_stall(StallReason::SaPort);
-                trace!(TraceEvent::Stall { cycle: now, core: ci, reason: StallReason::SaPort, queue: None });
+                stall!(StallReason::SaPort, None);
                 break;
             }
         let mut end_group = false;
         match op {
             DecodedOp::Const(dst, v) => {
-                cores[ci].write(dst, v, now + 1);
-                cores[ci].pc += 1;
+                core.write(dst, v, now + 1);
+                core.pc += 1;
             }
             DecodedOp::LeaAbs(dst, addr) => {
-                cores[ci].write(dst, addr, now + 1);
-                cores[ci].pc += 1;
+                core.write(dst, addr, now + 1);
+                core.pc += 1;
             }
             DecodedOp::Bin(b, dst, x, y) => {
-                let v = b.eval(cores[ci].operand(x), cores[ci].operand(y));
+                let v = b.eval(core.operand(x), core.operand(y));
                 let lat = d.latency(pc) as u64;
-                cores[ci].write(dst, v, now + lat);
-                cores[ci].pc += 1;
+                core.write(dst, v, now + lat);
+                core.pc += 1;
             }
             DecodedOp::Un(u, dst, x) => {
-                let v = u.eval(cores[ci].operand(x));
-                cores[ci].write(dst, v, now + 1);
-                cores[ci].pc += 1;
+                let v = u.eval(core.operand(x));
+                core.write(dst, v, now + 1);
+                core.pc += 1;
             }
             DecodedOp::Load(dst, a) => {
-                if cores[ci].outstanding_loads(now) >= 16 {
-                    cores[ci].stats.record_stall(StallReason::LoadLimit);
-                    trace!(TraceEvent::Stall { cycle: now, core: ci, reason: StallReason::LoadLimit, queue: None });
+                if core.outstanding_loads(now) >= 16 {
+                    stall!(StallReason::LoadLimit, None);
                     break;
                 }
-                let cell = cores[ci].cell_addr(a);
+                let cell = core.cell_addr(a);
                 let v = memory.read(cell)?;
-                let (lat, level) = hierarchy.load(ci, cores[ci].byte_addr(a) as u64);
+                let (lat, level) = hierarchy.load(ci, core.byte_addr(a) as u64);
                 hits[match level {
                     HitLevel::L1 => 0,
                     HitLevel::L2 => 1,
@@ -429,37 +800,51 @@ fn issue_core<S: TraceSink>(
                     HitLevel::Memory => 3,
                 }] += 1;
                 let ready = now + lat;
-                cores[ci].write(dst, v, ready);
-                cores[ci].inflight_loads.push(ready);
-                cores[ci].pc += 1;
+                core.write(dst, v, ready);
+                core.inflight_loads.push(ready);
+                core.pc += 1;
             }
             DecodedOp::Store(a, v) => {
-                let cell = cores[ci].cell_addr(a);
-                let value = cores[ci].operand(v);
+                let cell = core.cell_addr(a);
+                let value = core.operand(v);
                 memory.write(cell, value)?;
-                let _ = hierarchy.store(ci, cores[ci].byte_addr(a) as u64);
-                cores[ci].pc += 1;
+                let _ = hierarchy.store(ci, core.byte_addr(a) as u64);
+                core.pc += 1;
             }
             DecodedOp::Output(v) => {
-                output.push(cores[ci].operand(v));
-                cores[ci].pc += 1;
+                output.push(core.operand(v));
+                core.pc += 1;
             }
             DecodedOp::Produce { queue, value } => {
                 if queue.index() >= sa.len() {
                     return Err(ExecError::BadQueue(d.src(pc)));
                 }
                 if !sa.can_produce(queue.index()) {
-                    cores[ci].stats.record_stall(StallReason::QueueFull);
-                    trace!(TraceEvent::Stall { cycle: now, core: ci, reason: StallReason::QueueFull, queue: Some(queue.0) });
+                    stall!(StallReason::QueueFull, Some(queue));
                     break;
                 }
                 *sa_ports_left -= 1;
-                let v = cores[ci].operand(value);
+                let v = core.operand(value);
                 match sa.produce(queue.index(), v, now) {
                     Ok(Some(del)) => {
                         if let Some(dst) = del.pending.dst {
-                            cores[del.pending.core]
-                                .deliver(dst, del.pending.token, del.value, del.ready_at);
+                            // A delivery to this very core lands now (a
+                            // later op in this group may observe the
+                            // scoreboard entry); a peer's is applied by
+                            // the caller right after this call returns,
+                            // before any other core is evaluated —
+                            // observably the same instant.
+                            if del.pending.core == ci {
+                                core.deliver(dst, del.pending.token, del.value, del.ready_at);
+                            } else {
+                                deliveries.push(CrossDelivery {
+                                    core: del.pending.core,
+                                    dst,
+                                    token: del.pending.token,
+                                    value: del.value,
+                                    ready_at: del.ready_at,
+                                });
+                            }
                         }
                     }
                     Ok(None) => {}
@@ -469,8 +854,8 @@ fn issue_core<S: TraceSink>(
                 }
                 trace!(TraceEvent::Issue { cycle: now, core: ci, src: d.src(pc) });
                 trace!(TraceEvent::Produce { cycle: now, core: ci, queue: queue.0, occupancy: sa.occupancy(queue.index()) });
-                cores[ci].stats.communication += 1;
-                cores[ci].pc += 1;
+                core.stats.communication += 1;
+                core.pc += 1;
                 issued += 1;
                 used[ui] += 1;
                 progressed = true;
@@ -481,17 +866,17 @@ fn issue_core<S: TraceSink>(
                     return Err(ExecError::BadQueue(d.src(pc)));
                 }
                 *sa_ports_left -= 1;
-                let token = cores[ci].mark_pending(dst, queue);
+                let token = core.mark_pending(dst, queue);
                 let pending = PendingConsume { core: ci, dst: Some(dst), token };
                 let mut deferred = true;
                 if let Ok((v, ready)) = sa.consume(queue.index(), now, pending) {
-                    cores[ci].deliver(dst, token, v, ready);
+                    core.deliver(dst, token, v, ready);
                     deferred = false;
                 }
                 trace!(TraceEvent::Issue { cycle: now, core: ci, src: d.src(pc) });
                 trace!(TraceEvent::Consume { cycle: now, core: ci, queue: queue.0, occupancy: sa.occupancy(queue.index()), deferred });
-                cores[ci].stats.communication += 1;
-                cores[ci].pc += 1;
+                core.stats.communication += 1;
+                core.pc += 1;
                 issued += 1;
                 used[ui] += 1;
                 progressed = true;
@@ -502,8 +887,7 @@ fn issue_core<S: TraceSink>(
                     return Err(ExecError::BadQueue(d.src(pc)));
                 }
                 if !sa.can_produce(queue.index()) {
-                    cores[ci].stats.record_stall(StallReason::QueueFull);
-                    trace!(TraceEvent::Stall { cycle: now, core: ci, reason: StallReason::QueueFull, queue: Some(queue.0) });
+                    stall!(StallReason::QueueFull, Some(queue));
                     break;
                 }
                 *sa_ports_left -= 1;
@@ -512,8 +896,8 @@ fn issue_core<S: TraceSink>(
                 }
                 trace!(TraceEvent::Issue { cycle: now, core: ci, src: d.src(pc) });
                 trace!(TraceEvent::Produce { cycle: now, core: ci, queue: queue.0, occupancy: sa.occupancy(queue.index()) });
-                cores[ci].stats.synchronization += 1;
-                cores[ci].pc += 1;
+                core.stats.synchronization += 1;
+                core.pc += 1;
                 issued += 1;
                 used[ui] += 1;
                 progressed = true;
@@ -526,8 +910,7 @@ fn issue_core<S: TraceSink>(
                 // Acquire semantics: block issue until the token is
                 // visible.
                 if !sa.has_visible_entry(queue.index(), now) {
-                    cores[ci].stats.record_stall(StallReason::QueueEmpty);
-                    trace!(TraceEvent::Stall { cycle: now, core: ci, reason: StallReason::QueueEmpty, queue: Some(queue.0) });
+                    stall!(StallReason::QueueEmpty, Some(queue));
                     break;
                 }
                 *sa_ports_left -= 1;
@@ -536,15 +919,15 @@ fn issue_core<S: TraceSink>(
                 let _ = sa.pop_token(queue.index(), now);
                 trace!(TraceEvent::Issue { cycle: now, core: ci, src: d.src(pc) });
                 trace!(TraceEvent::Consume { cycle: now, core: ci, queue: queue.0, occupancy: sa.occupancy(queue.index()), deferred: false });
-                cores[ci].stats.synchronization += 1;
-                cores[ci].pc += 1;
+                core.stats.synchronization += 1;
+                core.pc += 1;
                 issued += 1;
                 used[ui] += 1;
                 progressed = true;
                 continue;
             }
             DecodedOp::Branch { cond, then_pc, else_pc, backward } => {
-                let taken = cores[ci].regs[cond.index()] != 0;
+                let taken = core.regs[cond.index()] != 0;
                 // Static backward-taken/forward-not-taken prediction:
                 // predict taken iff the taken target does not move
                 // forward in block order (a loop back edge) — folded
@@ -552,33 +935,33 @@ fn issue_core<S: TraceSink>(
                 if let crate::config::BranchModel::StaticBtfn { penalty } = config.branch_model {
                     let predict_taken = backward;
                     if predict_taken != taken {
-                        cores[ci].stats.mispredicts += 1;
-                        cores[ci].fetch_stalled_until = now + penalty;
+                        core.stats.mispredicts += 1;
+                        core.fetch_stalled_until = now + penalty;
                     }
                 }
-                cores[ci].pc = if taken { then_pc } else { else_pc };
+                core.pc = if taken { then_pc } else { else_pc };
                 end_group = true;
             }
             DecodedOp::Jump(t) => {
-                cores[ci].pc = t;
+                core.pc = t;
                 end_group = true;
             }
             DecodedOp::Ret(v) => {
                 if let Some(v) = v {
-                    *return_value = Some(cores[ci].operand(v));
+                    *return_value = Some(core.operand(v));
                 }
-                cores[ci].finished = true;
-                cores[ci].stats.finished_at = now + 1;
+                core.finished = true;
+                core.stats.finished_at = now + 1;
                 trace!(TraceEvent::Finish { cycle: now, core: ci });
                 end_group = true;
             }
             DecodedOp::Nop => {
-                cores[ci].pc += 1;
+                core.pc += 1;
             }
             DecodedOp::Unterminated => panic!("verified function"),
         }
         trace!(TraceEvent::Issue { cycle: now, core: ci, src: d.src(pc) });
-        cores[ci].stats.computation += 1;
+        core.stats.computation += 1;
         issued += 1;
         used[ui] += 1;
         progressed = true;
@@ -586,5 +969,5 @@ fn issue_core<S: TraceSink>(
             break; // simple front end: nothing issues past a taken redirect
         }
     }
-    Ok(progressed)
+    Ok(IssueOutcome { progressed, stall })
 }

@@ -53,10 +53,14 @@ pub mod trace;
 pub use cache::{Cache, Hierarchy, HitLevel};
 pub use config::{BranchModel, CacheConfig, MachineConfig, SaConfig};
 pub use core::{Core, CoreStats, StallReason};
-pub use engine::{simulate, simulate_decoded, simulate_decoded_traced};
+pub use engine::{
+    simulate, simulate_decoded, simulate_decoded_opts, simulate_decoded_traced,
+    simulate_decoded_traced_opts, SimOptions,
+};
 pub use sa::{Delivery, PendingConsume, QueueFull, SyncArray};
 pub use sim::{simulate_reference, SimResult};
 pub use trace::{
     check_attribution, ChromeTraceSink, CycleAttribution, NoTrace, QueueTraceStats,
     TraceAggregator, TraceEvent, TraceSink,
 };
+

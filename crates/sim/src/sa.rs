@@ -136,6 +136,16 @@ impl SyncArray {
         self.queues[q].entries.front().is_some_and(|e| e.avail <= now)
     }
 
+    /// The cycle at which queue `q`'s front entry becomes visible to a
+    /// `consume.sync`, or `None` when the queue holds no entry at all —
+    /// in that case the consumer's wakeup depends on a peer's produce,
+    /// not on the array. This is the event-driven engine's wakeup
+    /// source for [`StallReason::QueueEmpty`](crate::StallReason)
+    /// stalls.
+    pub fn next_visible_at(&self, q: usize) -> Option<u64> {
+        self.queues[q].entries.front().map(|e| e.avail)
+    }
+
     /// Pops a token for `consume.sync`, or `None` when the queue is
     /// empty (callers gate on [`SyncArray::has_visible_entry`]).
     pub fn pop_token(&mut self, q: usize, now: u64) -> Option<u64> {
@@ -206,6 +216,20 @@ mod tests {
         assert!(sa.has_visible_entry(0, 12));
         assert_eq!(sa.pop_token(0, 15), Some(15));
         assert_eq!(sa.pop_token(0, 16), None, "empty queue yields no token");
+    }
+
+    #[test]
+    fn next_visible_at_reports_front_entry() {
+        let mut sa = SyncArray::new(2, &[4], 1);
+        assert_eq!(sa.next_visible_at(0), None, "empty queue has no self-wakeup");
+        assert!(sa.produce(0, 1, 10).unwrap().is_none()); // visible at 12
+        assert!(sa.produce(0, 2, 20).unwrap().is_none()); // behind the first
+        assert_eq!(sa.next_visible_at(0), Some(12), "front entry's avail cycle");
+        assert!(!sa.has_visible_entry(0, 11));
+        assert!(sa.has_visible_entry(0, sa.next_visible_at(0).unwrap()));
+        let _ = sa.pop_token(0, 12);
+        assert_eq!(sa.next_visible_at(0), Some(22), "second entry surfaces");
+        assert_eq!(sa.next_visible_at(1), None, "untouched queue stays empty");
     }
 
     #[test]

@@ -26,6 +26,17 @@ pub struct SimResult {
     pub hits_l3: u64,
     /// Accesses served by main memory.
     pub hits_mem: u64,
+    /// Main-loop iterations the engine actually evaluated. The
+    /// per-cycle reference engine steps once per cycle
+    /// (`engine_steps == cycles` unless the run errored); the
+    /// event-driven engine steps once per *non-skipped* cycle, so
+    /// `engine_steps + skipped_cycles` equals the per-cycle step count.
+    pub engine_steps: u64,
+    /// Cycles the event-driven fast-forward jumped over instead of
+    /// ticking (0 for the reference engine and with `GMT_SIM_SKIP=0`).
+    /// Every skipped cycle is still credited to the stalled cores'
+    /// counters — results are byte-identical either way.
+    pub skipped_cycles: u64,
 }
 
 impl SimResult {
@@ -164,6 +175,8 @@ pub fn simulate_reference(
         hits_l2: hits[1],
         hits_l3: hits[2],
         hits_mem: hits[3],
+        engine_steps: cycle,
+        skipped_cycles: 0,
     })
 }
 

@@ -89,6 +89,26 @@ pub enum TraceEvent {
         /// produce).
         deferred: bool,
     },
+    /// `core` stalled for the same reason on every cycle of
+    /// `from..until` — the event-driven engine's batched form of
+    /// [`TraceEvent::Stall`], emitted when the fast-forward skips a
+    /// window of dead ticks. The engine emits a per-cycle `Stall` for
+    /// the cycle it actually evaluated, then one `StallSpan` covering
+    /// the skipped cycles, so `from` always follows a `Stall` of the
+    /// same core and reason at `from - 1`.
+    StallSpan {
+        /// First skipped cycle (inclusive).
+        from: u64,
+        /// One past the last skipped cycle (exclusive; `until > from`).
+        until: u64,
+        /// Stalled core.
+        core: usize,
+        /// Why issue stayed blocked across the whole window.
+        reason: StallReason,
+        /// The queue involved, for [`StallReason::QueueFull`] and
+        /// [`StallReason::QueueEmpty`]; `None` otherwise.
+        queue: Option<u32>,
+    },
     /// `core` retired its `ret` (`finished_at = cycle + 1`).
     Finish {
         /// Cycle the return issued.
@@ -99,7 +119,8 @@ pub enum TraceEvent {
 }
 
 impl TraceEvent {
-    /// The cycle the event occurred on.
+    /// The cycle the event occurred on (the first covered cycle for
+    /// [`TraceEvent::StallSpan`]).
     pub fn cycle(&self) -> u64 {
         match *self {
             TraceEvent::Issue { cycle, .. }
@@ -107,6 +128,7 @@ impl TraceEvent {
             | TraceEvent::Produce { cycle, .. }
             | TraceEvent::Consume { cycle, .. }
             | TraceEvent::Finish { cycle, .. } => cycle,
+            TraceEvent::StallSpan { from, .. } => from,
         }
     }
 }
@@ -354,10 +376,28 @@ impl TraceAggregator {
     }
 
     fn commit(attr: &mut CycleAttribution, class: CycleClass) {
+        Self::commit_n(attr, class, 1);
+    }
+
+    fn commit_n(attr: &mut CycleAttribution, class: CycleClass, n: u64) {
         match class {
-            CycleClass::Compute => attr.compute += 1,
-            CycleClass::Stalled(r) => *attr.bucket(r) += 1,
+            CycleClass::Compute => attr.compute += n,
+            CycleClass::Stalled(r) => *attr.bucket(r) += n,
         }
+    }
+
+    /// Batched form of [`TraceAggregator::fold_core`] for a
+    /// [`TraceEvent::StallSpan`]: the span's cycles are all one class
+    /// and can never be reclassified (the engine evaluated nothing on
+    /// them), so they commit directly. Any cycle still pending in `cur`
+    /// precedes the span and commits first.
+    fn fold_core_span(&mut self, core: usize, from: u64, until: u64, class: CycleClass) {
+        let fold = &mut self.cores[core];
+        if let Some((c, prev)) = fold.cur.take() {
+            debug_assert!(c < from, "span starts after the committed cycles");
+            Self::commit(&mut fold.attr, prev);
+        }
+        Self::commit_n(&mut fold.attr, class, until.saturating_sub(from));
     }
 }
 
@@ -375,6 +415,18 @@ impl TraceSink for TraceAggregator {
                     match reason {
                         StallReason::QueueFull => qs.full_stall_cycles += 1,
                         StallReason::QueueEmpty => qs.empty_stall_cycles += 1,
+                        _ => {}
+                    }
+                }
+            }
+            TraceEvent::StallSpan { from, until, core, reason, queue } => {
+                self.fold_core_span(core, from, until, CycleClass::Stalled(reason));
+                if let Some(q) = queue {
+                    let n = until.saturating_sub(from);
+                    let qs = &mut self.queues[q as usize];
+                    match reason {
+                        StallReason::QueueFull => qs.full_stall_cycles += n,
+                        StallReason::QueueEmpty => qs.empty_stall_cycles += n,
                         _ => {}
                     }
                 }
@@ -540,6 +592,27 @@ impl ChromeTraceSink {
         }
     }
 
+    /// Range form of [`ChromeTraceSink::fold_core`] for a
+    /// [`TraceEvent::StallSpan`] covering `from..until`. The engine
+    /// emits the span right after the per-cycle stall at `from - 1`, so
+    /// the common case merges into the open span of the same class —
+    /// the rendered JSON is byte-identical to per-cycle ticking.
+    fn fold_core_span(&mut self, core: usize, from: u64, until: u64, class: CycleClass) {
+        let fold = self.cores[core];
+        match fold.class {
+            Some(prev) if same_class(prev, class) && from <= fold.last + 1 => {
+                self.cores[core].last = until - 1;
+            }
+            Some(prev) => {
+                self.span_event(core, fold.start, fold.last + 1, prev);
+                self.cores[core] = SpanFold { start: from, last: until - 1, class: Some(class) };
+            }
+            None => {
+                self.cores[core] = SpanFold { start: from, last: until - 1, class: Some(class) };
+            }
+        }
+    }
+
     /// The complete trace as a JSON string. Call after the run.
     pub fn into_json(mut self) -> String {
         assert!(self.ended, "into_json before run_end");
@@ -588,6 +661,9 @@ impl TraceSink for ChromeTraceSink {
             }
             TraceEvent::Stall { cycle, core, reason, .. } => {
                 self.fold_core(core, cycle, CycleClass::Stalled(reason));
+            }
+            TraceEvent::StallSpan { from, until, core, reason, .. } => {
+                self.fold_core_span(core, from, until, CycleClass::Stalled(reason));
             }
             TraceEvent::Produce { cycle, queue, occupancy, .. }
             | TraceEvent::Consume { cycle, queue, occupancy, .. } => {
@@ -793,6 +869,92 @@ mod tests {
         pair.run_end(1);
         assert_eq!(pair.0.core_attribution()[0].compute, 1);
         assert!(pair.1.into_json().contains("compute"));
+    }
+
+    fn span(from: u64, until: u64, reason: StallReason, queue: Option<u32>) -> TraceEvent {
+        TraceEvent::StallSpan { from, until, core: 0, reason, queue }
+    }
+
+    #[test]
+    fn stall_span_attribution_matches_per_cycle() {
+        // The engine's fast-forward shape — one per-cycle stall, then a
+        // span over the skipped window — must aggregate exactly like
+        // ticking every cycle.
+        let mut a = TraceAggregator::new(1, 1, 64);
+        a.event(&issue(0, 0));
+        for c in 1..6 {
+            a.event(&TraceEvent::Stall {
+                cycle: c,
+                core: 0,
+                reason: StallReason::QueueEmpty,
+                queue: Some(0),
+            });
+        }
+        a.event(&issue(6, 0));
+        a.run_end(8);
+
+        let mut b = TraceAggregator::new(1, 1, 64);
+        b.event(&issue(0, 0));
+        b.event(&TraceEvent::Stall {
+            cycle: 1,
+            core: 0,
+            reason: StallReason::QueueEmpty,
+            queue: Some(0),
+        });
+        b.event(&span(2, 6, StallReason::QueueEmpty, Some(0)));
+        b.event(&issue(6, 0));
+        b.run_end(8);
+
+        assert_eq!(a.core_attribution(), b.core_attribution());
+        assert_eq!(a.queue_stats(), b.queue_stats());
+        assert_eq!(b.core_attribution()[0].queue_empty, 5);
+        assert_eq!(b.core_attribution()[0].total(), 8);
+        assert_eq!(b.queue_stats()[0].empty_stall_cycles, 5);
+    }
+
+    #[test]
+    fn stall_span_with_no_open_cycle_commits_directly() {
+        let mut agg = TraceAggregator::new(1, 0, 4);
+        agg.event(&span(0, 3, StallReason::Mispredict, None));
+        agg.event(&issue(3, 0));
+        agg.run_end(4);
+        let attr = agg.core_attribution()[0];
+        assert_eq!(attr.mispredict, 3);
+        assert_eq!(attr.compute, 1);
+        assert_eq!(attr.total(), 4);
+    }
+
+    #[test]
+    fn chrome_span_folding_is_byte_identical_to_per_cycle() {
+        let mut a = ChromeTraceSink::new(1, 0);
+        a.event(&issue(0, 0));
+        for c in 1..6 {
+            a.event(&stall(c, 0, StallReason::Operand));
+        }
+        a.event(&issue(6, 0));
+        a.run_end(7);
+
+        let mut b = ChromeTraceSink::new(1, 0);
+        b.event(&issue(0, 0));
+        b.event(&stall(1, 0, StallReason::Operand));
+        b.event(&span(2, 6, StallReason::Operand, None));
+        b.event(&issue(6, 0));
+        b.run_end(7);
+
+        assert_eq!(a.into_json(), b.into_json(), "span must merge into the open stall span");
+    }
+
+    #[test]
+    fn chrome_span_after_compute_flushes_previous_span() {
+        // Defensive: a span arriving without a preceding same-class
+        // stall still renders correctly (flush + new span).
+        let mut sink = ChromeTraceSink::new(1, 0);
+        sink.event(&issue(0, 0));
+        sink.event(&span(1, 4, StallReason::QueueFull, Some(0)));
+        sink.run_end(4);
+        let json = sink.into_json();
+        assert!(json.contains("\"name\":\"compute\",\"ph\":\"X\",\"ts\":0,\"dur\":1"), "{json}");
+        assert!(json.contains("\"name\":\"queue-full\",\"ph\":\"X\",\"ts\":1,\"dur\":3"), "{json}");
     }
 
     #[test]

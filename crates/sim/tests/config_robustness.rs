@@ -10,7 +10,7 @@
 use gmt_ir::interp_mt::{run_mt, QueueConfig};
 use gmt_ir::interp::{ExecConfig, ExecError};
 use gmt_ir::{BinOp, FunctionBuilder, Op, QueueId};
-use gmt_sim::{simulate, CacheConfig, MachineConfig, SaConfig};
+use gmt_sim::{simulate, BranchModel, CacheConfig, MachineConfig, SaConfig};
 use gmt_testkit::{prop_assert, ranged, Checker, Gen};
 
 /// Producer sends 1..=3 on queue 0; consumer sums and returns 6.
@@ -118,6 +118,46 @@ fn arbitrary_queue_configs_never_panic() {
             }
             Ok(())
         },
+    );
+}
+
+/// Regression for the stall fast-forward: a zero mispredict penalty
+/// combined with a zero-latency synchronization array is the one
+/// machine shape whose wakeup computation would be degenerate (no
+/// strictly-future self-wakeup source left), so `validate` must reject
+/// exactly that combination and nothing broader.
+#[test]
+fn zero_penalty_zero_latency_sa_combo_is_rejected_up_front() {
+    let threads = producer_consumer();
+    let mut config = MachineConfig::default();
+    config.branch_model = BranchModel::StaticBtfn { penalty: 0 };
+
+    // Penalty 0 alone: valid, simulates normally.
+    let r = simulate(&threads, &[], |_, _| {}, &config).expect("penalty 0 alone is valid");
+    assert_eq!(r.return_value, Some(6));
+
+    // Latency 0 alone (ideal branches): valid, simulates normally.
+    let mut lat0 = MachineConfig::default();
+    lat0.sa.latency = 0;
+    let r = simulate(&threads, &[], |_, _| {}, &lat0).expect("latency 0 alone is valid");
+    assert_eq!(r.return_value, Some(6));
+
+    // The combination: rejected before the first cycle runs.
+    config.sa.latency = 0;
+    let err = simulate(&threads, &[], |_, _| {}, &config).unwrap_err();
+    assert!(
+        matches!(&err, ExecError::InvalidConfig(m) if m.contains("degenerate")),
+        "expected up-front rejection, got {err:?}"
+    );
+
+    // ...unless the machine has no queues at all — then there are no
+    // SA wakeups to degrade. (This program communicates, so it still
+    // fails queue-id validation, but as a *different* error.)
+    config.sa.num_queues = 0;
+    let err = simulate(&threads, &[], |_, _| {}, &config).unwrap_err();
+    assert!(
+        matches!(&err, ExecError::InvalidConfig(m) if !m.contains("degenerate")),
+        "queue-less machines must not trip the wakeup check, got {err:?}"
     );
 }
 

@@ -18,7 +18,10 @@ use gmt_ir::decoded::{DecodedFunction, DecodedProgram};
 use gmt_ir::interp::{run_decoded, run_reference, ExecConfig};
 use gmt_ir::interp_mt::{run_mt_decoded, run_mt_reference, QueueConfig};
 use gmt_pdg::Pdg;
-use gmt_sim::{simulate_decoded, simulate_reference, BranchModel, MachineConfig, SimResult};
+use gmt_sim::{
+    check_attribution, simulate_decoded, simulate_decoded_opts, simulate_decoded_traced_opts,
+    simulate_reference, BranchModel, MachineConfig, SimOptions, SimResult, TraceAggregator,
+};
 use gmt_testkit::{full_u64, prop_assert_eq, ranged, Checker, Gen};
 
 fn exec() -> ExecConfig {
@@ -44,6 +47,47 @@ fn assert_sim_eq(a: &SimResult, b: &SimResult) -> Result<(), String> {
         (a.hits_l1, a.hits_l2, a.hits_l3, a.hits_mem),
         (b.hits_l1, b.hits_l2, b.hits_l3, b.hits_mem)
     );
+    Ok(())
+}
+
+/// Runs the decoded engine with the stall fast-forward on and off,
+/// checks both against `reference` (all observable statistics), checks
+/// the engine-step conservation law (every skipped cycle is a step the
+/// per-cycle run really took), and re-runs the fast-forward engine
+/// traced to prove the aggregated stall spans still attribute every
+/// cycle of every core.
+fn assert_skip_equivalence(
+    program: &DecodedProgram,
+    args: &[i64],
+    init: fn(&gmt_ir::interp::MemoryLayout, &mut gmt_ir::interp::Memory),
+    machine: &MachineConfig,
+    reference: &SimResult,
+) -> Result<(), String> {
+    let skip = simulate_decoded_opts(program, args, init, machine, SimOptions {
+        fast_forward: true,
+    })
+    .expect("fast-forward sim");
+    let noskip = simulate_decoded_opts(program, args, init, machine, SimOptions {
+        fast_forward: false,
+    })
+    .expect("per-cycle sim");
+    assert_sim_eq(&skip, reference)?;
+    assert_sim_eq(&noskip, reference)?;
+    prop_assert_eq!(noskip.skipped_cycles, 0, "per-cycle engine never skips");
+    prop_assert_eq!(
+        skip.engine_steps + skip.skipped_cycles,
+        noskip.engine_steps,
+        "skipped cycles are exactly the steps the per-cycle run took"
+    );
+    let ncores = reference.cores.len();
+    let mut agg = TraceAggregator::new(ncores, machine.sa.num_queues, 16);
+    let traced = simulate_decoded_traced_opts(program, args, init, machine, &mut agg, SimOptions {
+        fast_forward: true,
+    })
+    .expect("traced fast-forward sim");
+    assert_sim_eq(&traced, reference)?;
+    check_attribution(&agg, &traced)
+        .map_err(|e| format!("stall spans break cycle attribution: {e}"))?;
     Ok(())
 }
 
@@ -124,16 +168,12 @@ fn simulator_matches_reference() {
                 let reference =
                     simulate_reference(st, &[], |_, _| {}, &machine).expect("reference sim");
                 let program = DecodedProgram::decode(st).expect("decode");
-                let decoded =
-                    simulate_decoded(&program, &[], |_, _| {}, &machine).expect("decoded sim");
-                assert_sim_eq(&decoded, &reference)?;
+                assert_skip_equivalence(&program, &[], |_, _| {}, &machine, &reference)?;
                 // Multi-threaded.
                 let reference = simulate_reference(&out.threads, &[], |_, _| {}, &machine)
                     .expect("reference mt sim");
                 let program = DecodedProgram::decode(&out.threads).expect("decode");
-                let decoded = simulate_decoded(&program, &[], |_, _| {}, &machine)
-                    .expect("decoded mt sim");
-                assert_sim_eq(&decoded, &reference)?;
+                assert_skip_equivalence(&program, &[], |_, _| {}, &machine, &reference)?;
             }
             Ok(())
         },
@@ -172,6 +212,41 @@ fn catalog_kernels_match_reference() {
             .unwrap_or_else(|e| panic!("{}: decoded sim: {e}", w.benchmark));
         if let Err(msg) = assert_sim_eq(&dec_sim, &ref_sim) {
             panic!("{}: {msg}", w.benchmark);
+        }
+        if let Err(msg) = assert_skip_equivalence(&program, &w.train_args, w.init, &machine, &ref_sim)
+        {
+            panic!("{}: single-threaded: {msg}", w.benchmark);
+        }
+    }
+}
+
+/// Every catalog kernel as a queue-coupled DSWP thread pair — the
+/// fast-forward's target shape — is byte-identical between the
+/// fast-forward, per-cycle, and reference engines, at the paper's
+/// uniform depth-32 array and at single-element queues (maximum
+/// backpressure), with exact trace attribution.
+#[test]
+fn catalog_mt_kernels_match_reference_with_fast_forward() {
+    use gmt_core::{CocoConfig, Parallelizer, Scheduler};
+    for w in gmt_workloads::catalog() {
+        let train = w.run_train().unwrap_or_else(|e| panic!("{}: train: {e}", w.benchmark));
+        let p = Parallelizer::new(Scheduler::dswp(2))
+            .with_coco(CocoConfig::default())
+            .parallelize(&w.function, &train.profile)
+            .unwrap_or_else(|e| panic!("{}: parallelize: {e}", w.benchmark));
+        let program = DecodedProgram::decode(p.threads()).expect("decode");
+        for depth in [32usize, 1] {
+            let mut machine = MachineConfig::default().with_queue_depth(depth);
+            if p.num_queues() as usize > machine.sa.num_queues {
+                machine.sa.num_queues = p.num_queues() as usize;
+            }
+            let ref_sim = simulate_reference(p.threads(), &w.train_args, w.init, &machine)
+                .unwrap_or_else(|e| panic!("{}: reference mt sim: {e}", w.benchmark));
+            if let Err(msg) =
+                assert_skip_equivalence(&program, &w.train_args, w.init, &machine, &ref_sim)
+            {
+                panic!("{} (depth {depth}): {msg}", w.benchmark);
+            }
         }
     }
 }
