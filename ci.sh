@@ -73,22 +73,45 @@ cargo test -q --offline -p gmt-core --test mtverify_mutations
 GMT_JOBS=8 ./target/release/repro --quick --fig 7 > target/ci_fig7_postverify.txt
 cmp target/ci_fig7_postverify.txt tests/golden/fig7_quick.txt
 
-# Panic-site budget: untrusted inputs to the partitioner and the code
-# generator must surface as SchedError/MtcgError, never a panic. The
-# pinned count covers the remaining internal-invariant assertions only;
-# a new unwrap/expect/panic/assert in non-test gmt-mtcg/gmt-sched code
-# fails the gate. If you removed one, re-pin the budget downward.
+# Panic-site budget: untrusted inputs must surface as typed errors
+# (SchedError/MtcgError/PdgError/ExecError), never a panic. The pinned
+# counts cover the remaining internal-invariant assertions only; a new
+# unwrap/expect/panic/assert in non-test code of a covered crate fails
+# the gate. If you removed one, re-pin that budget downward. The
+# gmt-pdg/gmt-ir ceiling was lowered 33 -> 30 when the fuzzer's panic
+# burn-down converted the reachable sites (unterminated blocks,
+# oversized memory layouts, out-of-range queue and points-to indices)
+# to typed errors.
 python3 - <<'EOF'
 import re, pathlib, sys
 pat = re.compile(
     r'\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(|\bassert!\(|\bassert_eq!|\bassert_ne!')
-total = 0
-for root in ("crates/mtcg/src", "crates/sched/src"):
-    for p in sorted(pathlib.Path(root).rglob("*.rs")):
-        body = p.read_text().split("#[cfg(test)]")[0]
-        total += len(pat.findall(body))
-BUDGET = 16
-if total > BUDGET:
-    sys.exit(f"panic-site budget exceeded in gmt-mtcg/gmt-sched: {total} > {BUDGET}")
-print(f"panic-site budget ok: {total} <= {BUDGET}")
+def count(roots):
+    total = 0
+    for root in roots:
+        for p in sorted(pathlib.Path(root).rglob("*.rs")):
+            body = p.read_text().split("#[cfg(test)]")[0]
+            total += len(pat.findall(body))
+    return total
+BUDGETS = {
+    "gmt-mtcg/gmt-sched": (("crates/mtcg/src", "crates/sched/src"), 16),
+    "gmt-pdg/gmt-ir": (("crates/pdg/src", "crates/ir/src"), 30),
+}
+for name, (roots, budget) in BUDGETS.items():
+    total = count(roots)
+    if total > budget:
+        sys.exit(f"panic-site budget exceeded in {name}: {total} > {budget}")
+    print(f"panic-site budget ok in {name}: {total} <= {budget}")
 EOF
+
+# Differential-fuzzer smoke: a deterministic-seed run of the pipeline
+# fuzzer (corpus replay + fresh cases; offline, well under 60 s). Any
+# finding exits nonzero; its seed is printed and persisted, and
+# `GMT_TESTKIT_SEED=<seed> cargo run --release -p gmt-fuzz --bin fuzz`
+# replays exactly that case (the same replay command works for every
+# entry in tests/fuzz_corpus/corpus.txt). Then re-run the quick
+# Figure 7 and re-diff the golden — fuzzing must never perturb the
+# measured numbers.
+./target/release/fuzz --cases 500 --quiet
+GMT_JOBS=8 ./target/release/repro --quick --fig 7 > target/ci_fig7_postfuzz.txt
+cmp target/ci_fig7_postfuzz.txt tests/golden/fig7_quick.txt

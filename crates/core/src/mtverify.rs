@@ -973,6 +973,27 @@ fn defs12_check(
                         break;
                     }
                 }
+                // A duplicated branch's condition may be delivered by
+                // the branch's *owner* rather than the def's owner:
+                // the owner holds the operand (received via its own
+                // checked item, or computed locally) and redistributes
+                // it to every duplicating thread right before the
+                // branch copy. Such a mediated crossing refreshes
+                // `to`'s copy at exactly that use, so it must not
+                // count as a stale read of this item's channel. The
+                // mediator's own freshness at `i` is delegated: if its
+                // copy were stale, the (from -> owner) item's analysis
+                // reports it at `i` itself (the owned branch is a
+                // consumer use there).
+                let mediated_fresh_at = |i: InstrId| {
+                    out.plan.items().any(|it2| {
+                        it2.kind == CommKind::Register(r)
+                            && it2.to == item.to
+                            && it2.points.contains(&CommPoint::Before(i))
+                            && (it2.from == item.from
+                                || partition.get(i) == Some(it2.from))
+                    })
+                };
                 // Collection pass: walk each block from its fixpoint
                 // in-state, recording stale uses.
                 let mut stale: BTreeSet<InstrId> = BTreeSet::new();
@@ -986,10 +1007,15 @@ fn defs12_check(
                         // A "use by the consumer" is an instruction
                         // assigned to it — or a relevant branch it
                         // duplicates (the copy reads the same value).
-                        let consumer_use = partition.get(i) == Some(item.to)
-                            || (f.instr(i).is_branch()
-                                && out.plan.relevant_branches(item.to).contains(&i));
-                        if d && consumer_use && uses_r(i) {
+                        let duplicated_branch = f.instr(i).is_branch()
+                            && out.plan.relevant_branches(item.to).contains(&i);
+                        let consumer_use =
+                            partition.get(i) == Some(item.to) || duplicated_branch;
+                        if d
+                            && consumer_use
+                            && uses_r(i)
+                            && !(duplicated_branch && mediated_fresh_at(i))
+                        {
                             stale.insert(i);
                         }
                         if f.instr(i).def() == Some(r) {

@@ -1,0 +1,390 @@
+//! The differential oracle: one [`FuzzCase`] driven through the whole
+//! pipeline and every executor, with every observable cross-checked.
+//!
+//! Per case the oracle runs
+//! `compile → verify → profile → PDG → partition → (COCO) → MTCG →
+//! verify_mt → executors` and checks:
+//!
+//! - the decoded and reference **sequential** interpreters agree on
+//!   return value, output trace, dynamic counts, edge profile, and
+//!   final memory (or return the *same* typed error);
+//! - `verify_mt` accepts the generated code at uniform depth 1 and at
+//!   the profile-allocated per-queue depths;
+//! - the decoded and reference **functional MT** interpreters agree
+//!   with the sequential run (return/output/memory) and with each
+//!   other (per-thread dynamic counts) at queue capacities 1 and 32,
+//!   and the dynamic totals are capacity-invariant;
+//! - the **timed** engines — ID-walking reference, decoded with
+//!   fast-forward, decoded without — agree on cycles, outputs, and
+//!   per-core retired-instruction counts at both uniform and
+//!   allocated queue depths, and the fast-forward obeys the
+//!   conservation law `engine_steps + skipped_cycles = noskip steps`;
+//! - nothing panics; every rejection is a typed error
+//!   ([`PipelineError`] / [`gmt_mtcg::MtcgError`]), which the oracle
+//!   records rather than fails.
+//!
+//! The caller (fuzz bin / regression tests) wraps [`run_case`] in
+//! `catch_unwind`, so a panic anywhere in the pipeline is itself a
+//! reported finding.
+
+use crate::ast::{compile, seeded_partition, FuzzCase, Mode};
+use gmt_core::{verify_mt, verify_mt_uniform, CocoConfig, Parallelized, Parallelizer, Scheduler};
+use gmt_ir::interp::{ExecConfig, ExecError, RunResult};
+use gmt_ir::interp_mt::{run_mt, run_mt_reference, MtRunResult, QueueConfig};
+use gmt_ir::{Function, Profile};
+use gmt_sim::{
+    simulate_decoded_opts, simulate_reference, MachineConfig, SimOptions, SimResult,
+};
+
+/// Dynamic-instruction fuel for the functional executors. Generated
+/// programs run a few hundred steps; hitting this means livelock.
+const FUEL: u64 = 20_000_000;
+/// Cycle budget for the timed engines (mem_latency is 141, programs
+/// are tiny; hitting this means a scheduling livelock).
+const MAX_CYCLES: u64 = 50_000_000;
+
+/// What a case did end to end (when no divergence was found).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CaseReport {
+    /// The pipeline rejected the case with a typed error (acceptable;
+    /// the sequential cross-check still ran).
+    pub rejected: Option<String>,
+    /// Queues in the generated program (0 if rejected).
+    pub num_queues: u32,
+    /// Dynamic instructions of the sequential run.
+    pub seq_steps: u64,
+    /// Cycles of the timed run at allocated depths (0 if rejected).
+    pub cycles: u64,
+}
+
+/// Runs the full differential matrix for one case.
+///
+/// # Errors
+///
+/// Returns a human-readable divergence description naming the phase
+/// and the disagreeing observables. Panics inside the pipeline are
+/// *not* caught here — the driver wraps this in `catch_unwind` so the
+/// shrinker can walk through panicking candidates.
+pub fn run_case(case: &FuzzCase) -> Result<CaseReport, String> {
+    let f = compile(&case.program).map_err(|e| format!("[compile] {e}"))?;
+    let mut report = CaseReport::default();
+
+    // Phase 1: sequential decoded vs. reference.
+    let exec = ExecConfig { max_steps: FUEL };
+    let seq = match seq_cross_check(&f, &exec)? {
+        Ok(r) => r,
+        Err(e) => {
+            // Both sequential executors rejected with the same typed
+            // error; nothing downstream can run.
+            report.rejected = Some(format!("seq: {e:?}"));
+            return Ok(report);
+        }
+    };
+    report.seq_steps = seq.counts.total();
+
+    // Phase 2: the pipeline (partition → COCO → MTCG).
+    let par = match parallelize(&f, &seq.profile, case) {
+        Ok(p) => p,
+        Err(rejection) => {
+            report.rejected = Some(rejection);
+            return Ok(report);
+        }
+    };
+    let out = &par.output;
+    report.num_queues = out.num_queues;
+
+    // Phase 3: static protocol validation, uniform + allocated.
+    let v1 = verify_mt_uniform(&f, &par.partition, &pdg_of(&f), out, 1);
+    if !v1.is_empty() {
+        return Err(format!("[verify_mt depth=1] {v1:?}"));
+    }
+    let va = verify_mt(&f, &par.partition, &pdg_of(&f), out, &par.queue_depths);
+    if !va.is_empty() {
+        return Err(format!(
+            "[verify_mt depths={:?}] {va:?}",
+            par.queue_depths
+        ));
+    }
+
+    // Phase 4: functional MT at capacities 1 and 32.
+    let mut totals_by_cap = Vec::new();
+    for cap in [1usize, 32] {
+        let mt = mt_cross_check(&f, &par, &seq, cap, &exec)?;
+        totals_by_cap.push((cap, mt.totals()));
+    }
+    let (c0, t0) = &totals_by_cap[0];
+    for (c, t) in &totals_by_cap[1..] {
+        if t.total() != t0.total() {
+            return Err(format!(
+                "[mt] dynamic totals depend on queue capacity: {} at capacity {c0} vs {} at {c}",
+                t0.total(),
+                t.total()
+            ));
+        }
+    }
+
+    // Phase 5: timed engines at uniform hot depth and allocated depths.
+    let hot = hot_depth(case.mode());
+    let uniform = machine_for(out.num_queues, vec![hot]);
+    let allocated = machine_for(
+        out.num_queues,
+        if par.queue_depths.is_empty() { vec![1] } else { par.queue_depths.clone() },
+    );
+    for (label, machine) in [("uniform", &uniform), ("allocated", &allocated)] {
+        let sim = sim_cross_check(&f, &par, &seq, machine, label)?;
+        report.cycles = sim.cycles;
+    }
+
+    Ok(report)
+}
+
+/// Builds the PDG (used twice so the verifier sees the same graph the
+/// partitioners did; `Pdg::build` is deterministic).
+fn pdg_of(f: &Function) -> gmt_pdg::Pdg {
+    gmt_pdg::Pdg::build(f)
+}
+
+/// The paper depth hot queues get under each mode's scheduler.
+fn hot_depth(mode: Mode) -> usize {
+    match mode {
+        Mode::Gremio | Mode::GremioCoco => 1,
+        _ => 32,
+    }
+}
+
+/// Runs both sequential interpreters; diverging results are an error,
+/// identical typed rejections are passed through as `Ok(Err(e))`.
+fn seq_cross_check(
+    f: &Function,
+    exec: &ExecConfig,
+) -> Result<Result<RunResult, ExecError>, String> {
+    let dec = gmt_ir::interp::run(f, &[], exec);
+    let refr = gmt_ir::interp::run_reference(f, &[], exec);
+    match (dec, refr) {
+        (Ok(d), Ok(r)) => {
+            if d.return_value != r.return_value {
+                return Err(format!(
+                    "[seq] return value: decoded {:?} vs reference {:?}",
+                    d.return_value, r.return_value
+                ));
+            }
+            if d.output != r.output {
+                return Err(format!(
+                    "[seq] output trace: decoded {:?} vs reference {:?}",
+                    d.output, r.output
+                ));
+            }
+            if d.counts != r.counts {
+                return Err(format!(
+                    "[seq] dynamic counts: decoded {:?} vs reference {:?}",
+                    d.counts, r.counts
+                ));
+            }
+            if d.profile != r.profile {
+                return Err("[seq] edge profiles diverge".to_string());
+            }
+            if d.memory.cells() != r.memory.cells() {
+                return Err("[seq] final memories diverge".to_string());
+            }
+            Ok(Ok(d))
+        }
+        (Err(de), Err(re)) => {
+            if err_key(&de) == err_key(&re) {
+                Ok(Err(de))
+            } else {
+                Err(format!("[seq] decoded error {de:?} vs reference error {re:?}"))
+            }
+        }
+        (Ok(_), Err(e)) => Err(format!("[seq] decoded succeeded, reference failed: {e:?}")),
+        (Err(e), Ok(_)) => Err(format!("[seq] decoded failed, reference succeeded: {e:?}")),
+    }
+}
+
+/// Drives the pipeline for the case's mode. `Err` is a *typed*
+/// rejection (acceptable); panics propagate to the driver.
+fn parallelize(f: &Function, profile: &Profile, case: &FuzzCase) -> Result<Parallelized, String> {
+    let mode = case.mode();
+    let scheduler = match mode {
+        Mode::Dswp | Mode::DswpCoco | Mode::SeededMtcg | Mode::SeededCoco => {
+            Scheduler::dswp(case.threads)
+        }
+        Mode::Gremio | Mode::GremioCoco => Scheduler::gremio(case.threads),
+    };
+    let mut p = Parallelizer::new(scheduler);
+    if matches!(mode, Mode::DswpCoco | Mode::GremioCoco | Mode::SeededCoco) {
+        p = p.with_coco(CocoConfig::default());
+    }
+    match mode {
+        Mode::SeededMtcg | Mode::SeededCoco => {
+            let pdg = pdg_of(f);
+            let partition = seeded_partition(f, case.threads, case.part_seed);
+            p.parallelize_with_partition(f, profile, &pdg, partition)
+                .map_err(|e| format!("pipeline (seeded): {e:?}"))
+        }
+        _ => p.parallelize(f, profile).map_err(|e| format!("pipeline: {e:?}")),
+    }
+}
+
+/// Runs both functional MT interpreters at the given capacity and
+/// cross-checks them against each other and the sequential truth.
+fn mt_cross_check(
+    f: &Function,
+    par: &Parallelized,
+    seq: &RunResult,
+    capacity: usize,
+    exec: &ExecConfig,
+) -> Result<MtRunResult, String> {
+    let qc = QueueConfig {
+        num_queues: par.output.num_queues.max(1) as usize,
+        capacity,
+    };
+    let threads = par.threads();
+    let dec = run_mt(threads, &[], |_, _| {}, &qc, exec)
+        .map_err(|e| format!("[mt cap={capacity}] decoded: {e:?}"))?;
+    let refr = run_mt_reference(threads, &[], |_, _| {}, &qc, exec)
+        .map_err(|e| format!("[mt cap={capacity}] reference: {e:?}"))?;
+    if dec.per_thread != refr.per_thread {
+        return Err(format!(
+            "[mt cap={capacity}] per-thread counts: decoded {:?} vs reference {:?}",
+            dec.per_thread, refr.per_thread
+        ));
+    }
+    if dec.return_value != refr.return_value || dec.output != refr.output {
+        return Err(format!("[mt cap={capacity}] decoded and reference observables diverge"));
+    }
+    if dec.return_value != seq.return_value {
+        return Err(format!(
+            "[mt cap={capacity}] return value {:?} vs sequential {:?}",
+            dec.return_value, seq.return_value
+        ));
+    }
+    if dec.output != seq.output {
+        return Err(format!(
+            "[mt cap={capacity}] output {:?} vs sequential {:?}",
+            dec.output, seq.output
+        ));
+    }
+    // Thread functions carry the same object table as `f`, so the
+    // layouts agree cell for cell.
+    if dec.memory.cells() != seq.memory.cells() {
+        return Err(format!("[mt cap={capacity}] final memory diverges from sequential"));
+    }
+    let _ = f;
+    Ok(dec)
+}
+
+/// A machine sized for the generated program's queue file with the
+/// fuzzer's cycle budget.
+fn machine_for(num_queues: u32, depths: Vec<usize>) -> MachineConfig {
+    let mut m = MachineConfig::default().with_queue_depths(depths);
+    m.sa.num_queues = num_queues.max(1) as usize;
+    m.max_cycles = MAX_CYCLES;
+    m
+}
+
+/// Runs the three timed engines and checks full agreement plus the
+/// fast-forward conservation law.
+fn sim_cross_check(
+    f: &Function,
+    par: &Parallelized,
+    seq: &RunResult,
+    machine: &MachineConfig,
+    label: &str,
+) -> Result<SimResult, String> {
+    let threads = par.threads();
+    let refr = simulate_reference(threads, &[], |_, _| {}, machine)
+        .map_err(|e| format!("[sim {label}] reference: {e:?}"))?;
+    machine.validate().map_err(|e| format!("[sim {label}] config: {e}"))?;
+    let program = gmt_ir::decoded::DecodedProgram::decode(threads)
+        .map_err(|e| format!("[sim {label}] decode: {e:?}"))?;
+    let ff = simulate_decoded_opts(
+        &program,
+        &[],
+        |_, _| {},
+        machine,
+        SimOptions { fast_forward: true },
+    )
+    .map_err(|e| format!("[sim {label}] fast-forward: {e:?}"))?;
+    let noskip = simulate_decoded_opts(
+        &program,
+        &[],
+        |_, _| {},
+        machine,
+        SimOptions { fast_forward: false },
+    )
+    .map_err(|e| format!("[sim {label}] no-skip: {e:?}"))?;
+
+    for (name, sim) in [("reference", &refr), ("fast-forward", &ff), ("no-skip", &noskip)] {
+        if sim.return_value != seq.return_value || sim.output != seq.output {
+            return Err(format!(
+                "[sim {label}] {name} observables diverge from sequential (ret {:?} vs {:?})",
+                sim.return_value, seq.return_value
+            ));
+        }
+    }
+    if ff.cycles != refr.cycles || noskip.cycles != refr.cycles {
+        return Err(format!(
+            "[sim {label}] cycle totals: reference {} / fast-forward {} / no-skip {}",
+            refr.cycles, ff.cycles, noskip.cycles
+        ));
+    }
+    let instrs = |s: &SimResult| -> Vec<u64> {
+        s.cores.iter().map(gmt_sim::CoreStats::total_instrs).collect()
+    };
+    if instrs(&ff) != instrs(&refr) || instrs(&noskip) != instrs(&refr) {
+        return Err(format!("[sim {label}] per-core instruction counts diverge across engines"));
+    }
+    if noskip.skipped_cycles != 0 {
+        return Err(format!(
+            "[sim {label}] no-skip engine reported {} skipped cycles",
+            noskip.skipped_cycles
+        ));
+    }
+    if ff.engine_steps + ff.skipped_cycles != noskip.engine_steps {
+        return Err(format!(
+            "[sim {label}] conservation law broken: {} steps + {} skipped != {} no-skip steps",
+            ff.engine_steps, ff.skipped_cycles, noskip.engine_steps
+        ));
+    }
+    let _ = f;
+    Ok(ff)
+}
+
+/// A loose equality key for [`ExecError`]: the variant name only, so
+/// decoded and reference paths may differ in diagnostic payloads
+/// (instruction ids, deadlock witnesses) but must agree on *what* went
+/// wrong.
+pub fn err_key(e: &ExecError) -> &'static str {
+    match e {
+        ExecError::OutOfFuel => "OutOfFuel",
+        ExecError::MemoryFault { .. } => "MemoryFault",
+        ExecError::CommunicationOutsideMt(_) => "CommunicationOutsideMt",
+        ExecError::MissingArguments => "MissingArguments",
+        ExecError::Deadlock(_) => "Deadlock",
+        ExecError::BadQueue(_) => "BadQueue",
+        ExecError::InvalidConfig(_) => "InvalidConfig",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::case_from_seed;
+
+    #[test]
+    fn oracle_passes_a_seed_sweep() {
+        for seed in 0..24u64 {
+            let case = case_from_seed(seed);
+            run_case(&case).unwrap_or_else(|e| panic!("seed {seed:#x}: {e}"));
+        }
+    }
+
+    #[test]
+    fn err_key_collapses_payloads() {
+        assert_eq!(
+            err_key(&ExecError::InvalidConfig("a".into())),
+            err_key(&ExecError::InvalidConfig("b".into()))
+        );
+        assert_ne!(err_key(&ExecError::OutOfFuel), err_key(&ExecError::Deadlock(None)));
+    }
+}

@@ -4,11 +4,12 @@
 //! repro --fig 1|6a|6b|7|8|scaling|all [--quick] [--scheduler gremio|dswp|both]
 //! repro --metrics [--quick] [--scheduler gremio|dswp|both]
 //! repro --verify-mt
+//! repro --fuzz SECS
 //! repro --trace out.json [--bench ks] [--scheduler gremio|dswp] \
 //!       [--variant mtcg|coco] [--quick]
 //! ```
 //!
-//! The four modes are mutually exclusive; conflicting or repeated
+//! The five modes are mutually exclusive; conflicting or repeated
 //! flags exit 2 with usage. The experiment matrix runs on the
 //! `gmt-testkit` worker pool; set `GMT_JOBS=N` to pin the worker count
 //! (`GMT_JOBS=1` is the serial reference path — output is
@@ -19,6 +20,11 @@
 //! cycle counts, compile-phase timings, per-reason stall cycles — to
 //! stdout and to `BENCH_repro_metrics.json` (in
 //! `GMT_TESTKIT_BENCH_DIR`), then summary and stall-breakdown tables.
+//!
+//! `--fuzz SECS` runs the differential pipeline fuzzer (the `fuzz` bin
+//! from `gmt-fuzz`) for the given wall-clock budget: corpus replay
+//! first, then fresh cases; findings shrink, persist to
+//! `tests/fuzz_corpus/corpus.txt`, and fail the run.
 //!
 //! `--trace` runs one kernel × scheduler × variant cell on the decoded
 //! engine with tracing attached, writes Chrome-trace-format JSON (open
@@ -42,6 +48,7 @@ fn main() {
     let mut scale = Scale::Full;
     let mut metrics = false;
     let mut verify = false;
+    let mut fuzz_secs: Option<u64> = None;
     let mut trace: Option<String> = None;
     let mut bench: Option<String> = None;
     let mut variant: Option<String> = None;
@@ -72,6 +79,12 @@ fn main() {
             "--verify-mt" => {
                 once("--verify-mt");
                 verify = true;
+            }
+            "--fuzz" => {
+                once("--fuzz");
+                let v = it.next().cloned().unwrap_or_else(|| usage("missing --fuzz seconds"));
+                fuzz_secs =
+                    Some(v.parse().unwrap_or_else(|_| usage(&format!("bad --fuzz seconds {v:?}"))));
             }
             "--trace" => {
                 once("--trace");
@@ -112,6 +125,9 @@ fn main() {
     if verify && (metrics || fig.is_some() || trace.is_some()) {
         usage("--verify-mt conflicts with --fig, --metrics, and --trace");
     }
+    if fuzz_secs.is_some() && (verify || metrics || fig.is_some() || trace.is_some()) {
+        usage("--fuzz conflicts with --fig, --metrics, --trace, and --verify-mt");
+    }
     if trace.is_none() && (bench.is_some() || variant.is_some()) {
         usage("--bench/--variant require --trace");
     }
@@ -145,6 +161,11 @@ fn main() {
 
     if verify {
         run_verify();
+        return;
+    }
+
+    if let Some(secs) = fuzz_secs {
+        run_fuzz(secs);
         return;
     }
 
@@ -228,6 +249,26 @@ fn run_verify() {
     println!("all {cells} configurations verify");
 }
 
+/// The `--fuzz` mode: the time-budgeted differential pipeline fuzzer.
+/// Exits 1 on any finding (which is also shrunk and persisted to the
+/// corpus by the driver).
+fn run_fuzz(secs: u64) {
+    let opts = gmt_fuzz::FuzzOptions { secs: Some(secs), ..gmt_fuzz::FuzzOptions::default() };
+    match gmt_fuzz::fuzz_run(&opts) {
+        Ok(stats) => {
+            println!("{}", stats.summary());
+            println!("modes: {}", stats.mode_breakdown());
+            if stats.findings > 0 {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// The `--metrics` mode: full timed matrix, JSON-lines, summary table.
 fn run_metrics(scheds: &[SchedulerKind], scale: Scale) {
     let jobs = gmt_testkit::num_jobs();
@@ -282,11 +323,11 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--fig 1|6a|6b|7|8|scaling|all] [--metrics] [--verify-mt] [--quick] \
-         [--scheduler gremio|dswp|both]\n\
+        "usage: repro [--fig 1|6a|6b|7|8|scaling|all] [--metrics] [--verify-mt] [--fuzz SECS] \
+         [--quick] [--scheduler gremio|dswp|both]\n\
          \x20      repro --trace <out.json> [--bench NAME] [--scheduler gremio|dswp] \
          [--variant mtcg|coco] [--quick]\n\
-         modes --fig / --metrics / --trace / --verify-mt are mutually exclusive; \
+         modes --fig / --metrics / --trace / --verify-mt / --fuzz are mutually exclusive; \
          each flag may appear once\n\
          env: GMT_JOBS=N pins the worker-pool size (default: available parallelism)"
     );

@@ -559,7 +559,7 @@ impl DecodedThread {
                 self.pc += 1;
                 Ok(StepOutcome::Continue)
             }
-            DecodedOp::Unterminated => panic!("verified function"),
+            DecodedOp::Unterminated => Err(crate::interp::unterminated(d.block(self.pc))),
         }
     }
 }

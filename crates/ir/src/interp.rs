@@ -38,15 +38,27 @@ pub struct MemoryLayout {
     total: u64,
 }
 
+/// Largest layout (in cells) any executor will materialize. Untrusted
+/// object tables — a parsed function can declare sizes up to
+/// `u64::MAX` — must produce [`ExecError::InvalidConfig`] rather than
+/// an allocation abort, so every run path checks against this budget
+/// before touching the allocator.
+pub const MAX_MEMORY_CELLS: u64 = 1 << 30;
+
 impl MemoryLayout {
-    /// Computes the layout of `f`'s objects.
+    /// Computes the layout of `f`'s objects. Address arithmetic
+    /// saturates: an object table whose total overflows `u64` yields a
+    /// layout over [`MAX_MEMORY_CELLS`], which every executor rejects
+    /// as [`ExecError::InvalidConfig`] at memory-creation time.
     pub fn of(f: &Function) -> MemoryLayout {
         let mut bases = Vec::with_capacity(f.objects().len());
         // Address 0 is reserved so a zero "null" base faults.
         let mut next = 1u64;
         for obj in f.objects() {
             bases.push(next);
-            next += obj.size + 1; // +1 red-zone cell
+            // +1 red-zone cell (also keeps zero-sized objects at
+            // distinct addresses).
+            next = next.saturating_add(obj.size).saturating_add(1);
         }
         MemoryLayout { bases, total: next }
     }
@@ -70,8 +82,21 @@ pub struct Memory {
 
 impl Memory {
     /// Zero-initialized memory sized for `layout`.
-    pub fn for_layout(layout: &MemoryLayout) -> Memory {
-        Memory { cells: vec![0; layout.total_cells() as usize] }
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::InvalidConfig`] when the layout exceeds
+    /// [`MAX_MEMORY_CELLS`] (including the saturated total of an
+    /// overflowing object table) — the typed rejection for hostile
+    /// object sizes.
+    pub fn for_layout(layout: &MemoryLayout) -> Result<Memory, ExecError> {
+        let total = layout.total_cells();
+        if total > MAX_MEMORY_CELLS {
+            return Err(ExecError::InvalidConfig(format!(
+                "memory layout of {total} cells exceeds the executor budget of {MAX_MEMORY_CELLS}"
+            )));
+        }
+        Ok(Memory { cells: vec![0; total as usize] })
     }
 
     /// Reads the cell at `addr`.
@@ -296,7 +321,7 @@ pub fn run_decoded_with_memory(
     init: impl FnOnce(&MemoryLayout, &mut Memory),
     config: &ExecConfig,
 ) -> Result<RunResult, ExecError> {
-    let mut memory = Memory::for_layout(d.layout());
+    let mut memory = Memory::for_layout(d.layout())?;
     init(d.layout(), &mut memory);
     let mut state = DecodedThread::new(d, args)?;
     let mut profile = Profile::new();
@@ -357,7 +382,7 @@ pub fn run_with_memory_reference(
     config: &ExecConfig,
 ) -> Result<RunResult, ExecError> {
     let layout = MemoryLayout::of(f);
-    let mut memory = Memory::for_layout(&layout);
+    let mut memory = Memory::for_layout(&layout)?;
     init(&layout, &mut memory);
     let mut state = ThreadState::new(f, args, &layout)?;
     let mut profile = Profile::new();
@@ -474,12 +499,7 @@ impl<'a> ThreadState<'a> {
         output: &mut Vec<i64>,
         queues: &mut dyn QueueAccess,
     ) -> Result<StepOutcome, ExecError> {
-        let block = f.block(self.block);
-        let instr_id = if self.pos < block.instrs.len() {
-            block.instrs[self.pos]
-        } else {
-            block.terminator.expect("verified function")
-        };
+        let instr_id = self.current_instr(f)?;
         match *f.instr(instr_id) {
             Op::Const(d, v) => {
                 self.regs[d.index()] = v;
@@ -574,14 +594,26 @@ impl<'a> ThreadState<'a> {
     }
 
     /// The instruction the thread will execute next.
-    pub(crate) fn current_instr(&self, f: &Function) -> InstrId {
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::InvalidConfig`] when control sits at the end of a
+    /// block with no terminator — an unverified function handed
+    /// straight to the executor instead of a panic.
+    pub(crate) fn current_instr(&self, f: &Function) -> Result<InstrId, ExecError> {
         let block = f.block(self.block);
         if self.pos < block.instrs.len() {
-            block.instrs[self.pos]
+            Ok(block.instrs[self.pos])
         } else {
-            block.terminator.expect("verified function")
+            block.terminator.ok_or_else(|| unterminated(self.block))
         }
     }
+}
+
+/// The typed rejection for reaching the end of a terminator-less block
+/// (only possible on functions that never passed [`crate::verify`]).
+pub fn unterminated(b: crate::types::BlockId) -> ExecError {
+    ExecError::InvalidConfig(format!("block {b:?} has no terminator (function not verified)"))
 }
 
 fn retag(e: ExecError, instr: InstrId) -> ExecError {
@@ -654,6 +686,49 @@ mod tests {
         let f = b.finish().unwrap();
         let err = run(&f, &[], &ExecConfig { max_steps: 100 }).unwrap_err();
         assert_eq!(err, ExecError::OutOfFuel);
+    }
+
+    /// A memory layout whose object sizes overflow or exceed the
+    /// executor budget is rejected with a typed error, not an OOM abort
+    /// or an arithmetic panic.
+    #[test]
+    fn oversized_memory_layout_rejected() {
+        let mut b = FunctionBuilder::new("huge");
+        b.object("a", u64::MAX - 1);
+        b.object("b", u64::MAX - 1); // total saturates instead of overflowing
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let err = run(&f, &[], &ExecConfig::default()).unwrap_err();
+        assert!(
+            matches!(&err, ExecError::InvalidConfig(m) if m.contains("budget")),
+            "{err:?}"
+        );
+
+        // Just over the budget, no overflow involved.
+        let mut b = FunctionBuilder::new("big");
+        b.object("a", MAX_MEMORY_CELLS);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let err = run(&f, &[], &ExecConfig::default()).unwrap_err();
+        assert!(matches!(err, ExecError::InvalidConfig(_)), "{err:?}");
+    }
+
+    /// An unverified function whose entry block lacks a terminator is a
+    /// typed error from the single-threaded engines, not a panic.
+    #[test]
+    fn unterminated_block_is_typed_error() {
+        let b = FunctionBuilder::new("stub");
+        let f = b.finish_unverified();
+        let err = run(&f, &[], &ExecConfig::default()).unwrap_err();
+        assert!(
+            matches!(&err, ExecError::InvalidConfig(m) if m.contains("terminator")),
+            "decoded: {err:?}"
+        );
+        let err = run_reference(&f, &[], &ExecConfig::default()).unwrap_err();
+        assert!(
+            matches!(&err, ExecError::InvalidConfig(m) if m.contains("terminator")),
+            "reference: {err:?}"
+        );
     }
 
     #[test]

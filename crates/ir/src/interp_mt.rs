@@ -156,13 +156,18 @@ pub fn run_mt_decoded(
     if threads.is_empty() {
         return Err(ExecError::InvalidConfig("at least one thread required".to_string()));
     }
+    if queue_config.capacity == 0 {
+        return Err(ExecError::InvalidConfig(
+            "queue capacity 0 cannot satisfy any consume".to_string(),
+        ));
+    }
     for d in threads {
         for pc in 0..d.num_slots() as u32 {
             check_queue_id(decoded_queue_of(d.op(pc)), queue_config.num_queues)?;
         }
     }
     let layout = program.layout();
-    let mut memory = Memory::for_layout(layout);
+    let mut memory = Memory::for_layout(layout)?;
     init(layout, &mut memory);
 
     let mut states: Vec<DecodedThread> = threads
@@ -173,7 +178,7 @@ pub fn run_mt_decoded(
     let mut per_thread = vec![DynCounts::default(); threads.len()];
     let mut queues = Queues {
         queues: vec![VecDeque::new(); queue_config.num_queues],
-        capacity: queue_config.capacity.max(1),
+        capacity: queue_config.capacity,
     };
     let mut output = Vec::new();
     let mut return_value = None;
@@ -250,7 +255,7 @@ fn deadlock_info_reference(
 ) -> Option<DeadlockInfo> {
     let t = (0..threads.len()).find(|&t| !finished[t])?;
     let f = &threads[t];
-    match *f.instr(states[t].current_instr(f)) {
+    match *f.instr(states[t].current_instr(f).ok()?) {
         Op::Produce { queue, .. } | Op::ProduceSync { queue } => {
             Some(DeadlockInfo { core: t, queue, op: BlockedOp::ProduceFull })
         }
@@ -277,6 +282,11 @@ pub fn run_mt_reference(
     if threads.is_empty() {
         return Err(ExecError::InvalidConfig("at least one thread required".to_string()));
     }
+    if queue_config.capacity == 0 {
+        return Err(ExecError::InvalidConfig(
+            "queue capacity 0 cannot satisfy any consume".to_string(),
+        ));
+    }
     for f in threads {
         for i in f.all_instrs() {
             let q = match *f.instr(i) {
@@ -290,7 +300,7 @@ pub fn run_mt_reference(
         }
     }
     let layout = MemoryLayout::of(&threads[0]);
-    let mut memory = Memory::for_layout(&layout);
+    let mut memory = Memory::for_layout(&layout)?;
     init(&layout, &mut memory);
 
     let mut states: Vec<ThreadState> = threads
@@ -301,7 +311,7 @@ pub fn run_mt_reference(
     let mut per_thread = vec![DynCounts::default(); threads.len()];
     let mut queues = Queues {
         queues: vec![VecDeque::new(); queue_config.num_queues],
-        capacity: queue_config.capacity.max(1),
+        capacity: queue_config.capacity,
     };
     let mut output = Vec::new();
     let mut return_value = None;
@@ -321,7 +331,7 @@ pub fn run_mt_reference(
             }
             fuel -= 1;
             let f = &threads[t];
-            let instr = states[t].current_instr(f);
+            let instr = states[t].current_instr(f)?;
             let is_comm = f.instr(instr).is_communication();
             let is_sync = matches!(
                 f.instr(instr),
@@ -480,6 +490,39 @@ mod tests {
         assert!(matches!(err, ExecError::InvalidConfig(_)));
         let err = run_mt_reference(&[f], &[], |_, _| {}, &qc, &ExecConfig::default()).unwrap_err();
         assert!(matches!(err, ExecError::InvalidConfig(_)));
+    }
+
+    /// A queue capacity of 0 can never satisfy a consume: both engines
+    /// reject it up front with a typed error instead of clamping it or
+    /// spinning on a produce that can never land.
+    #[test]
+    fn zero_capacity_rejected_at_load_time() {
+        let (threads, mut qc) = producer_consumer(32);
+        qc.capacity = 0;
+        let err = run_mt(&threads, &[], |_, _| {}, &qc, &ExecConfig::default()).unwrap_err();
+        assert!(matches!(err, ExecError::InvalidConfig(_)), "decoded: {err:?}");
+        let err = run_mt_reference(&threads, &[], |_, _| {}, &qc, &ExecConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, ExecError::InvalidConfig(_)), "reference: {err:?}");
+    }
+
+    /// An unverified function whose entry block has no terminator must
+    /// surface as a typed error from both MT engines, not a panic.
+    #[test]
+    fn unterminated_block_is_typed_error() {
+        let b = FunctionBuilder::new("stub");
+        let f = b.finish_unverified(); // entry block, no terminator
+        let qc = QueueConfig::default();
+        let err = run_mt(&[f.clone()], &[], |_, _| {}, &qc, &ExecConfig::default()).unwrap_err();
+        assert!(
+            matches!(&err, ExecError::InvalidConfig(m) if m.contains("terminator")),
+            "decoded: {err:?}"
+        );
+        let err = run_mt_reference(&[f], &[], |_, _| {}, &qc, &ExecConfig::default()).unwrap_err();
+        assert!(
+            matches!(&err, ExecError::InvalidConfig(m) if m.contains("terminator")),
+            "reference: {err:?}"
+        );
     }
 
     #[test]

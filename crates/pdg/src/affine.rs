@@ -72,9 +72,12 @@ fn induction_var(
     }
     let (upd, step) = update?;
     let init = init?;
-    let li = loops.innermost[f.block_of(upd).index()]?;
+    // `.get` rather than indexing: a loop forest computed for a
+    // different (or since-mutated) function must degrade to "not an
+    // induction variable", never fault.
+    let li = loops.innermost.get(f.block_of(upd).index()).copied().flatten()?;
     // The initialization must sit outside the update's loop.
-    if loops.loops[li].contains(f.block_of(init)) {
+    if loops.loops.get(li)?.contains(f.block_of(init)) {
         return None;
     }
     Some((li, step))
@@ -168,12 +171,16 @@ pub fn kills_carried_dep(
     // The induction variable's loop must be the accesses' innermost
     // loop and have no parent (otherwise an outer re-entry resets the
     // variable and revisits cells).
+    // Conservative on any structural mismatch: keeping the arc is
+    // always sound, so unknown shapes answer "cannot drop".
     let (la, lb) = (
-        loops.innermost[f.block_of(a).index()],
-        loops.innermost[f.block_of(b).index()],
+        loops.innermost.get(f.block_of(a).index()).copied().flatten(),
+        loops.innermost.get(f.block_of(b).index()).copied().flatten(),
     );
     match (la, lb) {
-        (Some(x), Some(y)) if x == y => loops.loops[x].parent.is_none(),
+        (Some(x), Some(y)) if x == y => {
+            loops.loops.get(x).is_some_and(|l| l.parent.is_none())
+        }
         _ => false,
     }
 }

@@ -85,7 +85,7 @@ impl AliasInfo {
             for i in f.all_instrs() {
                 match f.instr(i) {
                     Op::Lea(d, obj, _) => {
-                        if let Some(set) = reg_pts[d.index()].as_mut() {
+                        if let Some(Some(set)) = reg_pts.get_mut(d.index()).map(Option::as_mut) {
                             changed |= set.insert(*obj);
                         }
                     }
@@ -101,12 +101,17 @@ impl AliasInfo {
                         changed |= merge_into(&mut reg_pts, *d, &src);
                     }
                     Op::Load(d, addr) => {
-                        let loaded = match &reg_pts[addr.base.index()] {
-                            None => None, // load through ⊤: result is ⊤
-                            Some(bases) => {
+                        // A base register the function does not even
+                        // declare is an address the rules cannot see
+                        // through: ⊤, like a load through ⊤.
+                        let loaded = match reg_pts.get(addr.base.index()).map(Option::as_ref) {
+                            None | Some(None) => None,
+                            Some(Some(bases)) => {
                                 let mut acc = Some(BTreeSet::new());
                                 for o in bases {
-                                    let h = heap[o.index()].clone();
+                                    // An undeclared object id may hold
+                                    // anything: ⊤.
+                                    let h = heap.get(o.index()).cloned().unwrap_or(None);
                                     merge(&mut acc, &h);
                                 }
                                 acc
@@ -119,24 +124,27 @@ impl AliasInfo {
                         // Don't pollute the heap with non-pointer stores.
                         let is_pointerish = !matches!(&val, Some(s) if s.is_empty());
                         if is_pointerish {
-                            match &reg_pts[addr.base.index()] {
-                                None => {
-                                    // Store through ⊤: every object may now
-                                    // hold these pointers.
+                            match reg_pts.get(addr.base.index()).map(Option::as_ref) {
+                                None | Some(None) => {
+                                    // Store through ⊤ (or through an
+                                    // undeclared base register): every
+                                    // object may now hold these pointers.
                                     for h in heap.iter_mut() {
                                         changed |= merge(h, &val);
                                     }
                                 }
-                                Some(bases) => {
+                                Some(Some(bases)) => {
                                     for o in bases.clone() {
-                                        changed |= merge(&mut heap[o.index()], &val);
+                                        if let Some(h) = heap.get_mut(o.index()) {
+                                            changed |= merge(h, &val);
+                                        }
                                     }
                                 }
                             }
                         }
                     }
                     Op::Consume { dst, .. }
-                        if reg_pts[dst.index()].is_some() => {
+                        if matches!(reg_pts.get(dst.index()), Some(Some(_))) => {
                             reg_pts[dst.index()] = None;
                             changed = true;
                         }
@@ -147,11 +155,13 @@ impl AliasInfo {
         AliasInfo { reg_pts }
     }
 
-    /// The points-to set of register `r`.
+    /// The points-to set of register `r`. A register outside the
+    /// analyzed function's register file is ⊤ — nothing is known about
+    /// it, so it may address anything.
     pub fn points_to(&self, r: Reg) -> PointsTo {
-        match &self.reg_pts[r.index()] {
-            None => PointsTo::Top,
-            Some(s) => PointsTo::Objects(s.clone()),
+        match self.reg_pts.get(r.index()).map(Option::as_ref) {
+            None | Some(None) => PointsTo::Top,
+            Some(Some(s)) => PointsTo::Objects(s.clone()),
         }
     }
 
@@ -167,12 +177,12 @@ impl AliasInfo {
             Op::Store(a, _) => a.base,
             _ => return None,
         };
-        Some(match &self.reg_pts[base.index()] {
-            None => PointsTo::Top,
+        Some(match self.reg_pts.get(base.index()).map(Option::as_ref) {
+            None | Some(None) => PointsTo::Top,
             // A base with an empty points-to set is an address the rules
             // couldn't track: be conservative.
-            Some(s) if s.is_empty() => PointsTo::Top,
-            Some(s) => PointsTo::Objects(s.clone()),
+            Some(Some(s)) if s.is_empty() => PointsTo::Top,
+            Some(Some(s)) => PointsTo::Objects(s.clone()),
         })
     }
 
@@ -198,7 +208,8 @@ fn operand_pts(
     o: Operand,
 ) -> Option<BTreeSet<ObjectId>> {
     match o {
-        Operand::Reg(r) => reg_pts[r.index()].clone(),
+        // Out-of-range register: ⊤ (nothing is known about it).
+        Operand::Reg(r) => reg_pts.get(r.index()).cloned().unwrap_or(None),
         Operand::Imm(_) => Some(BTreeSet::new()),
     }
 }
@@ -208,10 +219,14 @@ fn merge_into(
     dst: Reg,
     src: &Option<BTreeSet<ObjectId>>,
 ) -> bool {
-    match (reg_pts[dst.index()].as_mut(), src) {
+    // An out-of-range destination has no tracked state to update.
+    let Some(slot) = reg_pts.get_mut(dst.index()) else {
+        return false;
+    };
+    match (slot.as_mut(), src) {
         (None, _) => false,
         (Some(_), None) => {
-            reg_pts[dst.index()] = None;
+            *slot = None;
             true
         }
         (Some(d), Some(s)) => {

@@ -1,0 +1,118 @@
+//! Regressions for degenerate address shapes surfaced by the
+//! differential fuzzer's IR generator (`gmt-fuzz`): the PDG analyses
+//! must degrade to conservative answers — never panic — on shapes the
+//! rules cannot see through, and on analysis inputs that do not match
+//! the queried function.
+
+use gmt_ir::{BinOp, Dominators, FunctionBuilder, LoopForest, Op, Reg};
+use gmt_pdg::affine::{affine_access, kills_carried_dep};
+use gmt_pdg::{AliasInfo, PointsTo};
+
+/// Generator shape `SelectPtr`: a pointer chosen by a branchy diamond
+/// (`ptr = c ? &a : &b`), then stored through. The points-to set of the
+/// selected pointer must be the union of both arms, so a store through
+/// it may-aliases accesses to either array — and only those.
+#[test]
+fn diamond_selected_pointer_aliases_both_arms_only() {
+    let mut b = FunctionBuilder::new("select_ptr");
+    let arr0 = b.object("arr0", 16);
+    let arr1 = b.object("arr1", 16);
+    let arr2 = b.object("arr2", 16);
+    let base0 = b.lea(arr0, 0);
+    let base1 = b.lea(arr1, 0);
+    let base2 = b.lea(arr2, 0);
+    let ptr = b.fresh_reg();
+    let then_b = b.block("then");
+    let else_b = b.block("else");
+    let join = b.block("join");
+    let c = b.bin(BinOp::Lt, base0, 3i64);
+    b.branch(c, then_b, else_b);
+    b.switch_to(then_b);
+    b.mov_into(ptr, base0);
+    b.jump(join);
+    b.switch_to(else_b);
+    b.mov_into(ptr, base1);
+    b.jump(join);
+    b.switch_to(join);
+    b.store(ptr, 0, 7i64);
+    let v0 = b.load(base0, 0);
+    let v2 = b.load(base2, 0);
+    let sum = b.bin(BinOp::Add, v0, v2);
+    b.ret(Some(sum.into()));
+    let f = b.finish().unwrap();
+
+    let alias = AliasInfo::compute(&f);
+    let store = f.all_instrs().find(|&i| matches!(f.instr(i), Op::Store(..))).unwrap();
+    let mut loads = f.all_instrs().filter(|&i| f.instr(i).is_mem_read());
+    let load0 = loads.next().unwrap();
+    let load2 = loads.next().unwrap();
+    assert!(alias.may_alias(&f, store, load0), "store through selected ptr may hit arr0");
+    assert!(!alias.may_alias(&f, store, load2), "arr2 is in neither arm of the select");
+}
+
+/// `i = 0; while (i < n) {{ a[i] = i; i += 1 }}; load a[0]` — the
+/// affine-store-in-a-loop shape the generator emits (including its
+/// zero-trip instantiations).
+fn affine_loop_fn() -> gmt_ir::Function {
+    let mut b = FunctionBuilder::new("affine_loop");
+    let a = b.object("a", 16);
+    let base = b.lea(a, 0);
+    let i = b.fresh_reg();
+    b.const_into(i, 0);
+    let header = b.block("h");
+    let body = b.block("b");
+    let exit = b.block("x");
+    b.jump(header);
+    b.switch_to(header);
+    let c = b.bin(BinOp::Lt, i, 4i64);
+    b.branch(c, body, exit);
+    b.switch_to(body);
+    let addr = b.bin(BinOp::Add, base, i);
+    b.store(addr, 0, i);
+    b.bin_into(BinOp::Add, i, i, 1i64);
+    b.jump(header);
+    b.switch_to(exit);
+    let v = b.load(base, 0);
+    b.ret(Some(v.into()));
+    b.finish().unwrap()
+}
+
+/// A loop forest computed for a *different* (smaller) function must
+/// make every affine query degrade to "unknown shape" — `None` /
+/// "cannot drop the arc" — instead of faulting on the block-indexed
+/// tables. The arc stays, which is always sound.
+#[test]
+fn mismatched_loop_forest_degrades_conservatively() {
+    let f = affine_loop_fn();
+    let defuse = gmt_ir::DefUse::compute(&f);
+
+    // A single-block function: its forest has one innermost entry and
+    // no loops, far too small for `f`'s block ids.
+    let mut tiny = FunctionBuilder::new("tiny");
+    tiny.ret(None);
+    let tiny = tiny.finish().unwrap();
+    let tiny_dom = Dominators::compute(&tiny);
+    let foreign = LoopForest::compute(&tiny, &tiny_dom);
+
+    let store = f.all_instrs().find(|&i| matches!(f.instr(i), Op::Store(..))).unwrap();
+    let load = f.all_instrs().find(|&i| f.instr(i).is_mem_read()).unwrap();
+    // The store's address resolves through an induction variable whose
+    // update block is outside the foreign forest's tables: not affine.
+    assert_eq!(affine_access(&f, &defuse, &foreign, store), None);
+    assert!(!kills_carried_dep(&f, &defuse, &foreign, store, load));
+
+    // Sanity: with the matching forest the same store *is* affine.
+    let dom = Dominators::compute(&f);
+    let loops = LoopForest::compute(&f, &dom);
+    assert!(affine_access(&f, &defuse, &loops, store).is_some());
+}
+
+/// A register outside the analyzed function's register file is ⊤ — the
+/// analysis knows nothing about it, so it may address anything.
+#[test]
+fn out_of_range_register_query_is_top() {
+    let f = affine_loop_fn();
+    let alias = AliasInfo::compute(&f);
+    let foreign = Reg(f.num_regs() + 100);
+    assert_eq!(alias.points_to(foreign), PointsTo::Top);
+}

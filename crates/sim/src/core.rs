@@ -1,6 +1,6 @@
 //! One in-order, multi-issue, stall-on-use core.
 
-use gmt_ir::interp::MemoryLayout;
+use gmt_ir::interp::{ExecError, MemoryLayout};
 use gmt_ir::{AddrMode, BlockId, Function, InstrId, Op, Operand, QueueId, Reg};
 
 /// Why a core could not issue its next instruction this cycle.
@@ -152,12 +152,17 @@ impl<'a> Core<'a> {
     }
 
     /// The instruction the core will issue next.
-    pub fn current_instr(&self, f: &Function) -> InstrId {
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::InvalidConfig`] when the core sits at the end of a
+    /// terminator-less block (only possible on unverified functions).
+    pub fn current_instr(&self, f: &Function) -> Result<InstrId, ExecError> {
         let block = f.block(self.block);
         if self.pos < block.instrs.len() {
-            block.instrs[self.pos]
+            Ok(block.instrs[self.pos])
         } else {
-            block.terminator.expect("verified function")
+            block.terminator.ok_or_else(|| gmt_ir::interp::unterminated(self.block))
         }
     }
 

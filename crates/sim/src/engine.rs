@@ -212,7 +212,7 @@ fn run_engine<S: TraceSink>(
     }
     config.validate().map_err(ExecError::InvalidConfig)?;
     check_decoded_queue_ids(threads, config.sa.num_queues)?;
-    let mut memory = Memory::for_layout(program.layout());
+    let mut memory = Memory::for_layout(program.layout())?;
     init(program.layout(), &mut memory);
 
     let ncores = threads.len();
@@ -958,7 +958,9 @@ fn issue_core<S: TraceSink>(
             DecodedOp::Nop => {
                 core.pc += 1;
             }
-            DecodedOp::Unterminated => panic!("verified function"),
+            DecodedOp::Unterminated => {
+                return Err(gmt_ir::interp::unterminated(d.block(pc)));
+            }
         }
         trace!(TraceEvent::Issue { cycle: now, core: ci, src: d.src(pc) });
         core.stats.computation += 1;

@@ -77,14 +77,18 @@ impl SyncArray {
         }
     }
 
-    /// The entry capacity allocated to queue `q`.
+    /// The entry capacity allocated to queue `q`, or 0 when `q` is not
+    /// a queue of this array — a nonexistent queue holds nothing.
     pub fn depth_of(&self, q: usize) -> usize {
-        self.queues[q].depth
+        self.queues.get(q).map_or(0, |queue| queue.depth)
     }
 
-    /// Whether queue `q` can accept a produce this cycle.
+    /// Whether queue `q` can accept a produce this cycle. A queue id
+    /// outside the array can never accept one; the simulators reject
+    /// such programs at load ([`crate::sim::check_queue_ids`]), so this
+    /// answer is only ever a conservative backstop.
     pub fn can_produce(&self, q: usize) -> bool {
-        self.queues[q].entries.len() < self.queues[q].depth
+        self.queues.get(q).is_some_and(|queue| queue.entries.len() < queue.depth)
     }
 
     /// Produces `value` into queue `q` at cycle `now` (commit at
@@ -95,10 +99,13 @@ impl SyncArray {
     ///
     /// Returns [`QueueFull`] when the queue already holds `depth`
     /// entries (callers are expected to check
-    /// [`SyncArray::can_produce`] first).
+    /// [`SyncArray::can_produce`] first), or when `q` is not a queue
+    /// of this array at all — a nonexistent queue is permanently full.
     pub fn produce(&mut self, q: usize, value: i64, now: u64) -> Result<Option<Delivery>, QueueFull> {
         let avail = now + 1 + self.latency;
-        let queue = &mut self.queues[q];
+        let Some(queue) = self.queues.get_mut(q) else {
+            return Err(QueueFull);
+        };
         if let Some(pending) = queue.pending.pop_front() {
             return Ok(Some(Delivery { pending, value, ready_at: avail }));
         }
@@ -121,7 +128,11 @@ impl SyncArray {
         now: u64,
         pending: PendingConsume,
     ) -> Result<(i64, u64), ()> {
-        let queue = &mut self.queues[q];
+        let Some(queue) = self.queues.get_mut(q) else {
+            // A nonexistent queue never delivers; the consume stays
+            // blocked forever and deadlock detection reports it.
+            return Err(());
+        };
         if let Some(e) = queue.entries.pop_front() {
             Ok((e.value, e.avail.max(now + 1)))
         } else {
@@ -133,7 +144,10 @@ impl SyncArray {
     /// Whether queue `q` holds a token visible at cycle `now`
     /// (`consume.sync` blocks until this is true).
     pub fn has_visible_entry(&self, q: usize, now: u64) -> bool {
-        self.queues[q].entries.front().is_some_and(|e| e.avail <= now)
+        self.queues
+            .get(q)
+            .and_then(|queue| queue.entries.front())
+            .is_some_and(|e| e.avail <= now)
     }
 
     /// The cycle at which queue `q`'s front entry becomes visible to a
@@ -143,20 +157,21 @@ impl SyncArray {
     /// source for [`StallReason::QueueEmpty`](crate::StallReason)
     /// stalls.
     pub fn next_visible_at(&self, q: usize) -> Option<u64> {
-        self.queues[q].entries.front().map(|e| e.avail)
+        self.queues.get(q).and_then(|queue| queue.entries.front()).map(|e| e.avail)
     }
 
     /// Pops a token for `consume.sync`, or `None` when the queue is
     /// empty (callers gate on [`SyncArray::has_visible_entry`]).
     pub fn pop_token(&mut self, q: usize, now: u64) -> Option<u64> {
-        let e = self.queues[q].entries.pop_front()?;
+        let e = self.queues.get_mut(q)?.entries.pop_front()?;
         Some(e.avail.max(now))
     }
 
     /// Entries currently buffered in queue `q` (delivered or still in
-    /// flight; pending consumes do not count).
+    /// flight; pending consumes do not count). A queue id outside the
+    /// array holds nothing.
     pub fn occupancy(&self, q: usize) -> usize {
-        self.queues[q].entries.len()
+        self.queues.get(q).map_or(0, |queue| queue.entries.len())
     }
 
     /// Number of queues.

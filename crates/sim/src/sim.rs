@@ -113,7 +113,7 @@ pub fn simulate_reference(
     config.validate().map_err(ExecError::InvalidConfig)?;
     check_queue_ids(threads, config.sa.num_queues)?;
     let layout = MemoryLayout::of(&threads[0]);
-    let mut memory = Memory::for_layout(&layout);
+    let mut memory = Memory::for_layout(&layout)?;
     init(&layout, &mut memory);
 
     let ncores = threads.len();
@@ -228,7 +228,8 @@ fn deadlock_info(
             continue;
         }
         let f = &threads[ci];
-        let op = f.instr(core.current_instr(f));
+        let Ok(instr) = core.current_instr(f) else { continue };
+        let op = f.instr(instr);
         match *op {
             Op::Produce { queue, .. } | Op::ProduceSync { queue }
                 if queue.index() < sa.len() && !sa.can_produce(queue.index()) =>
@@ -281,7 +282,7 @@ fn issue_core(
     let mut progressed = false;
 
     while !cores[ci].finished && issued < config.issue_width {
-        let instr = cores[ci].current_instr(f);
+        let instr = cores[ci].current_instr(f)?;
         let op = f.instr(instr).clone();
         let unit = unit_of(&op);
         let ui = unit as usize;

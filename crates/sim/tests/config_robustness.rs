@@ -105,15 +105,16 @@ fn arbitrary_queue_configs_never_panic() {
         |&(num_queues, capacity)| {
             let qc = QueueConfig { num_queues, capacity };
             let result = run_mt(&threads, &[], |_, _| {}, &qc, &ExecConfig::default());
-            if num_queues == 0 {
-                // Load-time queue-id validation rejects the program
-                // before any thread steps.
+            if num_queues == 0 || capacity == 0 {
+                // Load-time validation rejects programs whose queues
+                // can never carry a token (no queues, or zero
+                // capacity) before any thread steps.
                 prop_assert!(
                     matches!(result, Err(ExecError::InvalidConfig(_))),
-                    "communication with no queues must be rejected at load, got {result:?}"
+                    "degenerate queue config must be rejected at load, got {result:?}"
                 );
             } else {
-                let r = result.expect("run must complete (capacity is clamped to >= 1)");
+                let r = result.expect("valid config must complete");
                 prop_assert!(r.return_value == Some(6), "wrong sum: {:?}", r.return_value);
             }
             Ok(())
@@ -169,4 +170,52 @@ fn empty_thread_sets_are_rejected() {
     let err = run_mt(&[], &[], |_, _| {}, &QueueConfig::default(), &ExecConfig::default())
         .unwrap_err();
     assert!(matches!(err, ExecError::InvalidConfig(_)), "{err}");
+}
+
+/// Direct `SyncArray` misuse — a queue id outside the array — must get
+/// conservative answers, never a panic. The simulators validate queue
+/// ids at load, so these are backstops for library callers that skip
+/// that step.
+#[test]
+fn sync_array_out_of_range_queue_ids_are_total() {
+    use gmt_sim::{PendingConsume, QueueFull, SyncArray};
+    let mut sa = SyncArray::new(2, &[1], 1);
+    let q = 7; // not a queue of this array
+    assert_eq!(sa.depth_of(q), 0);
+    assert_eq!(sa.occupancy(q), 0);
+    assert!(!sa.can_produce(q), "a nonexistent queue never accepts a produce");
+    assert!(matches!(sa.produce(q, 42, 0), Err(QueueFull)));
+    let pending = PendingConsume { core: 0, dst: None, token: 0 };
+    assert!(sa.consume(q, 0, pending).is_err(), "a nonexistent queue never delivers");
+    assert!(!sa.has_visible_entry(q, u64::MAX));
+    assert_eq!(sa.next_visible_at(q), None);
+    assert_eq!(sa.pop_token(q, 0), None);
+    // The misdirected operations left the real queues untouched.
+    assert!(sa.can_produce(0) && sa.can_produce(1));
+    assert_eq!(sa.occupancy(0), 0);
+}
+
+/// A consume with no producer anywhere is a deadlock, reported as the
+/// typed error — in the timed simulator and the functional MT
+/// interpreter alike.
+#[test]
+fn consume_without_producer_deadlocks_with_typed_error() {
+    let q = QueueId(0);
+    let mut t0 = FunctionBuilder::new("idle");
+    t0.ret(None);
+    let mut t1 = FunctionBuilder::new("starved");
+    let v = t1.fresh_reg();
+    t1.emit(Op::Consume { dst: v, queue: q });
+    t1.ret(Some(v.into()));
+    let threads = vec![t0.finish().unwrap(), t1.finish().unwrap()];
+
+    // The default cycle budget is far beyond the no-progress window,
+    // so the run ends in Deadlock (not OutOfFuel).
+    let config = MachineConfig::default();
+    let err = simulate(&threads, &[], |_, _| {}, &config).unwrap_err();
+    assert!(matches!(err, ExecError::Deadlock(_)), "simulator: {err:?}");
+
+    let exec = ExecConfig { max_steps: 100_000 };
+    let err = run_mt(&threads, &[], |_, _| {}, &QueueConfig::default(), &exec).unwrap_err();
+    assert!(matches!(err, ExecError::Deadlock(_)), "functional MT: {err:?}");
 }

@@ -104,8 +104,9 @@ impl Checker {
         T: Clone + Debug + Shrink + 'static,
     {
         let value = gen.sample(&mut TestRng::new(case_seed));
-        let Err(first_err) = eval(prop, &value) else { return };
-        let (min_value, min_err) = minimize(value, first_err, prop);
+        let Err(first_err) = crate::shrink::eval_prop(prop, &value) else { return };
+        let (min_value, min_err) =
+            crate::shrink::minimize(value, first_err, MAX_SHRINK_EVALS, prop);
         if persist {
             self.persist_seed(case_seed);
         }
@@ -154,45 +155,6 @@ impl Checker {
             );
         }
         let _ = writeln!(file, "{} {seed:#x}", self.name);
-    }
-}
-
-/// Greedy descent: keep the first shrink candidate that still fails.
-fn minimize<T: Clone + Debug + Shrink>(
-    mut value: T,
-    mut err: String,
-    prop: &impl Fn(&T) -> PropResult,
-) -> (T, String) {
-    let mut evals = 0u32;
-    'outer: loop {
-        for cand in value.shrinks() {
-            evals += 1;
-            if evals > MAX_SHRINK_EVALS {
-                break 'outer;
-            }
-            if let Err(e) = eval(prop, &cand) {
-                value = cand;
-                err = e;
-                continue 'outer;
-            }
-        }
-        break;
-    }
-    (value, err)
-}
-
-/// Evaluates the property, converting panics into failures so
-/// shrinking can walk through panicking candidates (proptest's
-/// behavior). The panic still prints via the default hook; only the
-/// unwind is contained.
-fn eval<T>(prop: &impl Fn(&T) -> PropResult, value: &T) -> PropResult {
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(value))) {
-        Ok(r) => r,
-        Err(payload) => Err(payload
-            .downcast_ref::<String>()
-            .cloned()
-            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
-            .map_or_else(|| "property panicked".to_string(), |m| format!("panic: {m}"))),
     }
 }
 

@@ -50,4 +50,5 @@ pub use check::{Checker, PropResult};
 pub use gen::{full_u64, one_of, ranged, recursive, vec_of, weighted, Gen};
 pub use pool::{num_jobs, num_jobs_checked, par_map, parse_jobs};
 pub use rng::TestRng;
-pub use shrink::Shrink;
+pub use rng::splitmix64;
+pub use shrink::{eval_prop, minimize, Shrink};

@@ -9,7 +9,7 @@
 ///
 /// Used to scramble user-provided seeds (so `0`, `1`, `2`, ... give
 /// unrelated streams) and to derive per-case seeds from a base seed.
-pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -81,6 +81,58 @@ impl<T: Shrink + Clone> Shrink for Vec<T> {
     }
 }
 
+/// Greedy descent: repeatedly replaces `value` with the first shrink
+/// candidate that still fails `prop`, until no candidate fails or
+/// `max_evals` property evaluations have been spent. Returns the
+/// minimized value and its failure message.
+///
+/// This is the exact procedure [`Checker`](crate::Checker) applies to
+/// failing property cases; it is public so external drivers (e.g. a
+/// fuzzing harness) can triage their own failures with it. Panics in
+/// `prop` are contained and treated as failures, so shrinking can walk
+/// through panicking candidates.
+pub fn minimize<T: Clone + Shrink>(
+    mut value: T,
+    mut err: String,
+    max_evals: u32,
+    prop: &impl Fn(&T) -> Result<(), String>,
+) -> (T, String) {
+    let mut evals = 0u32;
+    'outer: loop {
+        for cand in value.shrinks() {
+            evals += 1;
+            if evals > max_evals {
+                break 'outer;
+            }
+            if let Err(e) = eval_prop(prop, &cand) {
+                value = cand;
+                err = e;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, err)
+}
+
+/// Evaluates the property, converting panics into `Err` so callers
+/// (and [`minimize`]) can treat a panic like any other failure. The
+/// panic still prints via the default hook; only the unwind is
+/// contained.
+pub fn eval_prop<T, R>(
+    prop: &impl Fn(&T) -> Result<R, String>,
+    value: &T,
+) -> Result<R, String> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(value))) {
+        Ok(r) => r,
+        Err(payload) => Err(payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .map_or_else(|| "property panicked".to_string(), |m| format!("panic: {m}"))),
+    }
+}
+
 macro_rules! shrink_tuple {
     ($($name:ident : $idx:tt),+) => {
         impl<$($name: Shrink + Clone),+> Shrink for ($($name,)+) {

@@ -1,0 +1,28 @@
+//! Replays every seed in `tests/fuzz_corpus/corpus.txt` through the
+//! full differential oracle: each entry is a historical fuzzer finding
+//! and must stay fixed. Add new entries via the `fuzz` bin (it appends
+//! shrunk findings automatically) and keep the file checked in.
+
+use gmt_fuzz::{case_from_seed, default_path, run_case};
+
+#[test]
+fn corpus_entries_stay_fixed() {
+    let path = default_path();
+    let entries = gmt_fuzz::corpus::load(&path)
+        .unwrap_or_else(|e| panic!("corpus at {} is corrupted: {e}", path.display()));
+    assert!(
+        !entries.is_empty(),
+        "corpus at {} is missing or empty — the repo ships at least one entry",
+        path.display()
+    );
+    for entry in entries {
+        let case = case_from_seed(entry.seed);
+        if let Err(e) = run_case(&case) {
+            panic!(
+                "corpus seed {:#018x} regressed ({}): {e}\nrepro: GMT_TESTKIT_SEED={:#x} \
+                 cargo run --release -p gmt-fuzz --bin fuzz",
+                entry.seed, entry.label, entry.seed
+            );
+        }
+    }
+}
