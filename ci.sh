@@ -115,3 +115,43 @@ EOF
 ./target/release/fuzz --cases 500 --quiet
 GMT_JOBS=8 ./target/release/repro --quick --fig 7 > target/ci_fig7_postfuzz.txt
 cmp target/ci_fig7_postfuzz.txt tests/golden/fig7_quick.txt
+
+# Critical-path explain gate: the static-estimate ↔ traced-measurement
+# join must reproduce its pinned human report byte for byte, the
+# machine output must carry the full schema with the edge-kind
+# decomposition summing exactly to the cycle count (the conservation
+# law of DESIGN.md invariant 9), and the whole kernel × scheduler
+# matrix must explain cleanly (every cell passes both the attribution
+# and critical-path checks). Then re-run the quick Figure 7 and
+# re-diff the golden — the explain layer must never perturb the
+# measured numbers.
+./target/release/repro --explain adpcmdec --scheduler dswp --quick \
+    > target/ci_explain.txt
+cmp target/ci_explain.txt tests/golden/explain_adpcmdec_dswp_quick.txt
+./target/release/repro --explain all --scheduler both --quick --json \
+    > target/ci_explain_all.json
+python3 - target/ci_explain_all.json <<'EOF'
+import json, sys
+CP_KINDS = ("in_order", "dataflow", "load", "queue_data", "queue_space",
+            "sa_port", "structural", "load_limit", "refill", "retire")
+VERDICTS = {"recurrence-bound", "queue-bound", "mispredict-bound", "balance-bound"}
+rows = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert len(rows) == 22, f"11 kernels x 2 schedulers, got {len(rows)}"
+for d in rows:
+    for key in ("benchmark", "scheduler", "variant", "cycles", "verdict",
+                "dropped_events", "est_bottleneck", "est_total",
+                "max_share_pct", "cut_register", "cut_memory", "cut_control",
+                "sync_points", "cp_total", "cp_edges", "cp_crossings",
+                "threads", "queues"):
+        assert key in d, f"{d.get('benchmark')}: missing {key}"
+    assert d["verdict"] in VERDICTS, d["verdict"]
+    assert d["cp_total"] == d["cycles"], f"{d['benchmark']}: path != cycles"
+    assert sum(d[f"cp_{k}"] for k in CP_KINDS) == d["cp_total"], \
+        f"{d['benchmark']}: kinds don't sum"
+    for t in d["threads"]:
+        assert t["compute"] + t["stall"] + t["idle"] == d["cycles"], \
+            f"{d['benchmark']}: thread decomposition"
+print(f"explain schema ok: {len(rows)} cells, all conserving")
+EOF
+GMT_JOBS=8 ./target/release/repro --quick --fig 7 > target/ci_fig7_postexplain.txt
+cmp target/ci_fig7_postexplain.txt tests/golden/fig7_quick.txt

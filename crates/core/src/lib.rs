@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 mod coco;
+mod estimate;
 mod flowgraph;
 pub mod mtverify;
 mod pipeline;
@@ -70,6 +71,7 @@ mod safety;
 mod schedule_cache;
 
 pub use coco::{optimize, CocoConfig, CocoStats};
+pub use estimate::SchedEstimate;
 pub use flowgraph::{Gf, GfBuilder, LiveMap};
 pub use mtverify::{verify_mt, verify_mt_uniform, MtVerifyError, WaitStep};
 pub use pipeline::{CompileTimings, Parallelized, Parallelizer, PipelineError, Scheduler};

@@ -3,6 +3,7 @@
 //! paper).
 
 use crate::coco::{optimize, CocoConfig, CocoStats};
+use crate::estimate::SchedEstimate;
 use gmt_ir::{Function, Profile};
 use gmt_mtcg::{CommPlan, MtcgError, MtcgOutput, QueueBudget};
 use gmt_pdg::{Partition, Pdg};
@@ -233,7 +234,18 @@ impl Parallelizer {
                 "generated code violates the queue protocol: {violations:?}"
             );
         }
-        Ok(Parallelized { output, partition, coco_stats, baseline_plan, timings, queue_depths })
+        // Snapshot the static estimate against the realized labeling:
+        // what the scheduler believed each thread and queue would cost,
+        // for the harness's estimate-vs-measurement join.
+        let estimate = SchedEstimate::compute(
+            f,
+            profile,
+            pdg,
+            &partition,
+            &output.queue_labels,
+            output.num_queues,
+        );
+        Ok(Parallelized { output, partition, coco_stats, baseline_plan, timings, queue_depths, estimate })
     }
 }
 
@@ -254,6 +266,10 @@ pub struct Parallelized {
     /// queue; hot loop-carried queues get [`Parallelizer::hot_queue_depth`],
     /// cold control queues get 1). What `verify_mt` checks at.
     pub queue_depths: Vec<usize>,
+    /// Static estimates captured at partition time (per-thread loads,
+    /// cut edges, per-queue traffic) — the "what the scheduler
+    /// thought" side of an estimate-vs-measurement report.
+    pub estimate: SchedEstimate,
 }
 
 impl Parallelized {

@@ -19,6 +19,12 @@
 //!   per-core retired-instruction counts at both uniform and
 //!   allocated queue depths, and the fast-forward obeys the
 //!   conservation law `engine_steps + skipped_cycles = noskip steps`;
+//! - on a deterministic third of the cases, the **trace layer**: a
+//!   traced run (small event ring) reports the same cycle count as
+//!   the untraced engines (no observer effect), its per-core cycle
+//!   attribution sums to the total ([`check_attribution`]), and its
+//!   reconstructed critical path conserves cycles exactly
+//!   ([`check_critical_path`]);
 //! - nothing panics; every rejection is a typed error
 //!   ([`PipelineError`] / [`gmt_mtcg::MtcgError`]), which the oracle
 //!   records rather than fails.
@@ -33,7 +39,8 @@ use gmt_ir::interp::{ExecConfig, ExecError, RunResult};
 use gmt_ir::interp_mt::{run_mt, run_mt_reference, MtRunResult, QueueConfig};
 use gmt_ir::{Function, Profile};
 use gmt_sim::{
-    simulate_decoded_opts, simulate_reference, MachineConfig, SimOptions, SimResult,
+    check_attribution, check_critical_path, simulate_decoded_opts, simulate_decoded_traced_opts,
+    simulate_reference, CritPathSink, MachineConfig, SimOptions, SimResult, TraceAggregator,
 };
 
 /// Dynamic-instruction fuel for the functional executors. Generated
@@ -345,6 +352,37 @@ fn sim_cross_check(
             "[sim {label}] conservation law broken: {} steps + {} skipped != {} no-skip steps",
             ff.engine_steps, ff.skipped_cycles, noskip.engine_steps
         ));
+    }
+    // Trace-layer invariants on a deterministic third of the cases
+    // (keyed on the sequential step count, so replays hit the same
+    // subset): tracing must not perturb timing, and both trace
+    // conservation laws must hold on arbitrary generated programs —
+    // every per-core attribution sums to the cycle count, and the
+    // reconstructed critical path's edges cover the run exactly.
+    if seq.counts.total() % 3 == 0 {
+        let mut sink = (
+            TraceAggregator::new(threads.len(), machine.sa.num_queues, 256),
+            CritPathSink::new(&program, machine.sa.num_queues),
+        );
+        let traced = simulate_decoded_traced_opts(
+            &program,
+            &[],
+            |_, _| {},
+            machine,
+            &mut sink,
+            SimOptions { fast_forward: true },
+        )
+        .map_err(|e| format!("[sim {label}] traced: {e:?}"))?;
+        if traced.cycles != refr.cycles {
+            return Err(format!(
+                "[sim {label}] observer effect: traced {} cycles vs untraced {}",
+                traced.cycles, refr.cycles
+            ));
+        }
+        check_attribution(&sink.0, &traced)
+            .map_err(|e| format!("[sim {label}] attribution: {e}"))?;
+        check_critical_path(&sink.1, &traced)
+            .map_err(|e| format!("[sim {label}] critical path: {e}"))?;
     }
     let _ = f;
     Ok(ff)

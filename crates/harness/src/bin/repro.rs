@@ -7,9 +7,11 @@
 //! repro --fuzz SECS
 //! repro --trace out.json [--bench ks] [--scheduler gremio|dswp] \
 //!       [--variant mtcg|coco] [--quick]
+//! repro --explain ks|all [--scheduler gremio|dswp|both] \
+//!       [--variant mtcg|coco] [--quick] [--json]
 //! ```
 //!
-//! The five modes are mutually exclusive; conflicting or repeated
+//! The six modes are mutually exclusive; conflicting or repeated
 //! flags exit 2 with usage. The experiment matrix runs on the
 //! `gmt-testkit` worker pool; set `GMT_JOBS=N` to pin the worker count
 //! (`GMT_JOBS=1` is the serial reference path — output is
@@ -32,11 +34,19 @@
 //! track per SA queue, 1 µs = 1 cycle) to the given path, and prints
 //! the comm-attribution and per-queue communication tables (see
 //! EXPERIMENTS.md).
+//!
+//! `--explain` joins the pipeline's static schedule estimate against a
+//! traced run with the critical-path sink attached: per-thread and
+//! per-queue estimate-vs-measurement, the dynamic critical path by
+//! edge kind, the top path segments, and a one-line verdict
+//! (recurrence- / queue- / balance- / mispredict-bound). `--json`
+//! emits one JSON object per cell instead of the human report.
 
 use gmt_harness::figures;
 use gmt_harness::{
-    comm_attribution_table, metrics_table, queue_comm_table, run_all_metrics, stall_table,
-    trace_cell, verify_matrix, verify_table, Scale, SchedulerKind,
+    comm_attribution_table, explain_cell, explain_json, explain_report, metrics_table,
+    queue_comm_table, run_all_metrics, stall_table, trace_cell, verify_matrix, verify_table,
+    Scale, SchedulerKind,
 };
 use std::collections::HashSet;
 
@@ -50,6 +60,8 @@ fn main() {
     let mut verify = false;
     let mut fuzz_secs: Option<u64> = None;
     let mut trace: Option<String> = None;
+    let mut explain: Option<String> = None;
+    let mut json = false;
     let mut bench: Option<String> = None;
     let mut variant: Option<String> = None;
     let mut scheds: Option<Vec<SchedulerKind>> = None;
@@ -91,6 +103,16 @@ fn main() {
                 trace =
                     Some(it.next().cloned().unwrap_or_else(|| usage("missing --trace path")));
             }
+            "--explain" => {
+                once("--explain");
+                explain = Some(
+                    it.next().cloned().unwrap_or_else(|| usage("missing --explain benchmark")),
+                );
+            }
+            "--json" => {
+                once("--json");
+                json = true;
+            }
             "--bench" => {
                 once("--bench");
                 bench =
@@ -122,14 +144,25 @@ fn main() {
     if trace.is_some() && (metrics || fig.is_some()) {
         usage("--trace conflicts with --fig and --metrics");
     }
-    if verify && (metrics || fig.is_some() || trace.is_some()) {
-        usage("--verify-mt conflicts with --fig, --metrics, and --trace");
+    if explain.is_some() && (metrics || fig.is_some() || trace.is_some()) {
+        usage("--explain conflicts with --fig, --metrics, and --trace");
     }
-    if fuzz_secs.is_some() && (verify || metrics || fig.is_some() || trace.is_some()) {
-        usage("--fuzz conflicts with --fig, --metrics, --trace, and --verify-mt");
+    if verify && (metrics || fig.is_some() || trace.is_some() || explain.is_some()) {
+        usage("--verify-mt conflicts with --fig, --metrics, --trace, and --explain");
     }
-    if trace.is_none() && (bench.is_some() || variant.is_some()) {
-        usage("--bench/--variant require --trace");
+    if fuzz_secs.is_some()
+        && (verify || metrics || fig.is_some() || trace.is_some() || explain.is_some())
+    {
+        usage("--fuzz conflicts with --fig, --metrics, --trace, --explain, and --verify-mt");
+    }
+    if trace.is_none() && bench.is_some() {
+        usage("--bench requires --trace");
+    }
+    if trace.is_none() && explain.is_none() && variant.is_some() {
+        usage("--variant requires --trace or --explain");
+    }
+    if explain.is_none() && json {
+        usage("--json requires --explain");
     }
     // Default scheduler set: gremio alone under --trace (one cell),
     // both for the figure/metrics matrix.
@@ -144,6 +177,16 @@ fn main() {
         if !KNOWN_FIGS.contains(&f.as_str()) {
             usage(&format!("unknown figure id {f} (known: {})", KNOWN_FIGS.join(", ")));
         }
+    }
+
+    if let Some(target) = explain {
+        let coco = match variant.as_deref() {
+            None | Some("coco") => true,
+            Some("mtcg") => false,
+            Some(v) => usage(&format!("bad variant {v} (known: mtcg, coco)")),
+        };
+        run_explain(&target, &scheds, coco, scale, json);
+        return;
     }
 
     if let Some(path) = trace {
@@ -230,7 +273,52 @@ fn run_trace(path: &str, bench: &str, kind: SchedulerKind, coco: bool, scale: Sc
     print!("{}", comm_attribution_table(&cell));
     println!();
     print!("{}", queue_comm_table(&cell));
+    if cell.dropped_events > 0 {
+        println!(
+            "warning: {} raw trace events dropped from the ring buffer \
+             (the tables above still cover the whole run; the Chrome JSON \
+             event log is a suffix)",
+            cell.dropped_events
+        );
+    }
     println!("trace written to {path}");
+}
+
+/// The `--explain` mode: the estimate-vs-measurement join for one
+/// benchmark (or `all`), per requested scheduler. Human report by
+/// default, one JSON line per cell with `--json`. Exits 1 if any cell
+/// fails (including a trace-invariant violation).
+fn run_explain(target: &str, scheds: &[SchedulerKind], coco: bool, scale: Scale, json: bool) {
+    let workloads = if target == "all" {
+        gmt_workloads::catalog()
+    } else {
+        match gmt_workloads::by_benchmark(target) {
+            Some(w) => vec![w],
+            None => usage(&format!("unknown benchmark {target} (or \"all\")")),
+        }
+    };
+    let mut failed = false;
+    for &kind in scheds {
+        for w in &workloads {
+            match explain_cell(w, kind, coco, scale) {
+                Ok(cell) => {
+                    if json {
+                        println!("{}", explain_json(&cell));
+                    } else {
+                        print!("{}", explain_report(&cell));
+                        println!();
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }
 
 /// The `--verify-mt` mode: the static queue-protocol validator over the
@@ -327,8 +415,10 @@ fn usage(err: &str) -> ! {
          [--quick] [--scheduler gremio|dswp|both]\n\
          \x20      repro --trace <out.json> [--bench NAME] [--scheduler gremio|dswp] \
          [--variant mtcg|coco] [--quick]\n\
-         modes --fig / --metrics / --trace / --verify-mt / --fuzz are mutually exclusive; \
-         each flag may appear once\n\
+         \x20      repro --explain <NAME|all> [--scheduler gremio|dswp|both] \
+         [--variant mtcg|coco] [--quick] [--json]\n\
+         modes --fig / --metrics / --trace / --explain / --verify-mt / --fuzz are mutually \
+         exclusive; each flag may appear once\n\
          env: GMT_JOBS=N pins the worker-pool size (default: available parallelism)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

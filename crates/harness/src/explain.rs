@@ -1,0 +1,468 @@
+//! The static↔dynamic "explain" layer (`repro --explain`).
+//!
+//! One cell = one kernel × scheduler × variant, evaluated twice:
+//!
+//! - **statically** — the [`SchedEstimate`] the pipeline captured when
+//!   the partition and communication plan were fixed (per-thread
+//!   compute+comm cycles, cut edges, per-queue traffic);
+//! - **dynamically** — a traced run of the decoded engine with the
+//!   [`TraceAggregator`] (cycle attribution, queue counters, occupancy
+//!   distributions) and the [`CritPathSink`] (the run's dynamic
+//!   critical path, reconstructed from last-arrival edges) attached.
+//!
+//! [`explain_report`] joins the two sides into one deterministic
+//! human-readable report: per-thread estimated vs. measured cycles,
+//! per-queue estimated vs. measured traffic and occupancy, the
+//! critical path decomposed by edge kind, the top path segments with
+//! their static positions, and a one-line verdict naming what limits
+//! the schedule. [`explain_json`] emits the same join as one JSON
+//! object for machine consumers.
+//!
+//! Both trace invariants are enforced on every cell:
+//! [`gmt_sim::check_attribution`] (per-core decompositions sum to the
+//! cycle count) and [`gmt_sim::check_critical_path`] (the walked path
+//! edges sum to the cycle count exactly) — a violation is an engine
+//! bug and surfaces as a [`HarnessError`].
+
+use crate::{fail, machine_for, parallelize_pair, HarnessError, Scale, SchedulerKind};
+use crate::trace_report::TRACE_RING_CAPACITY;
+use gmt_core::SchedEstimate;
+use gmt_mtcg::QueueLabel;
+use gmt_sim::{
+    check_attribution, check_critical_path, simulate_decoded_traced, CpKind, CritPath,
+    CritPathSink, CycleAttribution, OccupancySummary, QueueTraceStats, TraceAggregator,
+};
+use gmt_testkit::json_escape;
+use gmt_workloads::Workload;
+use std::fmt::Write as _;
+
+/// Path segments printed in the report's top-segments table.
+pub const EXPLAIN_TOP_K: usize = 8;
+
+/// One kernel × scheduler × variant, measured both ways.
+#[derive(Clone, Debug)]
+pub struct ExplainCell {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Scheduler display name.
+    pub scheduler: &'static str,
+    /// Variant explained: `"mtcg"` or `"coco"`.
+    pub variant: &'static str,
+    /// Total cycles of the traced run.
+    pub cycles: u64,
+    /// The static side: what the pipeline estimated at partition time.
+    pub estimate: SchedEstimate,
+    /// Per-thread cycle decomposition; each entry sums to `cycles`.
+    pub attribution: Vec<CycleAttribution>,
+    /// Per-queue communication counters (indexed by queue id).
+    pub queues: Vec<QueueTraceStats>,
+    /// Per-queue time-weighted occupancy distribution.
+    pub occupancy: Vec<OccupancySummary>,
+    /// Static queue labels from MTCG (one per scheduled occurrence).
+    pub labels: Vec<QueueLabel>,
+    /// The run's dynamic critical path (conservation-checked).
+    pub critpath: CritPath,
+    /// Raw events the aggregator's ring dropped (summaries and the
+    /// critical path still cover the whole run).
+    pub dropped_events: u64,
+}
+
+/// Runs one kernel × scheduler × variant cell with the aggregator and
+/// critical-path sinks attached and joins the result with the
+/// pipeline's static estimate.
+///
+/// # Errors
+///
+/// Returns a [`HarnessError`] naming the benchmark and failing phase —
+/// including a violation of either trace invariant (attribution or
+/// critical-path conservation), which would mean the engine emitted an
+/// inconsistent event stream.
+pub fn explain_cell(
+    w: &Workload,
+    kind: SchedulerKind,
+    coco: bool,
+    scale: Scale,
+) -> Result<ExplainCell, HarnessError> {
+    let b = w.benchmark;
+    let train = w.run_train().map_err(fail(b, "train run"))?;
+    let (base, opt, _arb) = parallelize_pair(w, kind, &train.profile)?;
+    let p = if coco { &opt } else { &base };
+    let machine = machine_for(p, kind);
+    let program =
+        gmt_ir::decoded::DecodedProgram::decode(p.threads()).map_err(fail(b, "decode"))?;
+    let args: &[i64] = match scale {
+        Scale::Quick => &w.train_args,
+        Scale::Full => &w.ref_args,
+    };
+    let ncores = p.threads().len();
+    let nqueues = machine.sa.num_queues;
+    let mut sink = (
+        TraceAggregator::new(ncores, nqueues, TRACE_RING_CAPACITY),
+        CritPathSink::new(&program, nqueues),
+    );
+    let result = simulate_decoded_traced(&program, args, w.init, &machine, &mut sink)
+        .map_err(fail(b, "traced sim"))?;
+    check_attribution(&sink.0, &result).map_err(fail(b, "attribution check"))?;
+    let critpath =
+        check_critical_path(&sink.1, &result).map_err(fail(b, "critical-path check"))?;
+    Ok(ExplainCell {
+        benchmark: b,
+        scheduler: kind.name(),
+        variant: if coco { "coco" } else { "mtcg" },
+        cycles: result.cycles,
+        estimate: p.estimate.clone(),
+        attribution: sink.0.core_attribution(),
+        queues: sink.0.queue_stats().to_vec(),
+        occupancy: sink.0.queue_occupancy(),
+        labels: p.queue_labels().to_vec(),
+        critpath,
+        dropped_events: sink.0.dropped_events(),
+    })
+}
+
+/// What limits the schedule, by critical-path edge-kind groups.
+///
+/// - `recurrence-bound` — dataflow, memory, and cross-thread value
+///   latency dominates: the schedule is chasing a dependence
+///   recurrence, and only cutting it (or hiding its latency) helps;
+/// - `queue-bound` — produce backpressure and SA-port contention
+///   dominate: deeper queues, more ports, or fewer communicated
+///   values help;
+/// - `mispredict-bound` — front-end refills dominate;
+/// - `balance-bound` — in-order issue, structural limits, and
+///   end-of-run waiting dominate: the partition itself (or the issue
+///   width) is the limit, not any single dependence.
+///
+/// Ties break in that order, so the verdict is deterministic.
+pub fn verdict(cp: &CritPath) -> &'static str {
+    let groups = verdict_groups(cp);
+    let mut best = 0usize;
+    for (i, g) in groups.iter().enumerate() {
+        if g.1 > groups[best].1 {
+            best = i;
+        }
+    }
+    groups[best].0
+}
+
+/// The verdict groups with their critical-path cycle totals, in
+/// tie-break order.
+fn verdict_groups(cp: &CritPath) -> [(&'static str, u64); 4] {
+    [
+        (
+            "recurrence-bound",
+            cp.kind_cycles(CpKind::Dataflow)
+                + cp.kind_cycles(CpKind::Load)
+                + cp.kind_cycles(CpKind::QueueData),
+        ),
+        ("queue-bound", cp.kind_cycles(CpKind::QueueSpace) + cp.kind_cycles(CpKind::SaPort)),
+        ("mispredict-bound", cp.kind_cycles(CpKind::Refill)),
+        (
+            "balance-bound",
+            cp.kind_cycles(CpKind::InOrder)
+                + cp.kind_cycles(CpKind::Structural)
+                + cp.kind_cycles(CpKind::LoadLimit)
+                + cp.kind_cycles(CpKind::Retire),
+        ),
+    ]
+}
+
+/// Integer percent of `part` in `total` (0 when `total` is 0).
+fn pct(part: u64, total: u64) -> u64 {
+    if total == 0 {
+        0
+    } else {
+        part * 100 / total
+    }
+}
+
+/// The human-readable explain report: deterministic (no wall-clock
+/// quantities), so it goldens.
+pub fn explain_report(cell: &ExplainCell) -> String {
+    let mut out = String::new();
+    let cp = &cell.critpath;
+    let _ = writeln!(
+        out,
+        "explain: {} / {} / {} ({} cycles)",
+        cell.benchmark, cell.scheduler, cell.variant, cell.cycles
+    );
+    let groups = verdict_groups(cp);
+    let v = verdict(cp);
+    let share = groups.iter().find(|g| g.0 == v).map_or(0, |g| pct(g.1, cp.total));
+    let _ = writeln!(out, "verdict: {v} ({share}% of the critical path)");
+    if cell.dropped_events > 0 {
+        let _ = writeln!(
+            out,
+            "warning: {} raw trace events dropped from the ring buffer \
+             (summaries and the critical path still cover the whole run)",
+            cell.dropped_events
+        );
+    }
+    let _ = writeln!(out);
+
+    // Per-thread: the scheduler's ideal stall-free estimate against
+    // the measured decomposition. A thread whose measured compute sits
+    // far under its estimate spent its life stalled or idle.
+    let est = &cell.estimate;
+    let _ = writeln!(
+        out,
+        "{:<7} {:>10} {:>10} {:>10} {:>10}",
+        "thread", "est", "compute", "stall", "idle"
+    );
+    for (t, a) in cell.attribution.iter().enumerate() {
+        let stall = a.total() - a.compute - a.idle;
+        let _ = writeln!(
+            out,
+            "{:<7} {:>10} {:>10} {:>10} {:>10}",
+            t,
+            est.thread_cycles.get(t).copied().unwrap_or(0),
+            a.compute,
+            stall,
+            a.idle,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "estimated bottleneck {} cycles; measured {} ({}% of estimate)",
+        est.bottleneck(),
+        cell.cycles,
+        pct(cell.cycles, est.bottleneck().max(1)),
+    );
+    let _ = writeln!(
+        out,
+        "cut: {} register / {} memory / {} control arcs; {} sync tokens; \
+         max thread share {}%",
+        est.cut.register, est.cut.memory, est.cut.control, est.sync_points, est.max_share_pct,
+    );
+    let _ = writeln!(out);
+
+    // Per-queue: estimated traffic (occurrence weight) vs. measured
+    // produces, plus the dwell-time occupancy distribution.
+    let _ = writeln!(
+        out,
+        "{:<6} {:>11} {:>9} {:>11} {:>11} {:>11}",
+        "queue", "est-traffic", "produces", "full-stall", "empty-stall", "occ-dwell"
+    );
+    let mut any = false;
+    for (q, qs) in cell.queues.iter().enumerate() {
+        let est_q = est.queue_traffic.get(q).copied().unwrap_or(0);
+        if !qs.is_active() && est_q == 0 {
+            continue;
+        }
+        any = true;
+        let occ = cell.occupancy.get(q).copied().unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{:<6} {:>11} {:>9} {:>11} {:>11} {:>11}",
+            format!("q{q}"),
+            est_q,
+            qs.produces,
+            qs.full_stall_cycles,
+            qs.empty_stall_cycles,
+            format!("{}/{}/{}", occ.p50, occ.p95, occ.max),
+        );
+    }
+    if !any {
+        let _ = writeln!(out, "(no queue traffic)");
+    }
+    let _ = writeln!(out);
+
+    // The critical path by edge kind — sums to the cycle count.
+    let _ = writeln!(
+        out,
+        "critical path: {} edges, {} core crossings, {} cycles",
+        cp.edges, cp.crossings, cp.total
+    );
+    for kind in CpKind::ALL {
+        let c = cp.kind_cycles(kind);
+        if c > 0 {
+            let _ = writeln!(out, "  {:<12} {:>10} {:>4}%", kind.name(), c, pct(c, cp.total));
+        }
+    }
+    let _ = writeln!(out);
+
+    // Top segments: where (statically) the path's cycles accumulate.
+    let _ = writeln!(
+        out,
+        "{:<5} {:<7} {:<7} {:<12} {:>6} {:>7} {:>10} {:>4}%",
+        "core", "instr", "block", "kind", "queue", "count", "cycles", ""
+    );
+    for s in cp.segments.iter().take(EXPLAIN_TOP_K) {
+        let _ = writeln!(
+            out,
+            "{:<5} {:<7} {:<7} {:<12} {:>6} {:>7} {:>10} {:>4}%",
+            s.core,
+            format!("i{}", s.src.0),
+            format!("B{}", s.block.index()),
+            s.kind.name(),
+            s.queue.map_or("-".to_string(), |q| format!("q{q}")),
+            s.count,
+            s.cycles,
+            pct(s.cycles, cp.total),
+        );
+    }
+    out
+}
+
+/// The explain join as one JSON object (one line): scalars flat,
+/// per-thread and per-queue data as arrays of flat objects, the
+/// critical-path kind decomposition as `cp_<kind>` keys.
+pub fn explain_json(cell: &ExplainCell) -> String {
+    let cp = &cell.critpath;
+    let est = &cell.estimate;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"benchmark\":\"{}\",\"scheduler\":\"{}\",\"variant\":\"{}\",\
+         \"cycles\":{},\"verdict\":\"{}\",\"dropped_events\":{},\
+         \"est_bottleneck\":{},\"est_total\":{},\"max_share_pct\":{},\
+         \"cut_register\":{},\"cut_memory\":{},\"cut_control\":{},\"sync_points\":{},\
+         \"cp_total\":{},\"cp_edges\":{},\"cp_crossings\":{}",
+        json_escape(cell.benchmark),
+        json_escape(cell.scheduler),
+        json_escape(cell.variant),
+        cell.cycles,
+        verdict(cp),
+        cell.dropped_events,
+        est.bottleneck(),
+        est.total(),
+        est.max_share_pct,
+        est.cut.register,
+        est.cut.memory,
+        est.cut.control,
+        est.sync_points,
+        cp.total,
+        cp.edges,
+        cp.crossings,
+    );
+    for kind in CpKind::ALL {
+        let _ = write!(
+            out,
+            ",\"cp_{}\":{}",
+            kind.name().replace('-', "_"),
+            cp.kind_cycles(kind)
+        );
+    }
+    let _ = write!(out, ",\"threads\":[");
+    for (t, a) in cell.attribution.iter().enumerate() {
+        if t > 0 {
+            let _ = write!(out, ",");
+        }
+        let _ = write!(
+            out,
+            "{{\"thread\":{t},\"est\":{},\"compute\":{},\"stall\":{},\"idle\":{}}}",
+            est.thread_cycles.get(t).copied().unwrap_or(0),
+            a.compute,
+            a.total() - a.compute - a.idle,
+            a.idle,
+        );
+    }
+    let _ = write!(out, "],\"queues\":[");
+    let mut first = true;
+    for (q, qs) in cell.queues.iter().enumerate() {
+        let est_q = est.queue_traffic.get(q).copied().unwrap_or(0);
+        if !qs.is_active() && est_q == 0 {
+            continue;
+        }
+        if !first {
+            let _ = write!(out, ",");
+        }
+        first = false;
+        let occ = cell.occupancy.get(q).copied().unwrap_or_default();
+        let _ = write!(
+            out,
+            "{{\"queue\":{q},\"est_traffic\":{est_q},\"produces\":{},\"consumes\":{},\
+             \"full_stall\":{},\"empty_stall\":{},\"occ_p50\":{},\"occ_p95\":{},\
+             \"occ_max\":{}}}",
+            qs.produces,
+            qs.consumes,
+            qs.full_stall_cycles,
+            qs.empty_stall_cycles,
+            occ.p50,
+            occ.p95,
+            occ.max,
+        );
+    }
+    let _ = write!(out, "]}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn explained(bench: &str, kind: SchedulerKind) -> ExplainCell {
+        let w = gmt_workloads::by_benchmark(bench).unwrap();
+        explain_cell(&w, kind, true, Scale::Quick).expect("explains")
+    }
+
+    #[test]
+    fn conservation_holds_and_report_is_complete() {
+        let cell = explained("adpcmdec", SchedulerKind::Dswp);
+        let cp = &cell.critpath;
+        assert_eq!(cp.total, cell.cycles, "path edges sum to the run");
+        let kinds: u64 = CpKind::ALL.iter().map(|&k| cp.kind_cycles(k)).sum();
+        assert_eq!(kinds, cp.total);
+        // The path can never beat the busiest core.
+        let busy = cell.attribution.iter().map(|a| a.compute).max().unwrap_or(0);
+        assert!(cp.total >= busy, "{} >= {busy}", cp.total);
+        let report = explain_report(&cell);
+        assert!(report.contains("verdict:"));
+        assert!(report.contains("critical path:"));
+        assert!(report.contains("est-traffic"));
+        assert!(report.contains(&cell.cycles.to_string()));
+    }
+
+    #[test]
+    fn explain_agrees_with_untraced_timing() {
+        let w = gmt_workloads::by_benchmark("ks").unwrap();
+        let cell = explain_cell(&w, SchedulerKind::Dswp, false, Scale::Quick).unwrap();
+        let r = crate::evaluate(&w, SchedulerKind::Dswp, true, Scale::Quick).unwrap();
+        assert_eq!(cell.cycles, r.mtcg.cycles, "observer effect: explain changed timing");
+    }
+
+    #[test]
+    fn json_shape_is_machine_readable() {
+        let cell = explained("ks", SchedulerKind::Dswp);
+        let json = explain_json(&cell);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in [
+            "\"benchmark\":", "\"verdict\":", "\"cp_total\":", "\"cp_dataflow\":",
+            "\"cp_queue_data\":", "\"threads\":[", "\"queues\":[", "\"est_bottleneck\":",
+            "\"dropped_events\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(!json.contains('\n'), "one JSON line");
+    }
+
+    #[test]
+    fn verdict_tie_breaks_deterministically() {
+        let cp = CritPath::default();
+        assert_eq!(verdict(&cp), "recurrence-bound", "all-zero path takes the first group");
+    }
+
+    /// Pinned critical-path summaries: 2 kernels × both schedulers.
+    /// The engine and the walk are deterministic, so these are exact;
+    /// a change here means the machine model or the path semantics
+    /// moved, which must be a conscious decision.
+    #[test]
+    fn pinned_cp_summaries() {
+        for (bench, kind, cycles, edges, crossings, v) in [
+            ("adpcmdec", SchedulerKind::Dswp, 8682u64, 8426u64, 1u64, "recurrence-bound"),
+            ("adpcmdec", SchedulerKind::Gremio, 12488, 9992, 513, "recurrence-bound"),
+            ("ks", SchedulerKind::Dswp, 7100, 7321, 3, "recurrence-bound"),
+            ("ks", SchedulerKind::Gremio, 9727, 9784, 13, "recurrence-bound"),
+        ] {
+            let cell = explained(bench, kind);
+            let cp = &cell.critpath;
+            let tag = format!("{bench}/{}", kind.name());
+            assert_eq!(cp.total, cell.cycles, "{tag}");
+            assert_eq!(cell.cycles, cycles, "{tag} cycles");
+            assert_eq!(cp.edges, edges, "{tag} edges");
+            assert_eq!(cp.crossings, crossings, "{tag} crossings");
+            assert_eq!(verdict(cp), v, "{tag} verdict");
+        }
+    }
+}

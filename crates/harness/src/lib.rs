@@ -40,6 +40,9 @@ use gmt_sim::{simulate, MachineConfig};
 use gmt_workloads::{catalog, exec_config, Workload};
 use std::time::Instant;
 
+pub use explain::{
+    explain_cell, explain_json, explain_report, verdict, ExplainCell, EXPLAIN_TOP_K,
+};
 pub use metrics::{metrics_table, stall_table, RunMetrics, StallBreakdown};
 pub use verify::{verify_cell, verify_matrix, verify_table, VerifyCell};
 pub use trace_report::{
@@ -649,6 +652,7 @@ pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
     }
 }
 
+pub mod explain;
 pub mod figures;
 mod metrics;
 pub mod trace_report;

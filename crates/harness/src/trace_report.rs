@@ -19,7 +19,7 @@ use crate::{fail, machine_for, parallelize_pair, HarnessError, Scale, SchedulerK
 use gmt_mtcg::{CommKind, CommPoint, QueueLabel};
 use gmt_sim::{
     check_attribution, simulate_decoded_traced, ChromeTraceSink, CycleAttribution,
-    QueueTraceStats, TraceAggregator,
+    OccupancySummary, QueueTraceStats, TraceAggregator,
 };
 use gmt_workloads::Workload;
 use std::fmt::Write as _;
@@ -43,8 +43,15 @@ pub struct TracedCell {
     pub attribution: Vec<CycleAttribution>,
     /// Per-queue communication counters (indexed by queue id).
     pub queues: Vec<QueueTraceStats>,
+    /// Per-queue time-weighted occupancy distribution (p50/p95/max
+    /// dwell levels; indexed by queue id, parallel to `queues`).
+    pub occupancy: Vec<OccupancySummary>,
     /// Static queue labels from MTCG (one per scheduled occurrence).
     pub labels: Vec<QueueLabel>,
+    /// Raw events the aggregator's ring buffer dropped (the summary
+    /// tables still cover the whole run; nonzero only means the
+    /// *event log* is a suffix).
+    pub dropped_events: u64,
     /// The run as Chrome-trace-format JSON.
     pub chrome_json: String,
 }
@@ -89,7 +96,9 @@ pub fn trace_cell(
         cycles: result.cycles,
         attribution: sink.0.core_attribution(),
         queues: sink.0.queue_stats().to_vec(),
+        occupancy: sink.0.queue_occupancy(),
         labels: p.queue_labels().to_vec(),
+        dropped_events: sink.0.dropped_events(),
         chrome_json: sink.1.into_json(),
     })
 }
@@ -139,15 +148,17 @@ fn label_text(l: &QueueLabel) -> String {
 }
 
 /// The per-queue communication table: dynamic produce/consume counts,
-/// stall pressure, and occupancy high-water mark per active queue, each
-/// tied back to the plan occurrence(s) MTCG assigned to it.
+/// stall pressure, occupancy high-water mark, and time-weighted
+/// occupancy distribution (the cycles-dwelled p50/p95 levels) per
+/// active queue, each tied back to the plan occurrence(s) MTCG
+/// assigned to it.
 pub fn queue_comm_table(cell: &TracedCell) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<6} {:>9} {:>9} {:>9} {:>11} {:>11} {:>8}  {}",
+        "{:<6} {:>9} {:>9} {:>9} {:>11} {:>11} {:>8} {:>11}  {}",
         "queue", "produces", "consumes", "deferred", "full-stall", "empty-stall", "max-occ",
-        "plan"
+        "occ-dwell", "plan"
     );
     let mut any = false;
     for (q, qs) in cell.queues.iter().enumerate() {
@@ -161,9 +172,12 @@ pub fn queue_comm_table(cell: &TracedCell) -> String {
             .filter(|l| l.queue.0 as usize == q)
             .map(label_text)
             .collect();
+        // p50/p95/max of the dwell-time distribution; the dwell max
+        // can undershoot max-occ when a level lasted zero cycles.
+        let occ = cell.occupancy.get(q).copied().unwrap_or_default();
         let _ = writeln!(
             out,
-            "{:<6} {:>9} {:>9} {:>9} {:>11} {:>11} {:>8}  {}",
+            "{:<6} {:>9} {:>9} {:>9} {:>11} {:>11} {:>8} {:>11}  {}",
             format!("q{q}"),
             qs.produces,
             qs.consumes,
@@ -171,6 +185,7 @@ pub fn queue_comm_table(cell: &TracedCell) -> String {
             qs.full_stall_cycles,
             qs.empty_stall_cycles,
             qs.max_occupancy,
+            format!("{}/{}/{}", occ.p50, occ.p95, occ.max),
             labels.join("; "),
         );
     }
@@ -244,5 +259,26 @@ mod tests {
             );
         }
         assert!(table.contains("->"), "labels name the thread pair");
+    }
+
+    #[test]
+    fn queue_table_carries_occupancy_distribution() {
+        let cell = traced(SchedulerKind::Dswp, false);
+        assert_eq!(cell.occupancy.len(), cell.queues.len(), "one summary per queue");
+        let table = queue_comm_table(&cell);
+        assert!(table.contains("occ-dwell"), "distribution column present:\n{table}");
+        for (q, qs) in cell.queues.iter().enumerate() {
+            if qs.is_active() {
+                let occ = cell.occupancy[q];
+                assert!(
+                    table.contains(&format!("{}/{}/{}", occ.p50, occ.p95, occ.max)),
+                    "queue {q} row shows its p50/p95/max"
+                );
+                assert!(occ.p50 <= occ.p95 && occ.p95 <= occ.max.max(occ.p95));
+            }
+        }
+        // The summary tables cover the whole run even when the raw
+        // event ring wrapped; the count is surfaced, not hidden.
+        let _ = cell.dropped_events;
     }
 }

@@ -49,6 +49,36 @@ fn conflicting_modes_exit_2() {
     assert_usage_exit(&repro(&["--fig", "7", "--metrics"]), "--fig conflicts with --metrics");
     assert_usage_exit(&repro(&["--trace", "/tmp/x.json", "--metrics"]), "--trace conflicts");
     assert_usage_exit(&repro(&["--trace", "/tmp/x.json", "--fig", "7"]), "--trace conflicts");
+    assert_usage_exit(&repro(&["--explain", "ks", "--metrics"]), "--explain conflicts");
+    assert_usage_exit(
+        &repro(&["--explain", "ks", "--trace", "/tmp/x.json"]),
+        "--explain conflicts",
+    );
+}
+
+#[test]
+fn explain_option_validation_exits_2() {
+    assert_usage_exit(&repro(&["--json"]), "--json requires --explain");
+    assert_usage_exit(&repro(&["--explain"]), "missing --explain benchmark");
+    assert_usage_exit(&repro(&["--explain", "nosuch", "--quick"]), "unknown benchmark nosuch");
+    assert_usage_exit(&repro(&["--explain", "ks", "--variant", "fast"]), "bad variant fast");
+}
+
+#[test]
+fn explain_emits_conserving_json() {
+    let out = repro(&["--explain", "ks", "--scheduler", "dswp", "--quick", "--json"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.lines().next().expect("one JSON line");
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    for key in ["\"verdict\":", "\"cp_total\":", "\"est_bottleneck\":", "\"threads\":["] {
+        assert!(line.contains(key), "missing {key}: {line}");
+    }
 }
 
 #[test]
@@ -63,7 +93,8 @@ fn repeated_flags_exit_2() {
 
 #[test]
 fn trace_option_validation_exits_2() {
-    assert_usage_exit(&repro(&["--bench", "ks"]), "--bench/--variant require --trace");
+    assert_usage_exit(&repro(&["--bench", "ks"]), "--bench requires --trace");
+    assert_usage_exit(&repro(&["--variant", "coco"]), "--variant requires --trace or --explain");
     assert_usage_exit(
         &repro(&["--trace", "/tmp/x.json", "--scheduler", "both"]),
         "single --scheduler",

@@ -58,5 +58,5 @@ pub use codegen::{
     generate, generate_with_plan, generate_with_plan_budgeted, MtcgError, MtcgOutput, QueueLabel,
 };
 pub use plan::{CommItem, CommKind, CommPlan, CommPoint};
-pub use queues::{allocate_depths, QueueBudget};
+pub use queues::{allocate_depths, estimated_traffic, QueueBudget};
 pub use relevance::{baseline_plan, close_over_control, relevant_branches};

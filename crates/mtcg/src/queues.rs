@@ -151,6 +151,29 @@ pub fn allocate_depths(
     depths
 }
 
+/// Profile-estimated dynamic traffic per queue: how many values each
+/// queue carries over a run, assuming every communication occurrence
+/// executes as often as its enclosing block. This is the static side
+/// of the estimate-vs-measurement join — the measured counterpart is
+/// the traced engine's per-queue produce count.
+pub fn estimated_traffic(
+    f: &Function,
+    profile: &Profile,
+    labels: &[QueueLabel],
+    num_queues: u32,
+) -> Vec<u64> {
+    let weights = profile.block_weights(f);
+    let mut traffic = vec![0u64; num_queues as usize];
+    for l in labels {
+        let b = l.point.block(f);
+        let w = weights.get(b.index()).copied().unwrap_or(0);
+        if let Some(t) = traffic.get_mut(l.queue.index()) {
+            *t = t.saturating_add(w);
+        }
+    }
+    traffic
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -48,7 +48,7 @@ use crate::config::MachineConfig;
 use crate::core::{CoreStats, StallReason};
 use crate::sa::{PendingConsume, SyncArray};
 use crate::sim::SimResult;
-use crate::trace::{NoTrace, TraceEvent, TraceSink};
+use crate::trace::{Arrival, NoTrace, TraceEvent, TraceSink};
 use gmt_ir::decoded::{DecodedFunction, DecodedOp, DecodedProgram, NO_USE};
 use gmt_ir::interp::{BlockedOp, DeadlockInfo, ExecError, Memory, MemoryLayout};
 use gmt_ir::{Function, Operand, QueueId, Reg};
@@ -596,6 +596,15 @@ struct DCore {
     inflight_loads: Vec<u64>,
     fetch_stalled_until: u64,
     stats: CoreStats,
+    /// Per-core issue index of the last instruction to write each
+    /// register (`u64::MAX` = never written), feeding [`Arrival::Data`]
+    /// edges. Trace-only: maintained when a sink is attached.
+    writer: Vec<u64>,
+    /// Instructions issued so far on this core (trace-only).
+    issued_nodes: u64,
+    /// The stall most recently recorded for this core, consumed by the
+    /// next issue to derive its last-arrival edge (trace-only).
+    last_stall: Option<(StallReason, Option<QueueId>)>,
 }
 
 impl DCore {
@@ -616,6 +625,9 @@ impl DCore {
             inflight_loads: Vec::new(),
             fetch_stalled_until: 0,
             stats: CoreStats::default(),
+            writer: vec![u64::MAX; n],
+            issued_nodes: 0,
+            last_stall: None,
         }
     }
 
@@ -679,6 +691,58 @@ impl DCore {
     }
 }
 
+/// The register an op defines, if any — the scoreboard entry the
+/// tracing layer tags with the writer's issue index.
+#[inline]
+fn def_of(op: DecodedOp) -> Option<Reg> {
+    match op {
+        DecodedOp::Const(dst, _)
+        | DecodedOp::LeaAbs(dst, _)
+        | DecodedOp::Bin(_, dst, _, _)
+        | DecodedOp::Un(_, dst, _)
+        | DecodedOp::Load(dst, _)
+        | DecodedOp::Consume { dst, .. } => Some(dst),
+        _ => None,
+    }
+}
+
+/// Converts the stall recorded for the instruction at `pc` — if any —
+/// into its last-arrival edge, consuming it. Called right before the
+/// op executes, so for an operand stall the scoreboard still holds the
+/// pre-issue ready times and writer tags of the uses (a def may alias
+/// one of its own uses). No recorded stall means the in-order front
+/// end was the only constraint.
+#[inline]
+fn take_arrival(core: &mut DCore, d: &DecodedFunction, pc: u32) -> Arrival {
+    match core.last_stall.take() {
+        None => Arrival::InOrder,
+        Some((StallReason::Operand, _)) => {
+            // The binding operand is the one that became ready last.
+            let mut best: Option<(u64, u64)> = None;
+            for &u in d.uses(pc).iter() {
+                if u != NO_USE {
+                    let ready = core.ready[u as usize];
+                    if best.map_or(true, |(r, _)| ready > r) {
+                        best = Some((ready, core.writer[u as usize]));
+                    }
+                }
+            }
+            match best {
+                Some((_, w)) if w != u64::MAX => Arrival::Data { writer: w },
+                _ => Arrival::InOrder,
+            }
+        }
+        Some((StallReason::QueueEmpty, q)) => {
+            q.map_or(Arrival::InOrder, |q| Arrival::QueueVisible { queue: q.0 })
+        }
+        Some((StallReason::QueueFull, q)) => {
+            q.map_or(Arrival::InOrder, |q| Arrival::QueueSpace { queue: q.0 })
+        }
+        Some((StallReason::Mispredict, _)) => Arrival::Refill,
+        Some((r, _)) => Arrival::Resource(r),
+    }
+}
+
 /// What one core did in one cycle: whether anything issued, and — when
 /// the issue group ended on a stall — the reason and queue that were
 /// recorded, exactly as written to the stall counters and trace. On an
@@ -725,6 +789,9 @@ fn issue_core<S: TraceSink>(
     if core.fetch_stalled_until > now {
         core.stats.record_stall(StallReason::Mispredict);
         trace!(TraceEvent::Stall { cycle: now, core: ci, reason: StallReason::Mispredict, queue: None });
+        if S::ENABLED {
+            core.last_stall = Some((StallReason::Mispredict, None));
+        }
         return Ok(IssueOutcome {
             progressed: false,
             stall: Some((StallReason::Mispredict, None)),
@@ -736,14 +803,38 @@ fn issue_core<S: TraceSink>(
     let mut progressed = false;
     let mut stall: Option<(StallReason, Option<QueueId>)> = None;
     // Records a stall (counter + trace) and remembers it for the
-    // outcome — every `break` below goes through this.
+    // outcome — every `break` below goes through this. The traced
+    // engine also keeps it as the pending last-arrival edge of the
+    // instruction that eventually issues at this pc.
     macro_rules! stall {
         ($reason:expr, $queue:expr) => {{
             let (r, q): (StallReason, Option<QueueId>) = ($reason, $queue);
             core.stats.record_stall(r);
             trace!(TraceEvent::Stall { cycle: now, core: ci, reason: r, queue: q.map(|q| q.0) });
+            if S::ENABLED {
+                core.last_stall = Some((r, q));
+            }
             stall = Some((r, q));
         }};
+    }
+    // Emits the Issue event with the pending last-arrival edge and
+    // tags the def's scoreboard entry with this issue's per-core
+    // index. Compiled out entirely for the NoTrace sink.
+    macro_rules! issue_ev {
+        ($pc:expr, $op:expr, $arrival:expr) => {
+            if S::ENABLED {
+                sink.event(&TraceEvent::Issue {
+                    cycle: now,
+                    core: ci,
+                    src: d.src($pc),
+                    arrival: $arrival,
+                });
+                if let Some(dst) = def_of($op) {
+                    core.writer[dst.index()] = core.issued_nodes;
+                }
+                core.issued_nodes += 1;
+            }
+        };
     }
 
     while !core.finished && issued < config.issue_width {
@@ -764,6 +855,13 @@ fn issue_core<S: TraceSink>(
                 stall!(StallReason::SaPort, None);
                 break;
             }
+        // The last-arrival edge of the instruction about to issue —
+        // taken before the op executes (a def may overwrite the
+        // scoreboard entry of one of its own uses). Discarded
+        // harmlessly when a later check in this iteration stalls
+        // instead: that stall re-records `last_stall`, which is the
+        // binding constraint from then on.
+        let arrival = if S::ENABLED { take_arrival(core, d, pc) } else { Arrival::InOrder };
         let mut end_group = false;
         match op {
             DecodedOp::Const(dst, v) => {
@@ -852,7 +950,7 @@ fn issue_core<S: TraceSink>(
                     // would corrupt the run, so refuse to continue.
                     Err(_) => return Err(ExecError::InvalidConfig(sa_overflow())),
                 }
-                trace!(TraceEvent::Issue { cycle: now, core: ci, src: d.src(pc) });
+                issue_ev!(pc, op, arrival);
                 trace!(TraceEvent::Produce { cycle: now, core: ci, queue: queue.0, occupancy: sa.occupancy(queue.index()) });
                 core.stats.communication += 1;
                 core.pc += 1;
@@ -873,7 +971,7 @@ fn issue_core<S: TraceSink>(
                     core.deliver(dst, token, v, ready);
                     deferred = false;
                 }
-                trace!(TraceEvent::Issue { cycle: now, core: ci, src: d.src(pc) });
+                issue_ev!(pc, op, arrival);
                 trace!(TraceEvent::Consume { cycle: now, core: ci, queue: queue.0, occupancy: sa.occupancy(queue.index()), deferred });
                 core.stats.communication += 1;
                 core.pc += 1;
@@ -894,7 +992,7 @@ fn issue_core<S: TraceSink>(
                 if sa.produce(queue.index(), 1, now).is_err() {
                     return Err(ExecError::InvalidConfig(sa_overflow()));
                 }
-                trace!(TraceEvent::Issue { cycle: now, core: ci, src: d.src(pc) });
+                issue_ev!(pc, op, arrival);
                 trace!(TraceEvent::Produce { cycle: now, core: ci, queue: queue.0, occupancy: sa.occupancy(queue.index()) });
                 core.stats.synchronization += 1;
                 core.pc += 1;
@@ -917,7 +1015,7 @@ fn issue_core<S: TraceSink>(
                 // Gated on `has_visible_entry` above; an empty pop is
                 // harmless but counts as no token consumed.
                 let _ = sa.pop_token(queue.index(), now);
-                trace!(TraceEvent::Issue { cycle: now, core: ci, src: d.src(pc) });
+                issue_ev!(pc, op, arrival);
                 trace!(TraceEvent::Consume { cycle: now, core: ci, queue: queue.0, occupancy: sa.occupancy(queue.index()), deferred: false });
                 core.stats.synchronization += 1;
                 core.pc += 1;
@@ -962,7 +1060,7 @@ fn issue_core<S: TraceSink>(
                 return Err(gmt_ir::interp::unterminated(d.block(pc)));
             }
         }
-        trace!(TraceEvent::Issue { cycle: now, core: ci, src: d.src(pc) });
+        issue_ev!(pc, op, arrival);
         core.stats.computation += 1;
         issued += 1;
         used[ui] += 1;

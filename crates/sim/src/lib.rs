@@ -45,6 +45,7 @@
 mod cache;
 mod config;
 mod core;
+pub mod critpath;
 mod engine;
 mod sa;
 mod sim;
@@ -59,8 +60,9 @@ pub use engine::{
 };
 pub use sa::{Delivery, PendingConsume, QueueFull, SyncArray};
 pub use sim::{simulate_reference, SimResult};
+pub use critpath::{check_critical_path, CpKind, CpSegment, CritPath, CritPathSink};
 pub use trace::{
-    check_attribution, ChromeTraceSink, CycleAttribution, NoTrace, QueueTraceStats,
-    TraceAggregator, TraceEvent, TraceSink,
+    check_attribution, Arrival, ChromeTraceSink, CycleAttribution, NoTrace, OccupancySummary,
+    QueueTraceStats, TraceAggregator, TraceEvent, TraceSink,
 };
 

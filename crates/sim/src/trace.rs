@@ -35,6 +35,46 @@ use gmt_ir::InstrId;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 
+/// The *last-arrival edge* of an issued instruction: which predecessor
+/// event determined its issue cycle. The engine derives it from the
+/// stall (if any) recorded for the instruction on the cycles before it
+/// issued — the constraint that was still unmet latest is the one that
+/// set the issue time. [`crate::critpath::CritPathSink`] chains these
+/// edges into the run's dynamic critical path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arrival {
+    /// No recorded wait: the instruction issued as soon as the in-order
+    /// front end reached it. Predecessor: the previous instruction
+    /// issued on the same core.
+    InOrder,
+    /// The last-arriving source operand bound the issue cycle.
+    Data {
+        /// Per-core issue index of the instruction that wrote the
+        /// last-arriving operand (`u64::MAX` when it was never written
+        /// — a parameter — in which case the edge degrades to
+        /// [`Arrival::InOrder`] semantics).
+        writer: u64,
+    },
+    /// A `consume.sync` waited for the queue's front token to become
+    /// visible — the matching produce bound the issue cycle.
+    QueueVisible {
+        /// The queue waited on.
+        queue: u32,
+    },
+    /// A produce waited for queue space — the consume that freed the
+    /// slot bound the issue cycle (backpressure).
+    QueueSpace {
+        /// The queue waited on.
+        queue: u32,
+    },
+    /// The front end was refilling after a branch mispredict.
+    Refill,
+    /// A shared-resource stall bound the issue cycle: structural
+    /// (FU/issue width), SA request ports, or the outstanding-load
+    /// limit.
+    Resource(StallReason),
+}
+
 /// One engine event. `cycle` is the cycle the event occurred on;
 /// `core` is the issuing core's index.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,6 +88,8 @@ pub enum TraceEvent {
         core: usize,
         /// The original-program instruction (pre-decode id).
         src: InstrId,
+        /// The last-arrival edge that determined this issue cycle.
+        arrival: Arrival,
     },
     /// `core` could not issue its next instruction this cycle.
     Stall {
@@ -255,6 +297,79 @@ impl QueueTraceStats {
     }
 }
 
+/// Time-weighted occupancy distribution of one queue over the whole
+/// run: on what fraction of the run's cycles did the queue hold ≤ N
+/// entries. Unlike [`QueueTraceStats::max_occupancy`] (a high-water
+/// mark of post-op occupancy, which may last zero cycles), these are
+/// dwell-time percentiles — the numbers that say whether a depth-32
+/// queue actually *used* its depth.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OccupancySummary {
+    /// Smallest occupancy level at or below which the queue spent at
+    /// least half the run's cycles.
+    pub p50: usize,
+    /// Smallest occupancy level at or below which the queue spent at
+    /// least 95% of the run's cycles.
+    pub p95: usize,
+    /// Highest occupancy level the queue dwelled at for ≥ 1 cycle.
+    pub max: usize,
+}
+
+/// Per-queue occupancy-over-time fold: dwell cycles per occupancy
+/// level, updated on every queue event (occupancy only changes on
+/// produce/consume, so the fold is exact — including under the
+/// engine's stall fast-forward, which never skips across a queue op).
+#[derive(Clone, Debug, Default)]
+struct OccupancyFold {
+    last: usize,
+    since: u64,
+    hist: Vec<u64>,
+}
+
+impl OccupancyFold {
+    fn observe(&mut self, cycle: u64, occupancy: usize) {
+        self.credit(cycle);
+        self.last = occupancy;
+        self.since = cycle;
+    }
+
+    fn credit(&mut self, until: u64) {
+        let dwell = until.saturating_sub(self.since);
+        if dwell > 0 {
+            if self.hist.len() <= self.last {
+                self.hist.resize(self.last + 1, 0);
+            }
+            self.hist[self.last] += dwell;
+        }
+    }
+
+    fn summary(&self, cycles: u64) -> OccupancySummary {
+        let total: u64 = self.hist.iter().sum::<u64>().max(cycles);
+        let mut s = OccupancySummary::default();
+        let mut cum = 0u64;
+        let mut p50_done = false;
+        let mut p95_done = false;
+        for (level, &dwell) in self.hist.iter().enumerate() {
+            cum += dwell;
+            if dwell > 0 {
+                s.max = level;
+            }
+            // Levels past the end of the histogram never occurred;
+            // cycles before the first event dwell at level 0 and are
+            // covered because `since` starts at 0.
+            if !p50_done && cum * 2 >= total {
+                s.p50 = level;
+                p50_done = true;
+            }
+            if !p95_done && cum * 20 >= total * 19 {
+                s.p95 = level;
+                p95_done = true;
+            }
+        }
+        s
+    }
+}
+
 /// What one core did on one cycle, folded from that cycle's events.
 /// Issue wins over stall (a core that issued three ops and then hit a
 /// structural limit had a compute cycle, not a structural-stall one);
@@ -280,6 +395,7 @@ pub struct TraceAggregator {
     dropped: u64,
     cores: Vec<CycleAttributionFold>,
     queues: Vec<QueueTraceStats>,
+    occ: Vec<OccupancyFold>,
     cycles: u64,
     ended: bool,
 }
@@ -307,6 +423,7 @@ impl TraceAggregator {
                 })
                 .collect(),
             queues: vec![QueueTraceStats::default(); nqueues],
+            occ: vec![OccupancyFold::default(); nqueues],
             cycles: 0,
             ended: false,
         }
@@ -340,6 +457,13 @@ impl TraceAggregator {
     /// The per-queue communication counters.
     pub fn queue_stats(&self) -> &[QueueTraceStats] {
         &self.queues
+    }
+
+    /// Time-weighted occupancy percentiles per queue. Call after the
+    /// run (the final dwell is closed by [`TraceSink::run_end`]).
+    pub fn queue_occupancy(&self) -> Vec<OccupancySummary> {
+        assert!(self.ended, "queue_occupancy before run_end");
+        self.occ.iter().map(|o| o.summary(self.cycles)).collect()
     }
 
     fn push_ring(&mut self, ev: &TraceEvent) {
@@ -431,18 +555,20 @@ impl TraceSink for TraceAggregator {
                     }
                 }
             }
-            TraceEvent::Produce { queue, occupancy, .. } => {
+            TraceEvent::Produce { cycle, queue, occupancy, .. } => {
                 let qs = &mut self.queues[queue as usize];
                 qs.produces += 1;
                 qs.max_occupancy = qs.max_occupancy.max(occupancy);
+                self.occ[queue as usize].observe(cycle, occupancy);
             }
-            TraceEvent::Consume { queue, occupancy, deferred, .. } => {
+            TraceEvent::Consume { cycle, queue, occupancy, deferred, .. } => {
                 let qs = &mut self.queues[queue as usize];
                 qs.consumes += 1;
                 if deferred {
                     qs.deferred_consumes += 1;
                 }
                 qs.max_occupancy = qs.max_occupancy.max(occupancy);
+                self.occ[queue as usize].observe(cycle, occupancy);
             }
             TraceEvent::Finish { cycle, core } => {
                 self.cores[core].finished_at = Some(cycle + 1);
@@ -453,6 +579,9 @@ impl TraceSink for TraceAggregator {
     fn run_end(&mut self, cycles: u64) {
         self.cycles = cycles;
         self.ended = true;
+        for occ in &mut self.occ {
+            occ.credit(cycles);
+        }
         for fold in &mut self.cores {
             if let Some((_, class)) = fold.cur.take() {
                 Self::commit(&mut fold.attr, class);
@@ -754,7 +883,7 @@ mod tests {
     use super::*;
 
     fn issue(cycle: u64, core: usize) -> TraceEvent {
-        TraceEvent::Issue { cycle, core, src: InstrId(0) }
+        TraceEvent::Issue { cycle, core, src: InstrId(0), arrival: Arrival::InOrder }
     }
 
     fn stall(cycle: u64, core: usize, reason: StallReason) -> TraceEvent {
@@ -837,6 +966,32 @@ mod tests {
         let q0 = agg.queue_stats()[0];
         assert_eq!(q0.consumes, 1);
         assert_eq!(q0.deferred_consumes, 1);
+    }
+
+    #[test]
+    fn occupancy_summary_is_time_weighted() {
+        let mut agg = TraceAggregator::new(1, 2, 16);
+        // Queue 0: empty for 10 cycles, at 1 for 85, at 2 for 5.
+        agg.event(&TraceEvent::Produce { cycle: 10, core: 0, queue: 0, occupancy: 1 });
+        agg.event(&TraceEvent::Produce { cycle: 95, core: 0, queue: 0, occupancy: 2 });
+        agg.run_end(100);
+        let occ = agg.queue_occupancy();
+        assert_eq!(occ[0], OccupancySummary { p50: 1, p95: 1, max: 2 });
+        // Queue 1 saw no events: level 0 for the whole run.
+        assert_eq!(occ[1], OccupancySummary { p50: 0, p95: 0, max: 0 });
+    }
+
+    #[test]
+    fn occupancy_max_is_dwell_based() {
+        // A produce immediately consumed the same cycle dwells zero
+        // cycles at level 1: the high-water mark sees it, the
+        // dwell-time summary does not.
+        let mut agg = TraceAggregator::new(1, 1, 16);
+        agg.event(&TraceEvent::Produce { cycle: 3, core: 0, queue: 0, occupancy: 1 });
+        agg.event(&TraceEvent::Consume { cycle: 3, core: 0, queue: 0, occupancy: 0, deferred: false });
+        agg.run_end(8);
+        assert_eq!(agg.queue_stats()[0].max_occupancy, 1);
+        assert_eq!(agg.queue_occupancy()[0], OccupancySummary { p50: 0, p95: 0, max: 0 });
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Critical-path profiler properties on real engine runs: the
+//! reconstructed path must conserve cycles exactly (the analogue of
+//! `check_attribution`), bound every core's busy time, reduce to the
+//! dataflow + fetch chain on a single thread, and agree byte-for-byte
+//! between the per-cycle and fast-forward engines.
+
+use gmt_ir::decoded::DecodedProgram;
+use gmt_ir::{BinOp, Function, FunctionBuilder, Op, QueueId};
+use gmt_pdg::{Partition, Pdg, ThreadId};
+use gmt_sim::{
+    check_attribution, check_critical_path, simulate_decoded_traced_opts, CpKind, CritPath,
+    CritPathSink, MachineConfig, SimOptions, TraceAggregator,
+};
+
+fn run_cp(threads: &[Function], args: &[i64], config: &MachineConfig, ff: bool) -> (CritPath, u64, Vec<u64>) {
+    let program = DecodedProgram::decode(threads).unwrap();
+    let mut sink = (
+        TraceAggregator::new(threads.len(), config.sa.num_queues, 256),
+        CritPathSink::new(&program, config.sa.num_queues),
+    );
+    let result = simulate_decoded_traced_opts(
+        &program,
+        args,
+        |_, _| {},
+        config,
+        &mut sink,
+        SimOptions { fast_forward: ff },
+    )
+    .unwrap();
+    check_attribution(&sink.0, &result).unwrap();
+    let cp = check_critical_path(&sink.1, &result).unwrap();
+    let busy = sink.0.core_attribution().iter().map(|a| a.compute).collect();
+    (cp, result.cycles, busy)
+}
+
+fn counted_loop() -> Function {
+    let mut b = FunctionBuilder::new("loop");
+    let n = b.param();
+    let i = b.fresh_reg();
+    let s = b.fresh_reg();
+    let h = b.block("h");
+    let body = b.block("body");
+    let exit = b.block("exit");
+    b.const_into(i, 0);
+    b.const_into(s, 0);
+    b.jump(h);
+    b.switch_to(h);
+    let c = b.bin(BinOp::Lt, i, n);
+    b.branch(c, body, exit);
+    b.switch_to(body);
+    let t = b.bin(BinOp::Mul, i, i);
+    b.bin_into(BinOp::Add, s, s, t);
+    b.bin_into(BinOp::Add, i, i, 1i64);
+    b.jump(h);
+    b.switch_to(exit);
+    b.output(s);
+    b.ret(Some(s.into()));
+    b.finish().unwrap()
+}
+
+#[test]
+fn single_thread_path_is_dataflow_and_fetch() {
+    // A pure dependent chain: every cycle of the run is either the
+    // chain's dataflow latency, in-order fetch, or the final retire —
+    // no queue, resource, or mispredict segments can appear.
+    let mut b = FunctionBuilder::new("chain");
+    let mut v = b.const_(1);
+    for _ in 0..32 {
+        v = b.bin(BinOp::Mul, v, 3i64);
+    }
+    b.ret(Some(v.into()));
+    let f = b.finish().unwrap();
+    let (cp, cycles, busy) = run_cp(&[f], &[], &MachineConfig::default(), true);
+    assert_eq!(cp.total, cycles);
+    let chain = cp.kind_cycles(CpKind::InOrder)
+        + cp.kind_cycles(CpKind::Dataflow)
+        + cp.kind_cycles(CpKind::Retire);
+    assert_eq!(chain, cp.total, "single-thread path is fetch+dataflow only: {:?}", cp.by_kind);
+    // Mul latency 3 × 32 chain links dominate.
+    assert!(cp.kind_cycles(CpKind::Dataflow) >= 64, "{:?}", cp.by_kind);
+    assert_eq!(cp.crossings, 0);
+    assert!(cp.total >= busy[0]);
+}
+
+#[test]
+fn conservation_and_busy_bound_on_mt_pair() {
+    let f = counted_loop();
+    let pdg = Pdg::build(&f);
+    let mut p = Partition::new(2);
+    for (k, i) in f.all_instrs().enumerate() {
+        p.assign(i, ThreadId(k as u32 % 2));
+    }
+    let out = gmt_mtcg::generate(&f, &pdg, &p).unwrap();
+    for depth in [1usize, 32] {
+        let cfg = MachineConfig::default().with_queue_depth(depth);
+        let (cp, cycles, busy) = run_cp(&out.threads, &[40], &cfg, true);
+        assert_eq!(cp.total, cycles, "depth {depth}");
+        for (ci, &b) in busy.iter().enumerate() {
+            assert!(cp.total >= b, "depth {depth}: CP {} < core {ci} busy {b}", cp.total);
+        }
+        // A two-thread round-robin split communicates heavily: the
+        // path must actually cross threads.
+        assert!(cp.crossings > 0, "depth {depth}");
+        assert!(
+            cp.kind_cycles(CpKind::QueueData) + cp.kind_cycles(CpKind::QueueSpace) > 0,
+            "depth {depth}: {:?}",
+            cp.by_kind
+        );
+    }
+}
+
+#[test]
+fn fast_forward_does_not_change_the_path() {
+    let f = counted_loop();
+    let pdg = Pdg::build(&f);
+    let mut p = Partition::new(2);
+    for (k, i) in f.all_instrs().enumerate() {
+        p.assign(i, ThreadId(k as u32 % 2));
+    }
+    let out = gmt_mtcg::generate(&f, &pdg, &p).unwrap();
+    for depth in [1usize, 32] {
+        let cfg = MachineConfig::default().with_queue_depth(depth);
+        let (a, cycles_a, _) = run_cp(&out.threads, &[25], &cfg, true);
+        let (b, cycles_b, _) = run_cp(&out.threads, &[25], &cfg, false);
+        assert_eq!(cycles_a, cycles_b, "depth {depth}");
+        assert_eq!(a.by_kind, b.by_kind, "depth {depth}");
+        assert_eq!(a.segments, b.segments, "depth {depth}");
+        assert_eq!(a.edges, b.edges, "depth {depth}");
+        assert_eq!(a.crossings, b.crossings, "depth {depth}");
+    }
+}
+
+#[test]
+fn queue_bound_pair_shows_queue_segments() {
+    // Producer floods a depth-1 queue; consumer burns cycles per value.
+    // The path must attribute a large share to the queue coupling.
+    let q = QueueId(0);
+    let producer = {
+        let mut b = FunctionBuilder::new("prod");
+        let i = b.fresh_reg();
+        let h = b.block("h");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.const_into(i, 0);
+        b.jump(h);
+        b.switch_to(h);
+        let c = b.bin(BinOp::Lt, i, 50i64);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.emit(Op::Produce { queue: q, value: i.into() });
+        b.bin_into(BinOp::Add, i, i, 1i64);
+        b.jump(h);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish().unwrap()
+    };
+    let consumer = {
+        let mut b = FunctionBuilder::new("cons");
+        let i = b.fresh_reg();
+        let s = b.fresh_reg();
+        let h = b.block("h");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.const_into(i, 0);
+        b.const_into(s, 0);
+        b.jump(h);
+        b.switch_to(h);
+        let c = b.bin(BinOp::Lt, i, 50i64);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let v = b.fresh_reg();
+        b.emit(Op::Consume { dst: v, queue: q });
+        let t = b.bin(BinOp::Mul, v, v);
+        let t2 = b.bin(BinOp::Mul, t, t);
+        b.bin_into(BinOp::Add, s, s, t2);
+        b.bin_into(BinOp::Add, i, i, 1i64);
+        b.jump(h);
+        b.switch_to(exit);
+        b.output(s);
+        b.ret(Some(s.into()));
+        b.finish().unwrap()
+    };
+    let cfg = MachineConfig::default().with_queue_depth(1);
+    let (cp, cycles, _) = run_cp(&[producer, consumer], &[], &cfg, true);
+    assert_eq!(cp.total, cycles);
+    let queue_cycles: u64 = cp.by_queue.iter().map(|&(_, c)| c).sum();
+    assert!(queue_cycles > 0, "{:?}", cp.by_kind);
+    assert!(!cp.by_queue.is_empty());
+    assert_eq!(cp.by_queue[0].0, 0, "only queue 0 is in play");
+}
